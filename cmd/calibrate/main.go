@@ -1,0 +1,163 @@
+// Command calibrate prints the model-vs-paper calibration report: the
+// headline numbers of DESIGN.md §4 measured on a single representative
+// module, next to the paper's values. Run it after changing anything in
+// internal/analog to see where the model drifted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/spice"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+func main() {
+	var (
+		cols   = flag.Int("cols", 512, "simulated columns per subarray")
+		trials = flag.Int("trials", 6, "trials per row group")
+		groups = flag.Int("groups", 12, "row groups per subarray")
+	)
+	flag.Parse()
+	if err := run(*cols, *trials, *groups); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+type line struct {
+	name     string
+	paper    float64
+	measured float64
+}
+
+func run(cols, trials, groups int) error {
+	spec := dram.NewSpec("calibrate-H", dram.ProfileH, 0xabc)
+	spec.Columns = cols
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	sweep := func(op core.OpKind, x, n int, t timing.APATimings,
+		p dram.Pattern) (float64, error) {
+		tester, err := core.NewTester(mod, core.WithTrials(trials))
+		if err != nil {
+			return 0, err
+		}
+		res, err := tester.RunSweep(core.SweepConfig{
+			Op: op, X: x, N: n, Timings: t, Pattern: p,
+			Banks: 2, GroupsPerSubarray: groups,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Summary().Mean * 100, nil
+	}
+
+	var lines []line
+	add := func(name string, paper float64, measured float64, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		lines = append(lines, line{name, paper, measured})
+		return nil
+	}
+
+	for _, c := range []struct {
+		name  string
+		paper float64
+		x, n  int
+		t     timing.APATimings
+		p     dram.Pattern
+	}{
+		{"MAJ3 @ 4-row", 68.19, 3, 4, timing.BestMAJ(), dram.PatternRandom},
+		{"MAJ3 @ 32-row", 99.00, 3, 32, timing.BestMAJ(), dram.PatternRandom},
+		{"MAJ5 @ 32-row", 79.64, 5, 32, timing.BestMAJ(), dram.PatternRandom},
+		{"MAJ7 @ 32-row", 33.87, 7, 32, timing.BestMAJ(), dram.PatternRandom},
+		{"MAJ9 @ 32-row", 5.91, 9, 32, timing.BestMAJ(), dram.PatternRandom},
+		{"MAJ3 @ 32-row (3,3)", 53.50, 3, 32, timing.APATimings{T1: 3, T2: 3}, dram.PatternRandom},
+		{"MAJ3 @ 32-row t2=1.5", 5, 3, 32, timing.APATimings{T1: 1.5, T2: 1.5}, dram.PatternRandom},
+		{"MAJ5 @ 32 fixed 00FF", 93.49, 5, 32, timing.BestMAJ(), dram.Pattern00FF},
+	} {
+		m, err := sweep(core.OpMAJ, c.x, c.n, c.t, c.p)
+		if err := add(c.name, c.paper, m, err); err != nil {
+			return err
+		}
+	}
+
+	for _, c := range []struct {
+		name  string
+		paper float64
+		n     int
+		t     timing.APATimings
+	}{
+		{"activation @ 8-row best", 99.99, 8, timing.BestSiMRA()},
+		{"activation @ 32-row best", 99.85, 32, timing.BestSiMRA()},
+		{"activation @ 8-row (1.5,1.5)", 78.25, 8, timing.APATimings{T1: 1.5, T2: 1.5}},
+	} {
+		m, err := sweep(core.OpManyRowActivation, 0, c.n, c.t, dram.PatternRandom)
+		if err := add(c.name, c.paper, m, err); err != nil {
+			return err
+		}
+	}
+
+	for _, c := range []struct {
+		name  string
+		paper float64
+		n     int
+		t     timing.APATimings
+		p     dram.Pattern
+	}{
+		{"copy to 31 rows best", 99.982, 32, timing.BestCopy(), dram.PatternRandom},
+		{"copy to 31 rows all-1s", 99.19, 32, timing.BestCopy(), dram.PatternAll1},
+		{"copy @ t1=1.5", 50, 8, timing.APATimings{T1: 1.5, T2: 3}, dram.PatternRandom},
+	} {
+		m, err := sweep(core.OpMultiRowCopy, 0, c.n, c.t, c.p)
+		if err := add(c.name, c.paper, m, err); err != nil {
+			return err
+		}
+	}
+
+	// SPICE Monte-Carlo cells (Fig. 15).
+	mc := spice.NewMonteCarlo(9)
+	r4, err := mc.Run(4, 0.40, 400)
+	if err != nil {
+		return err
+	}
+	if err := add("SPICE MAJ3@4-row 40% PV", 50, r4.SuccessRate*100, nil); err != nil {
+		return err
+	}
+	r32, err := mc.Run(32, 0.40, 400)
+	if err != nil {
+		return err
+	}
+	if err := add("SPICE MAJ3@32-row 40% PV", 99.9, r32.SuccessRate*100, nil); err != nil {
+		return err
+	}
+	p4, err := mc.Run(4, 0, 100)
+	if err != nil {
+		return err
+	}
+	p32, err := mc.Run(32, 0, 100)
+	if err != nil {
+		return err
+	}
+	gain := (stats.Mean(p32.Perturbations)/stats.Mean(p4.Perturbations) - 1) * 100
+	if err := add("SPICE 32-vs-4 perturbation gain %", 159.05, gain, nil); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-36s %10s %10s %8s\n", "calibration target", "paper", "measured", "delta")
+	fmt.Printf("%-36s %10s %10s %8s\n", "------------------", "-----", "--------", "-----")
+	for _, l := range lines {
+		fmt.Printf("%-36s %9.2f%% %9.2f%% %+7.2f\n",
+			l.name, l.paper, l.measured, l.measured-l.paper)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Command simra-bench runs the §8 case-study evaluations: the seven
+// majority-based microbenchmarks (Fig. 16) and the cold-boot content
+// destruction comparison (Fig. 17), plus a live functional demonstration
+// of each on the simulated DRAM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	simra "repro"
+)
+
+func main() {
+	var (
+		cols   = flag.Int("cols", 256, "simulated columns per subarray")
+		trials = flag.Int("trials", 4, "trials per row group for success measurement")
+		demo   = flag.Bool("demo", true, "also run the functional in-DRAM demonstrations")
+	)
+	flag.Parse()
+
+	if err := run(*cols, *trials, *demo); err != nil {
+		fmt.Fprintln(os.Stderr, "simra-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cols, trials int, demo bool) error {
+	fleetCfg := simra.DefaultFleetConfig()
+	fleetCfg.Columns = cols
+	cfg := simra.DefaultExperimentConfig()
+	cfg.Fleet = simra.FleetRepresentative(fleetCfg)
+	cfg.Trials = trials
+
+	runner, err := simra.NewExperiments(cfg)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	fig16, err := runner.Figure16()
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig16.Table().Render())
+	for _, mfr := range []string{"M", "H"} {
+		for _, x := range []int{5, 7, 9} {
+			if avg := fig16.AverageSpeedup(mfr, x); avg > 0 {
+				fmt.Printf("Mfr. %s MAJ%d average speedup: %.2fx\n", mfr, x, avg)
+			}
+		}
+	}
+	fmt.Printf("(Fig. 16 in %s)\n\n", time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	fig17, err := runner.Figure17()
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig17.Table().Render())
+	fmt.Printf("(Fig. 17 in %s)\n\n", time.Since(start).Round(time.Millisecond))
+
+	if !demo {
+		return nil
+	}
+	return functionalDemo(cols)
+}
+
+// functionalDemo executes a real in-DRAM computation and destruction on
+// the simulator, verifying results against CPU references.
+func functionalDemo(cols int) error {
+	spec := simra.NewSpec("bench-demo", simra.ProfileH, 0xbe7c)
+	spec.Columns = cols
+	mod, err := simra.NewModule(spec, simra.DefaultParams())
+	if err != nil {
+		return err
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		return err
+	}
+	c, err := simra.NewComputer(mod, sa, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("functional demo: MAJ up to %d, %d/%d reliable columns\n",
+		c.MaxX(), c.Reliable(), cols)
+
+	const w = 16
+	a, err := c.NewVec(w)
+	if err != nil {
+		return err
+	}
+	b, err := c.NewVec(w)
+	if err != nil {
+		return err
+	}
+	d, err := c.NewVec(w)
+	if err != nil {
+		return err
+	}
+	n := cols
+	av := make([]uint64, n)
+	bv := make([]uint64, n)
+	for i := range av {
+		av[i] = uint64(i * 2654435761 % (1 << w))
+		bv[i] = uint64((i*40503 + 12345) % (1 << w))
+	}
+	if err := c.Store(a, av); err != nil {
+		return err
+	}
+	if err := c.Store(b, bv); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := c.VecADD(d, a, b); err != nil {
+		return err
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		return err
+	}
+	mask := c.ReliableMask()
+	correct, total := 0, 0
+	for i := range got {
+		if !mask[i] {
+			continue
+		}
+		total++
+		if got[i] == (av[i]+bv[i])%(1<<w) {
+			correct++
+		}
+	}
+	fmt.Printf("in-DRAM 16-bit ADD over %d lanes: %d/%d reliable lanes correct (%s)\n",
+		n, correct, total, time.Since(start).Round(time.Millisecond))
+
+	// Run all seven microbenchmarks functionally and price the issued
+	// operations with the latency model.
+	fmt.Println("\nfunctional microbenchmarks (measured op counts, modeled DRAM time):")
+	for _, bench := range simra.MicroBenchmarks() {
+		width := 12
+		if bench == "MUL" || bench == "DIV" {
+			width = 8
+		}
+		res, err := simra.RunBenchmark(c, bench, width, 99)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s w=%2d: %4d/%4d reliable lanes correct, %6.1f us modeled\n",
+			bench, width, res.Correct, res.Reliable, res.ModeledNS/1000)
+	}
+
+	// Content destruction demo.
+	sa2, err := mod.Subarray(1, 0)
+	if err != nil {
+		return err
+	}
+	destroyer, err := simra.NewDestroyer(mod)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	counts, err := destroyer.DestroySubarray(sa2, simra.DestructionTechnique{Kind: "mrc", N: 32})
+	if err != nil {
+		return err
+	}
+	ops := counts.WR + counts.RowClone
+	for _, v := range counts.MRC {
+		ops += v
+	}
+	fmt.Printf("32-row-MRC destruction of a %d-row subarray: %d operations (%s)\n",
+		sa2.Rows(), ops, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command simra-char runs the characterization experiments and prints the
+// paper-style tables for every figure.
+//
+// Usage:
+//
+//	simra-char -fig all            # everything (reduced-scale defaults)
+//	simra-char -fig 7 -trials 8    # Fig. 7 with more trials
+//	simra-char -fig table1 -full   # the full 18-module population
+//	simra-char -fig 14             # decoder walkthrough (no simulation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	simra "repro"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to reproduce: all, table1, modules, 3, 4a, 4b, 5, 6, 7, 8, 9, 10, 11, 12a, 12b, 14, 15, 16, 17")
+		full   = flag.Bool("full", false, "use the full 18-module fleet of Table 1/2 (slow)")
+		trials = flag.Int("trials", 0, "trials per row group (0 = default)")
+		groups = flag.Int("groups", 0, "row groups per subarray (0 = default)")
+		banks  = flag.Int("banks", 0, "banks sampled per module (0 = default)")
+		cols   = flag.Int("cols", 0, "simulated columns per subarray (0 = default)")
+		seed   = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		sets   = flag.Int("sets", 200, "Monte-Carlo samples per Fig. 15 cell")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *full, *trials, *groups, *banks, *cols, *seed, *sets, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "simra-char:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, sets int, format string) error {
+	render := func(t simra.ExperimentTable) string {
+		if format == "csv" {
+			return t.CSV()
+		}
+		return t.Render()
+	}
+	cfg := simra.DefaultExperimentConfig()
+	fleetCfg := simra.DefaultFleetConfig()
+	if cols > 0 {
+		fleetCfg.Columns = cols
+	} else {
+		fleetCfg.Columns = 512
+	}
+	if full {
+		cfg.Fleet = simra.FleetModules(fleetCfg)
+	} else {
+		cfg.Fleet = simra.FleetRepresentative(fleetCfg)
+	}
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	if groups > 0 {
+		cfg.GroupsPerSubarray = groups
+	}
+	if banks > 0 {
+		cfg.Banks = banks
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+
+	want := func(id string) bool { return fig == "all" || fig == id }
+
+	if want("table1") {
+		entries := cfg.Fleet
+		fmt.Println(render(simra.PopulationTable(entries)))
+	}
+	if want("14") || want("13") {
+		tab, err := simra.DecoderWalkthrough(simra.DecoderHynix512())
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(tab))
+	}
+	if fig == "table1" || fig == "14" || fig == "13" {
+		return nil
+	}
+
+	runner, err := simra.NewExperiments(cfg)
+	if err != nil {
+		return err
+	}
+
+	type job struct {
+		id  string
+		run func() (interface{ Table() simra.ExperimentTable }, error)
+	}
+	jobs := []job{
+		{"3", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure3() }},
+		{"4a", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure4a() }},
+		{"4b", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure4b() }},
+		{"5", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure5() }},
+		{"6", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure6() }},
+		{"7", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure7() }},
+		{"8", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure8() }},
+		{"9", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure9() }},
+		{"10", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure10() }},
+		{"11", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure11() }},
+		{"12a", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure12a() }},
+		{"12b", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure12b() }},
+		{"15", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure15(sets) }},
+		{"modules", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.PerModule() }},
+		{"16", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure16() }},
+		{"17", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure17() }},
+	}
+
+	matched := fig == "all"
+	for _, j := range jobs {
+		if !want(j.id) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", j.id, err)
+		}
+		fmt.Println(render(res.Table()))
+		if format == "text" {
+			fmt.Printf("(figure %s: %s)\n\n", j.id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q; valid: all, table1, %s, 14",
+			fig, strings.Join([]string{"3", "4a", "4b", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "15", "16", "17"}, ", "))
+	}
+	return nil
+}

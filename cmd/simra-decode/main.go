@@ -1,0 +1,70 @@
+// Command simra-decode explores the hypothetical hierarchical row decoder
+// of §7.1: given the two row addresses of an ACT→PRE→ACT sequence, it
+// prints the set of simultaneously activated rows (Figs. 13/14).
+//
+// Usage:
+//
+//	simra-decode                      # the paper's walkthrough examples
+//	simra-decode -rf 127 -rs 128      # a specific APA pair
+//	simra-decode -geometry micron1024 -rf 0 -rs 1023
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	simra "repro"
+)
+
+func main() {
+	var (
+		geometry = flag.String("geometry", "hynix512", "decoder geometry: hynix512, hynix640, micron1024")
+		rf       = flag.Int("rf", -1, "first activated row (RowFirst)")
+		rs       = flag.Int("rs", -1, "second activated row (RowSecond)")
+	)
+	flag.Parse()
+
+	if err := run(*geometry, *rf, *rs); err != nil {
+		fmt.Fprintln(os.Stderr, "simra-decode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(geometry string, rf, rs int) error {
+	var cfg simra.DecoderConfig
+	switch geometry {
+	case "hynix512":
+		cfg = simra.DecoderHynix512()
+	case "hynix640":
+		cfg = simra.DecoderHynix640()
+	case "micron1024":
+		cfg = simra.DecoderMicron1024()
+	default:
+		return fmt.Errorf("unknown geometry %q", geometry)
+	}
+
+	if rf < 0 || rs < 0 {
+		tab, err := simra.DecoderWalkthrough(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}
+
+	dec, err := simra.NewDecoder(cfg)
+	if err != nil {
+		return err
+	}
+	rows, err := dec.ActivatedRows(rf, rs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("geometry %s: %d rows, %d predecoder fields\n",
+		geometry, dec.Rows(), dec.NumFields())
+	fmt.Printf("ACT %d → PRE → ACT %d (violated tRP)\n", rf, rs)
+	fmt.Printf("differing predecoder fields: %d\n", dec.DifferingFields(rf, rs))
+	fmt.Printf("simultaneously activated rows (%d): %v\n", len(rows), rows)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Characterize: a miniature §4–§6 characterization campaign against a
+// single module — timing, replication, data-pattern and environment
+// effects on the three PUD operation families, printed as compact tables.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	simra "repro"
+)
+
+func main() {
+	spec := simra.NewSpec("characterize", simra.ProfileH, 0xca11)
+	spec.Columns = 256
+	mod, err := simra.NewModule(spec, simra.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sweep := func(env simra.Env, cfg simra.SweepConfig) float64 {
+		tester, err := simra.NewTester(mod, simra.WithEnv(env), simra.WithTrials(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tester.RunSweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Summary().Mean * 100
+	}
+	nominal := simra.NominalEnv()
+
+	fmt.Println("MAJ3 success vs replication (Obs. 6):")
+	for _, n := range []int{4, 8, 16, 32} {
+		rate := sweep(nominal, simra.SweepConfig{
+			Op: simra.OpMAJ, X: 3, N: n,
+			Timings: simra.BestMAJTimings(), Pattern: simra.PatternRandom,
+			Banks: 2, GroupsPerSubarray: 8,
+		})
+		fmt.Printf("  %2d-row activation (%dx replication): %6.2f%%\n", n, n/3, rate)
+	}
+
+	fmt.Println("\nMAJX success at 32-row activation (Obs. 8):")
+	for _, x := range []int{3, 5, 7, 9} {
+		rate := sweep(nominal, simra.SweepConfig{
+			Op: simra.OpMAJ, X: x, N: 32,
+			Timings: simra.BestMAJTimings(), Pattern: simra.PatternRandom,
+			Banks: 2, GroupsPerSubarray: 8,
+		})
+		fmt.Printf("  MAJ%d: %6.2f%%\n", x, rate)
+	}
+
+	fmt.Println("\nMany-row activation success vs timing (Obs. 1-2):")
+	for _, t := range []simra.APATimings{{T1: 3, T2: 3}, {T1: 1.5, T2: 3}, {T1: 1.5, T2: 1.5}} {
+		rate := sweep(nominal, simra.SweepConfig{
+			Op: simra.OpManyRowActivation, N: 8,
+			Timings: t, Pattern: simra.PatternRandom,
+			Banks: 2, GroupsPerSubarray: 8,
+		})
+		fmt.Printf("  %v: %6.2f%%\n", t, rate)
+	}
+
+	fmt.Println("\nMulti-RowCopy to 31 rows vs temperature (Obs. 17):")
+	for _, temp := range []float64{50, 70, 90} {
+		rate := sweep(simra.Env{TempC: temp, VPP: 2.5}, simra.SweepConfig{
+			Op: simra.OpMultiRowCopy, N: 32,
+			Timings: simra.BestCopyTimings(), Pattern: simra.PatternRandom,
+			Banks: 2, GroupsPerSubarray: 8,
+		})
+		fmt.Printf("  %2.0f C: %8.4f%%\n", temp, rate)
+	}
+
+	fmt.Println("\nTRNG extension: entropy from 32-row metastable activation:")
+	sa, err := mod.Subarray(3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := simra.NewTRNG(mod, sa, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits, err := gen.Bits(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	fmt.Printf("  %d random bits drawn, %.1f%% ones\n", len(bits), 100*float64(ones)/float64(len(bits)))
+}

@@ -1,0 +1,63 @@
+// Coldboot: the §8.2 race — how fast can DRAM contents be destroyed when
+// the power button is pressed? RowClone-based, Frac-based and
+// Multi-RowCopy-based destruction really run against a simulated subarray
+// holding "secrets"; op counts are scaled to a 4 Gb bank and compared.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	simra "repro"
+)
+
+func main() {
+	model := simra.NewLatencyModel()
+	fmt.Printf("one RowClone: %.1f ns, one full-row WR over the channel: %.1f ns\n\n",
+		model.RowClone(), model.WriteRow())
+
+	model32 := simra.NewDestructionModel()
+	var baseline float64
+	for _, tech := range simra.DestructionTechniques() {
+		spec := simra.NewSpec("coldboot-"+tech.String(), simra.ProfileH, 0xc01d)
+		spec.Columns = 128
+		mod, err := simra.NewModule(spec, simra.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sa, err := mod.Subarray(0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Plant secrets across the subarray.
+		secrets := make(map[int][]bool)
+		for _, row := range []int{3, 97, 255, 400, 511} {
+			data := simra.PatternRandom.FillRow(uint64(row), 0, sa.Cols())
+			if err := sa.WriteRow(row, data); err != nil {
+				log.Fatal(err)
+			}
+			secrets[row] = data
+		}
+
+		destroyer, err := simra.NewDestroyer(mod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts, err := destroyer.DestroySubarray(sa, tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leak, err := simra.VerifyDestroyed(sa, secrets)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		bank := model32.BankTime(counts)
+		if baseline == 0 {
+			baseline = bank
+		}
+		fmt.Printf("%-18s bank wiped in %7.3f ms  (%.2fx vs RowClone), residual secret correlation %.3f\n",
+			tech.String(), bank/1e6, baseline/bank, leak)
+	}
+}

@@ -1,0 +1,74 @@
+// TMR: majority-based error correction (§8.1) for systems in space
+// environments. Data is stored in triplicate (or 5x), radiation-induced
+// bit upsets are injected, and a single in-DRAM MAJX operation votes the
+// correct value back — no data movement to the CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	simra "repro"
+)
+
+func main() {
+	spec := simra.NewSpec("tmr", simra.ProfileH, 0x5ace)
+	spec.Columns = 256
+	mod, err := simra.NewModule(spec, simra.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := simra.NewComputer(mod, sa, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, copies := range []int{3, 5} {
+		if copies > c.MaxX() {
+			fmt.Printf("%d-copy voting unavailable (compute group supports MAJ%d)\n",
+				copies, c.MaxX())
+			continue
+		}
+		voter, err := simra.NewVoter(c, copies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload := voter.RandomData(uint64(copies))
+		regs, err := voter.Protect(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		faulty := voter.Correctable()
+		injected, err := voter.InjectFaults(regs, faulty, 16, 0xbad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalFlips := 0
+		for _, positions := range injected {
+			totalFlips += len(positions)
+		}
+
+		dst, err := c.AllocReg()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := voter.Vote(dst, regs); err != nil {
+			log.Fatal(err)
+		}
+		recovered, err := voter.Recover(dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-copy voting: %d bit flips across %d faulty copies -> %d mismatches after one in-DRAM MAJ%d\n",
+			copies, totalFlips, faulty, voter.Mismatches(recovered, payload), copies)
+		c.FreeReg(dst)
+		for _, r := range regs {
+			c.FreeReg(r)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package simra
+
+import (
+	"repro/internal/charexp"
+	"repro/internal/power"
+	"repro/internal/spice"
+)
+
+// Experiment-harness types: one result type per paper figure.
+type (
+	// ExperimentConfig scopes a characterization run.
+	ExperimentConfig = charexp.Config
+	// Experiments executes the per-figure runners against a fleet.
+	Experiments = charexp.Runner
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = charexp.Table
+
+	// Figure results.
+	Figure3Result      = charexp.Figure3Result
+	Figure4Result      = charexp.Figure4Result
+	Figure5Result      = charexp.Figure5Result
+	Figure6Result      = charexp.Figure6Result
+	Figure7Result      = charexp.Figure7Result
+	FigureMAJEnvResult = charexp.FigureMAJEnvResult
+	Figure10Result     = charexp.Figure10Result
+	Figure11Result     = charexp.Figure11Result
+	Figure12Result     = charexp.Figure12Result
+	Figure15Result     = charexp.Figure15Result
+	Figure16Result     = charexp.Figure16Result
+	Figure17Result     = charexp.Figure17Result
+	PerModuleResult    = charexp.PerModuleResult
+
+	// PowerModel is the Fig. 5 power model.
+	PowerModel = power.Model
+	// SpiceMonteCarlo is the Fig. 15 circuit-level simulator.
+	SpiceMonteCarlo = spice.MonteCarlo
+)
+
+// DefaultExperimentConfig returns the reduced-scale harness configuration.
+func DefaultExperimentConfig() ExperimentConfig { return charexp.DefaultConfig() }
+
+// NewExperiments instantiates the fleet and returns the figure runners.
+func NewExperiments(cfg ExperimentConfig) (*Experiments, error) {
+	return charexp.NewRunner(cfg)
+}
+
+// PopulationTable renders Table 1/2 for a fleet.
+func PopulationTable(entries []FleetEntry) ExperimentTable {
+	return charexp.TablePopulation(entries)
+}
+
+// DecoderWalkthrough renders the Fig. 13/14 activation walkthrough.
+func DecoderWalkthrough(cfg DecoderConfig) (ExperimentTable, error) {
+	return charexp.DecoderWalkthrough(cfg)
+}
+
+// DefaultPowerModel returns the calibrated Fig. 5 power model.
+func DefaultPowerModel() PowerModel { return power.Default() }
+
+// NewSpiceMonteCarlo returns the Fig. 15 circuit simulator.
+func NewSpiceMonteCarlo(seed uint64) *SpiceMonteCarlo { return spice.NewMonteCarlo(seed) }

@@ -1,0 +1,144 @@
+package simra_test
+
+import (
+	"strings"
+	"testing"
+
+	simra "repro"
+)
+
+// TestFacadeFleetHelpers covers the population accessors of the public API.
+func TestFacadeFleetHelpers(t *testing.T) {
+	cfg := simra.DefaultFleetConfig()
+	all := simra.FleetModules(cfg)
+	if len(all) != 18 {
+		t.Fatalf("fleet = %d modules", len(all))
+	}
+	reps := simra.FleetRepresentative(cfg)
+	if len(reps) == 0 || len(reps) >= len(all) {
+		t.Fatalf("representative = %d modules", len(reps))
+	}
+	samsung := simra.FleetSamsung(cfg)
+	for _, e := range samsung {
+		if !e.Spec.Profile.APAGuarded {
+			t.Fatal("Samsung entries must be guarded")
+		}
+	}
+	tab := simra.PopulationTable(all)
+	if !strings.Contains(tab.Render(), "SK Hynix") {
+		t.Fatal("population table missing manufacturers")
+	}
+	if !strings.Contains(tab.CSV(), "module,") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+// TestFacadeModels covers the analytical model constructors.
+func TestFacadeModels(t *testing.T) {
+	lat := simra.NewLatencyModel()
+	if lat.RowClone() <= 0 {
+		t.Fatal("latency model broken")
+	}
+	pm := simra.DefaultPowerModel()
+	if err := pm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mc := simra.NewSpiceMonteCarlo(1)
+	res, err := mc.Run(4, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Perturbations) != 10 {
+		t.Fatal("monte carlo sample count")
+	}
+	dm := simra.NewDestructionModel()
+	if dm.RowsPerBank != 65536 {
+		t.Fatalf("bank rows = %d", dm.RowsPerBank)
+	}
+	cm := simra.NewCostModel()
+	if cm.RowsPerMAJ != 32 {
+		t.Fatalf("MAJ rows = %d", cm.RowsPerMAJ)
+	}
+}
+
+// TestFacadeEnumerations covers the list accessors.
+func TestFacadeEnumerations(t *testing.T) {
+	if got := simra.MicroBenchmarks(); len(got) != 7 {
+		t.Fatalf("microbenchmarks = %d", len(got))
+	}
+	techniques := simra.DestructionTechniques()
+	if len(techniques) != 7 || techniques[0].Kind != "rowclone" {
+		t.Fatalf("techniques = %v", techniques)
+	}
+	// The returned slices are copies: mutating them must not affect the
+	// package state (Uber guide: copy slices at boundaries).
+	techniques[0].Kind = "mutated"
+	if simra.DestructionTechniques()[0].Kind != "rowclone" {
+		t.Fatal("DestructionTechniques must return a copy")
+	}
+}
+
+// TestFacadeTimings covers the operating-point presets.
+func TestFacadeTimings(t *testing.T) {
+	if simra.BestSiMRATimings().T2 != 3 || simra.BestMAJTimings().T1 != 1.5 ||
+		simra.BestCopyTimings().T1 != 36 {
+		t.Fatal("preset timings wrong")
+	}
+	if simra.NominalEnv().TempC != 50 || simra.NominalEnv().VPP != 2.5 {
+		t.Fatal("nominal env wrong")
+	}
+}
+
+// TestFacadeDecoders covers the decoder geometry presets.
+func TestFacadeDecoders(t *testing.T) {
+	for _, cfg := range []simra.DecoderConfig{
+		simra.DecoderHynix512(), simra.DecoderHynix640(), simra.DecoderMicron1024(),
+	} {
+		dec, err := simra.NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.MaxSimultaneousRows() != 32 {
+			t.Fatalf("max rows = %d", dec.MaxSimultaneousRows())
+		}
+	}
+}
+
+// TestFacadeVerifyDestroyed covers the destruction verification helper.
+func TestFacadeVerifyDestroyed(t *testing.T) {
+	spec := simra.NewSpec("facade-destroy", simra.ProfileH, 5)
+	spec.Columns = 64
+	mod, err := simra.NewModule(spec, simra.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := simra.PatternRandom.FillRow(1, 0, sa.Cols())
+	if err := sa.WriteRow(9, secret); err != nil {
+		t.Fatal(err)
+	}
+	leak, err := simra.VerifyDestroyed(sa, map[int][]bool{9: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak < 0.9 {
+		t.Fatalf("intact secret should correlate ~1, got %v", leak)
+	}
+	d, err := simra.NewDestroyer(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DestroySubarray(sa, simra.DestructionTechnique{Kind: "mrc", N: 16}); err != nil {
+		t.Fatal(err)
+	}
+	leak, err = simra.VerifyDestroyed(sa, map[int][]bool{9: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak > 0.05 {
+		t.Fatalf("destroyed secret should not correlate, got %v", leak)
+	}
+}

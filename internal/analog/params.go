@@ -1,0 +1,283 @@
+// Package analog implements the electrical model that stands in for the
+// real DRAM chips of the paper: bitline charge sharing across
+// simultaneously activated cells, sense-amplifier resolution with process
+// variation, wordline/predecoder assertion timing, and the group-level
+// activation-skew ("viability") behaviour that governs high-X majority
+// operations.
+//
+// The model follows the paper's own hypotheses (§7): a MAJX operation
+// perturbs the bitline by the charge-weighted sum of the activated cells'
+// stored values, and the sense amplifier produces a correct result only
+// when that perturbation exceeds its (process-varied) reliable sensing
+// margin. Constants are calibrated so the paper's headline success rates
+// are reproduced in shape (see DESIGN.md §4 and params_test.go); they are
+// not claimed to be physical device parameters.
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds every constant of the electrical model. The zero value is
+// not useful; start from DefaultParams.
+type Params struct {
+	// VDD is the DRAM core voltage (V). DDR4 uses 1.2 V.
+	VDD float64
+	// VPPNominal is the nominal wordline boost voltage (V): 2.5 V.
+	VPPNominal float64
+	// BitlineCapRatio is Cb/Cc, the bitline-to-cell capacitance ratio.
+	// It sets how the per-cell perturbation scales with the number of
+	// simultaneously activated rows: one cell's full differential swing is
+	// (VDD/2)/(BitlineCapRatio + N).
+	BitlineCapRatio float64
+
+	// CellCapSigma is the relative standard deviation of per-cell
+	// capacitance (static process variation).
+	CellCapSigma float64
+	// FracSigma is the standard deviation of a Frac (VDD/2) cell's residual
+	// stored level, in units of a full cell swing. A perfect Frac cell
+	// contributes 0 to the bitline perturbation.
+	FracSigma float64
+
+	// SenseThresholdMedian is the median reliable sensing margin (V): a
+	// perturbation below the (lognormally distributed) per-column threshold
+	// cannot be resolved reliably.
+	SenseThresholdMedian float64
+	// SenseThresholdSigmaLn is the lognormal sigma (in ln-space) of the
+	// per-column sensing threshold.
+	SenseThresholdSigmaLn float64
+	// TransientNoiseSigma is the per-trial sensing noise (V). A cell whose
+	// static margin is within a few of these of zero is "unstable": it
+	// fails at least one trial out of many.
+	TransientNoiseSigma float64
+	// CouplingSigma is the per-column static bitline-to-bitline coupling
+	// noise (V) at full data-pattern randomness. Structured data patterns
+	// scale it down via PatternCouplingFactor.
+	CouplingSigma float64
+
+	// TempWeightCoeff is the relative increase of charge-transfer strength
+	// per °C above the 50 °C baseline (lower access-transistor Vth at
+	// higher temperature makes charge sharing faster and stronger, the
+	// paper's Obs. 11 hypothesis).
+	TempWeightCoeff float64
+	// VPPWeightExponent scales charge-transfer strength as
+	// (VPP/VPPNominal)^exponent (weaker wordline drive under VPP
+	// underscaling, Obs. 13).
+	VPPWeightExponent float64
+	// RFShareRate is the extra charge-transfer weight the first-activated
+	// row gains per nanosecond it is connected before the second ACT.
+	RFShareRate float64
+
+	// Wordline/predecoder assertion model (§4's timing cliffs).
+	// A row's local wordline asserts only if t2 exceeds a per-row latch
+	// settling threshold ~ N(LatchSettleMean + LatchLoadPerLog2N·log2(N),
+	// LatchSettleSigma), and t1+t2 exceeds a per-row wordline settling
+	// threshold ~ N(WLSettleMean, WLSettleSigma). All in ns.
+	LatchSettleMean   float64
+	LatchSettleSigma  float64
+	LatchLoadPerLog2N float64
+	WLSettleMean      float64
+	WLSettleSigma     float64
+	// LatchTempCoeff shifts the latch settle mean per °C above 50 °C
+	// (peripheral circuitry slows slightly when hot: Obs. 3's small
+	// negative effect on many-row activation).
+	LatchTempCoeff float64
+	// LatchVPPCoeff shifts the latch settle mean per volt of VPP
+	// underscaling below nominal (Obs. 4).
+	LatchVPPCoeff float64
+	// AssertTransientSigma is the per-trial jitter (ns) on assertion
+	// thresholds; rows near the timing cliff flicker between trials and
+	// render their cells unstable.
+	AssertTransientSigma float64
+
+	// WriteWeakProb is the baseline probability that a cell fails to take a
+	// WR overdrive even with a fully asserted wordline (weak cells).
+	WriteWeakProb float64
+	// WriteLoadPerRow scales WR weak-cell failures when the write drivers
+	// must overdrive more than WriteLoadRows simultaneously open rows:
+	// prob = WriteWeakProb · (1 + WriteLoadPerRow·(N − WriteLoadRows)).
+	// This produces the paper's slight 32-row dip (99.85% vs 99.99%).
+	WriteLoadPerRow float64
+	WriteLoadRows   int
+
+	// Share-mode group latch race: with t2 below a per-group threshold
+	// ~ N(ShareLatchMean, ShareLatchSigma) ns, the second ACT races the
+	// in-flight precharge inside the charge-share window and the whole
+	// group's sensing is metastable (the paper's "too small a delay
+	// between PRE and ACT may prevent the assertion of intermediate
+	// signals", Obs. 7). The later WR of the activation experiment is not
+	// affected — slow wordlines still assert before the write drivers
+	// fire.
+	ShareLatchMean  float64
+	ShareLatchSigma float64
+
+	// Group viability model: a majority operation's row group resolves
+	// deterministically only if the activation-timing skew across the X
+	// operand sub-groups is small enough. The viability z-score is
+	// ViabilityBase + ViabilityPerCopy·copies − ViabilityPerX·X
+	// − SkewPenaltyPerNS·max(0, t1+t2−ViabilityBestTotal)
+	// + PatternViabilityBonus·(1−couplingFactor) + profile bias,
+	// and the group is viable iff its static standard-normal draw is below
+	// that z. Non-viable groups are metastable: their sensed results vary
+	// across trials, so every cell fails the all-trials-correct criterion.
+	// The constants are fitted to the paper's MAJ3/5/7/9 success rates
+	// (99.00/79.64/33.87/5.91% at 32-row activation, Obs. 8).
+	ViabilityBase      float64
+	ViabilityPerCopy   float64
+	ViabilityPerX      float64
+	SkewPenaltyPerNS   float64
+	ViabilityBestTotal float64
+	// PatternViabilityBonus raises the viability z by
+	// bonus·(1 − couplingFactor): structured data swings the bitlines
+	// coherently during the skewed activation race, disturbing the shared
+	// wordline drivers less than random data does. This is the dominant
+	// component of Obs. 9's random-vs-fixed gap for MAJ5/7/9.
+	PatternViabilityBonus float64
+
+	// SenseLatchTime (ns): if t1 is at least this long, the sense amplifier
+	// has latched the first row's data before the second ACT, so the APA
+	// degenerates to a driven copy (RowClone / Multi-RowCopy mode) instead
+	// of charge-share majority mode.
+	SenseLatchTime float64
+
+	// Copy-mode failure model (margins are rail-to-rail, so failures are
+	// rare weak-cell events rather than sensing errors).
+	CopyWeakBase float64 // per-cell base failure probability
+	// CopyLoadCoeff scales failures with activated-row count (sense
+	// amplifier drives more wordlines' worth of cells).
+	CopyLoadCoeff float64
+	// CopyOnesExtra is the additional failure probability for writing 1s
+	// when more than CopyOnesLoadRows rows are driven AND most of the row
+	// is 1s (collective pull-up supply droop across the amplifier stripe;
+	// Obs. 16's all-1s-to-31-rows dip). The extra applies proportionally
+	// to how far the row's ones-fraction exceeds CopyOnesFracKnee.
+	CopyOnesExtra    float64
+	CopyOnesLoadRows int
+	CopyOnesFracKnee float64
+	// CopyVPPCoeff scales extra copy failures per volt of VPP
+	// underscaling, proportionally to row load (Obs. 18).
+	CopyVPPCoeff float64
+	// CopyTempCoeff scales extra copy failures per °C above 50 °C
+	// (Obs. 17's very small effect).
+	CopyTempCoeff float64
+	// CopyShortRestorePenalty is the extra failure probability when t1 is
+	// long enough to latch the sense amp but shorter than tRAS (t1=18 ns in
+	// Fig. 10).
+	CopyShortRestorePenalty float64
+}
+
+// DefaultParams returns the calibrated model. See DESIGN.md §4 for the
+// calibration targets and EXPERIMENTS.md for measured-vs-paper numbers.
+func DefaultParams() Params {
+	return Params{
+		VDD:             1.2,
+		VPPNominal:      2.5,
+		BitlineCapRatio: 4.0,
+
+		CellCapSigma: 0.12,
+		FracSigma:    0.35,
+
+		SenseThresholdMedian:  0.060,
+		SenseThresholdSigmaLn: 0.45,
+		TransientNoiseSigma:   0.0035,
+		CouplingSigma:         0.016,
+
+		TempWeightCoeff:   0.0020,
+		VPPWeightExponent: 0.15,
+		RFShareRate:       0.02,
+
+		LatchSettleMean:      0.80,
+		LatchSettleSigma:     0.42,
+		LatchLoadPerLog2N:    0.10,
+		WLSettleMean:         1.80,
+		WLSettleSigma:        0.50,
+		LatchTempCoeff:       0.0006,
+		LatchVPPCoeff:        0.12,
+		AssertTransientSigma: 0.02,
+
+		WriteWeakProb:   1e-4,
+		WriteLoadPerRow: 0.875,
+		WriteLoadRows:   16,
+
+		ShareLatchMean:  2.0,
+		ShareLatchSigma: 0.25,
+
+		ViabilityBase:         2.53,
+		ViabilityPerCopy:      0.20,
+		ViabilityPerX:         0.50,
+		SkewPenaltyPerNS:      1.90,
+		ViabilityBestTotal:    4.5,
+		PatternViabilityBonus: 0.80,
+
+		SenseLatchTime: 15.0,
+
+		CopyWeakBase:            4e-5,
+		CopyLoadCoeff:           0.004,
+		CopyOnesExtra:           0.008,
+		CopyOnesLoadRows:        16,
+		CopyOnesFracKnee:        0.6,
+		CopyVPPCoeff:            0.033,
+		CopyTempCoeff:           1e-5,
+		CopyShortRestorePenalty: 5e-4,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.VDD <= 0:
+		return fmt.Errorf("analog: VDD must be positive")
+	case p.VPPNominal <= 0:
+		return fmt.Errorf("analog: VPPNominal must be positive")
+	case p.BitlineCapRatio <= 0:
+		return fmt.Errorf("analog: BitlineCapRatio must be positive")
+	case p.SenseThresholdMedian <= 0:
+		return fmt.Errorf("analog: SenseThresholdMedian must be positive")
+	case p.SenseThresholdSigmaLn <= 0:
+		return fmt.Errorf("analog: SenseThresholdSigmaLn must be positive")
+	case p.TransientNoiseSigma < 0 || p.CouplingSigma < 0:
+		return fmt.Errorf("analog: noise sigmas must be non-negative")
+	case p.SenseLatchTime <= 0:
+		return fmt.Errorf("analog: SenseLatchTime must be positive")
+	case p.CellCapSigma < 0 || p.FracSigma < 0:
+		return fmt.Errorf("analog: variation sigmas must be non-negative")
+	case !(p.WriteWeakProb >= 0 && p.WriteWeakProb < 1):
+		return fmt.Errorf("analog: WriteWeakProb must be in [0,1)")
+	case !(p.CopyWeakBase >= 0 && p.CopyWeakBase < 1):
+		return fmt.Errorf("analog: CopyWeakBase must be in [0,1)")
+	}
+	return nil
+}
+
+// Env describes the operating conditions of an experiment.
+type Env struct {
+	TempC float64 // DRAM chip temperature, °C
+	VPP   float64 // wordline voltage, V
+}
+
+// NominalEnv returns the default operating point of the study: 50 °C and
+// nominal VPP.
+func NominalEnv() Env { return Env{TempC: 50, VPP: 2.5} }
+
+// Validate checks the environment lies in the tested envelope (the tester
+// hardware supports 50–90 °C and 2.1–2.5 V; values outside are likely
+// mistakes).
+func (e Env) Validate() error {
+	if e.TempC < 0 || e.TempC > 120 {
+		return fmt.Errorf("analog: temperature %.1f °C outside supported range", e.TempC)
+	}
+	if e.VPP < 1.5 || e.VPP > 3.0 {
+		return fmt.Errorf("analog: VPP %.2f V outside supported range", e.VPP)
+	}
+	return nil
+}
+
+// DriveFactor returns the multiplicative charge-transfer strength under
+// the environment, relative to the 50 °C / nominal-VPP baseline. Higher
+// temperature strengthens charge sharing; lower VPP weakens it.
+func (p Params) DriveFactor(e Env) float64 {
+	temp := 1 + p.TempWeightCoeff*(e.TempC-50)
+	vpp := math.Pow(e.VPP/p.VPPNominal, p.VPPWeightExponent)
+	return temp * vpp
+}

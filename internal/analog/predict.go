@@ -1,0 +1,88 @@
+package analog
+
+import "math"
+
+// PredictMAJSuccess returns the closed-form expected success rate of a
+// MAJX operation with n-row activation under this model, for a data
+// pattern with the given coupling factor and a manufacturer viability
+// bias. It composes the same three stages the simulator executes —
+// composition mixture, margin-vs-threshold sensing, and group viability —
+// analytically, and is used to cross-check the simulator (predict_test.go)
+// and for quick what-if sweeps without running experiments.
+//
+// Assumptions: best majority timings (no skew penalty, no share-latch
+// metastability), random-per-column operand compositions (the paper's
+// random pattern; fixed patterns share the composition mixture at group
+// granularity, so the expectation is identical), and Frac-style neutral
+// rows.
+func (p Params) PredictMAJSuccess(x, n int, couplingFactor, profileBias float64) float64 {
+	if x < 3 || x%2 == 0 || n < x {
+		return 0
+	}
+	copies := n / x
+	unit := p.UnitSwing(n)
+	active := copies * x
+
+	// Per-column margin noise: cell-capacitance variation across the
+	// active cells plus the pattern-scaled coupling noise.
+	sigma := math.Hypot(
+		unit*p.CellCapSigma*math.Sqrt(float64(active)),
+		p.CouplingSigma*couplingFactor,
+	)
+	// Frac neutral rows contribute residual-level noise.
+	if neutral := n % x; neutral > 0 {
+		sigma = math.Hypot(sigma, unit*p.FracSigma*math.Sqrt(float64(neutral)))
+	}
+
+	// Composition mixture: k of the X operand bits are 1 with binomial
+	// weight; the sensing margin is |2k−X|·copies·unit.
+	pCol := 0.0
+	total := math.Pow(2, float64(x))
+	for k := 0; k <= x; k++ {
+		weight := binomial(x, k) / total
+		margin := math.Abs(float64(2*k-x)) * float64(copies) * unit
+		pCol += weight * p.senseSuccessProb(margin, sigma)
+	}
+
+	z := p.ViabilityZ(x, copies, p.ViabilityBestTotal, couplingFactor, profileBias)
+	return normCDF(z) * pCol
+}
+
+// senseSuccessProb integrates P(margin + noise clears the lognormal
+// threshold in the right direction) over the Gaussian noise.
+func (p Params) senseSuccessProb(margin, sigma float64) float64 {
+	if sigma <= 0 {
+		return p.thresholdCDF(margin)
+	}
+	// Gauss–Hermite-style fixed grid over ±4σ.
+	const steps = 41
+	sum, wsum := 0.0, 0.0
+	for i := 0; i < steps; i++ {
+		zn := -4 + 8*float64(i)/float64(steps-1)
+		w := math.Exp(-zn * zn / 2)
+		sum += w * p.thresholdCDF(margin+zn*sigma)
+		wsum += w
+	}
+	return sum / wsum
+}
+
+// thresholdCDF is P(threshold < v) for the lognormal sensing threshold;
+// non-positive effective margins cannot clear it.
+func (p Params) thresholdCDF(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return normCDF(math.Log(v/p.SenseThresholdMedian) / p.SenseThresholdSigmaLn)
+}
+
+// binomial returns C(n, k) as a float64 (n <= 9 here, exact).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}

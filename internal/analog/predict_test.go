@@ -1,0 +1,103 @@
+package analog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictMAJSuccessDegenerate(t *testing.T) {
+	p := DefaultParams()
+	if p.PredictMAJSuccess(2, 32, 1, 0) != 0 {
+		t.Fatal("even X should predict 0")
+	}
+	if p.PredictMAJSuccess(5, 4, 1, 0) != 0 {
+		t.Fatal("n < X should predict 0")
+	}
+}
+
+// TestPredictOrderings: the predictor reproduces the paper's qualitative
+// structure without running any simulation.
+func TestPredictOrderings(t *testing.T) {
+	p := DefaultParams()
+	// Success falls with X at fixed N.
+	prev := 2.0
+	for _, x := range []int{3, 5, 7, 9} {
+		s := p.PredictMAJSuccess(x, 32, 1, 0)
+		if s >= prev {
+			t.Fatalf("MAJ%d prediction %.3f not below previous %.3f", x, s, prev)
+		}
+		prev = s
+	}
+	// Replication helps at fixed X.
+	if p.PredictMAJSuccess(3, 32, 1, 0) <= p.PredictMAJSuccess(3, 4, 1, 0) {
+		t.Fatal("replication must raise the prediction")
+	}
+	// Structured data beats random.
+	if p.PredictMAJSuccess(7, 32, 0.05, 0) <= p.PredictMAJSuccess(7, 32, 1, 0) {
+		t.Fatal("low coupling must raise the prediction")
+	}
+	// Manufacturer bias lowers it.
+	if p.PredictMAJSuccess(7, 32, 1, -0.5) >= p.PredictMAJSuccess(7, 32, 1, 0) {
+		t.Fatal("negative bias must lower the prediction")
+	}
+}
+
+// TestPredictBands: the closed form lands near the paper's calibration
+// targets (which the simulator is tuned to).
+func TestPredictBands(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		x      int
+		lo, hi float64
+	}{
+		{3, 0.90, 1.00},  // paper 0.9900
+		{5, 0.60, 0.92},  // paper 0.7964
+		{7, 0.18, 0.55},  // paper 0.3387
+		{9, 0.005, 0.20}, // paper 0.0591
+	}
+	for _, c := range cases {
+		got := p.PredictMAJSuccess(c.x, 32, 1, 0)
+		if got < c.lo || got > c.hi {
+			t.Errorf("MAJ%d prediction %.4f outside [%.2f, %.2f]", c.x, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestSenseSuccessProbMonotone(t *testing.T) {
+	p := DefaultParams()
+	prev := -1.0
+	for _, m := range []float64{0, 0.01, 0.03, 0.06, 0.1, 0.2} {
+		got := p.senseSuccessProb(m, 0.02)
+		if got < prev {
+			t.Fatalf("not monotone at margin %v", m)
+		}
+		prev = got
+	}
+	if p.senseSuccessProb(0.2, 0.001) < 0.99 {
+		t.Fatal("large margin should be near certain")
+	}
+}
+
+func TestThresholdCDF(t *testing.T) {
+	p := DefaultParams()
+	if p.thresholdCDF(-1) != 0 || p.thresholdCDF(0) != 0 {
+		t.Fatal("non-positive margins cannot clear the threshold")
+	}
+	if got := p.thresholdCDF(p.SenseThresholdMedian); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("median margin CDF = %v", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]float64{
+		{9, 0}: 1, {9, 4}: 126, {9, 5}: 126, {5, 2}: 10, {3, 3}: 1,
+	}
+	for in, want := range cases {
+		if got := binomial(in[0], in[1]); got != want {
+			t.Fatalf("C(%d,%d) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+	if binomial(5, 6) != 0 || binomial(5, -1) != 0 {
+		t.Fatal("out-of-range binomial should be 0")
+	}
+}

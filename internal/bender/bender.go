@@ -1,0 +1,177 @@
+// Package bender is the software equivalent of the DRAM Bender FPGA
+// testing infrastructure the paper uses: it drives a module with
+// precisely-timed command sequences, samples the row groups the
+// characterization iterates over, reverse-engineers subarray boundaries
+// with RowClone probing (§3.1), and accounts command latencies for the
+// case-study evaluations (§8).
+package bender
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+	"repro/internal/timing"
+	"repro/internal/xrand"
+)
+
+// Group is one sampled set of simultaneously activated rows: the (RF, RS)
+// address pair of the APA sequence and the decoder's resulting row set.
+type Group struct {
+	RF, RS int
+	Rows   []int
+}
+
+// N returns the number of simultaneously activated rows.
+func (g Group) N() int { return len(g.Rows) }
+
+// SampleGroups deterministically samples `count` distinct row groups of
+// exactly n simultaneously activated rows in the given subarray. It
+// mirrors the paper's methodology of randomly testing 100 groups per
+// (subarray, N) combination.
+func SampleGroups(sa *dram.Subarray, mod *dram.Module, n, count int, seed uint64) ([]Group, error) {
+	dec := mod.Decoder()
+	if n < 1 || n > dec.MaxSimultaneousRows() {
+		return nil, fmt.Errorf("bender: cannot activate %d rows (max %d)",
+			n, dec.MaxSimultaneousRows())
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("bender: %d rows not reachable (powers of two only)", n)
+	}
+	fields := 0
+	for m := n; m > 1; m >>= 1 {
+		fields++
+	}
+
+	src := xrand.NewSource(seed, uint64(sa.Bank()), uint64(sa.Index()), uint64(n), 0xb37)
+	groups := make([]Group, 0, count)
+	seen := make(map[uint64]bool, count)
+	const maxTries = 20000
+	for tries := 0; len(groups) < count && tries < maxTries; tries++ {
+		rf := src.Intn(dec.Rows())
+		// Flip a random distinct subset of predecoder fields to a
+		// different value in each, giving exactly 2^fields activated rows.
+		rs := rf
+		fieldPerm := src.Perm(dec.NumFields())
+		for _, f := range fieldPerm[:fields] {
+			cur := dec.FieldValue(rs, f)
+			nv := src.Intn((1 << dec.FieldWidth(f)) - 1)
+			if nv >= cur {
+				nv++ // skip the current value: the field must differ
+			}
+			rs = dec.SetField(rs, f, nv)
+		}
+		rows, err := dec.ActivatedRows(rf, rs)
+		if err != nil || len(rows) != n {
+			continue // fell outside a partially populated subarray
+		}
+		lo, hi := rf, rs
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(hi)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		groups = append(groups, Group{RF: rf, RS: rs, Rows: rows})
+	}
+	if len(groups) < count {
+		return nil, fmt.Errorf("bender: sampled only %d/%d groups of %d rows",
+			len(groups), count, n)
+	}
+	return groups, nil
+}
+
+// SubarraySample identifies one sampled subarray within a module.
+type SubarraySample struct {
+	Bank, Subarray int
+}
+
+// SampleSubarrays picks `perBank` subarrays in each of the module's banks,
+// mirroring the paper's "three randomly selected subarrays in each bank".
+func SampleSubarrays(mod *dram.Module, perBank int, seed uint64) []SubarraySample {
+	spec := mod.Spec()
+	out := make([]SubarraySample, 0, spec.Banks*perBank)
+	for b := 0; b < spec.Banks; b++ {
+		src := xrand.NewSource(seed, spec.Seed, uint64(b), 0x5a17)
+		for _, idx := range src.Sample(spec.SubarraysPerBank, perBank) {
+			out = append(out, SubarraySample{Bank: b, Subarray: idx})
+		}
+	}
+	return out
+}
+
+// InferSubarraySize reverse-engineers the subarray height of a module the
+// way §3.1 does: attempt RowClone between row 0 and rows at increasing
+// distance; the copy succeeds only within a subarray (rows share local
+// bitlines and sense amplifiers), so the first failing distance is the
+// subarray boundary.
+func InferSubarraySize(mod *dram.Module) (int, error) {
+	if mod.Spec().Profile.APAGuarded {
+		return 0, fmt.Errorf("bender: %s chips do not support RowClone probing",
+			mod.Spec().Profile.Manufacturer)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		return 0, err
+	}
+	works := func(dist int) bool { return rowCloneWorks(sa, 0, dist) }
+	if !works(1) {
+		return 0, fmt.Errorf("bender: no RowClone pair works; cannot infer size")
+	}
+	// Exponential probe, then binary-search the first failing distance.
+	lo := 1 // works
+	hi := 2
+	for works(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			return 0, fmt.Errorf("bender: no subarray boundary found below %d rows", hi)
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if works(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// rowCloneWorks attempts an intra-subarray RowClone from src to dst and
+// reports whether dst received src's data. Distances beyond the subarray
+// cannot be addressed, which models the silent failure of an
+// inter-subarray copy attempt on real hardware.
+func rowCloneWorks(sa *dram.Subarray, src, dst int) bool {
+	if dst < 0 || dst >= sa.Rows() || dst == src {
+		return false
+	}
+	data := dram.PatternRandom.FillRow(uint64(dst)*2654435761, 0, sa.Cols())
+	if err := sa.WriteRow(src, data); err != nil {
+		return false
+	}
+	if err := sa.WriteRow(dst, dram.Invert(data)); err != nil {
+		return false
+	}
+	if _, err := sa.APA(src, dst, dram.APAOptions{
+		Timings: timing.BestCopy(),
+		Env:     analog.NominalEnv(),
+	}); err != nil {
+		return false
+	}
+	sa.Precharge()
+	got, err := sa.ReadRow(dst)
+	if err != nil {
+		return false
+	}
+	match := 0
+	for c := range got {
+		if got[c] == data[c] {
+			match++
+		}
+	}
+	return float64(match)/float64(len(got)) > 0.9
+}

@@ -1,0 +1,216 @@
+package bender
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+func testModule(t *testing.T, profile dram.Profile) *dram.Module {
+	t.Helper()
+	spec := dram.NewSpec("bender-test", profile, 42)
+	spec.Columns = 128
+	m, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSampleGroupsCountsAndSizes(t *testing.T) {
+	m := testModule(t, dram.ProfileH)
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		groups, err := SampleGroups(sa, m, n, 20, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(groups) != 20 {
+			t.Fatalf("n=%d: got %d groups", n, len(groups))
+		}
+		for _, g := range groups {
+			if g.N() != n {
+				t.Fatalf("n=%d: group %+v has %d rows", n, g, g.N())
+			}
+			if g.RF == g.RS {
+				t.Fatalf("n=%d: degenerate pair", n)
+			}
+		}
+	}
+}
+
+func TestSampleGroupsDistinct(t *testing.T) {
+	m := testModule(t, dram.ProfileH)
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := SampleGroups(sa, m, 8, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int]bool)
+	for _, g := range groups {
+		lo, hi := g.RF, g.RS
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		k := [2]int{lo, hi}
+		if seen[k] {
+			t.Fatalf("duplicate group %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleGroupsDeterministic(t *testing.T) {
+	m := testModule(t, dram.ProfileH)
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := SampleGroups(sa, m, 16, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := SampleGroups(sa, m, 16, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1 {
+		if g1[i].RF != g2[i].RF || g1[i].RS != g2[i].RS {
+			t.Fatal("sampling must be deterministic")
+		}
+	}
+}
+
+func TestSampleGroupsRejectsBadN(t *testing.T) {
+	m := testModule(t, dram.ProfileH)
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleGroups(sa, m, 3, 5, 1); err == nil {
+		t.Fatal("non-power-of-two should fail")
+	}
+	if _, err := SampleGroups(sa, m, 64, 5, 1); err == nil {
+		t.Fatal("beyond decoder limit should fail")
+	}
+}
+
+func TestSampleGroups640(t *testing.T) {
+	m := testModule(t, dram.ProfileH640)
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := SampleGroups(sa, m, 32, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		for _, r := range g.Rows {
+			if r >= 640 {
+				t.Fatalf("group includes unpopulated row %d", r)
+			}
+		}
+	}
+}
+
+func TestSampleSubarrays(t *testing.T) {
+	m := testModule(t, dram.ProfileH)
+	samples := SampleSubarrays(m, 3, 5)
+	if len(samples) != m.Spec().Banks*3 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	perBank := make(map[int]map[int]bool)
+	for _, s := range samples {
+		if perBank[s.Bank] == nil {
+			perBank[s.Bank] = make(map[int]bool)
+		}
+		if perBank[s.Bank][s.Subarray] {
+			t.Fatalf("duplicate subarray %+v", s)
+		}
+		perBank[s.Bank][s.Subarray] = true
+	}
+}
+
+func TestInferSubarraySize(t *testing.T) {
+	for _, tc := range []struct {
+		profile dram.Profile
+		want    int
+	}{
+		{dram.ProfileH, 512},
+		{dram.ProfileH640, 640},
+		{dram.ProfileM, 1024},
+	} {
+		m := testModule(t, tc.profile)
+		got, err := InferSubarraySize(m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.profile.Name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: inferred %d rows, want %d", tc.profile.Name, got, tc.want)
+		}
+	}
+}
+
+func TestInferSubarraySizeSamsung(t *testing.T) {
+	m := testModule(t, dram.ProfileS)
+	if _, err := InferSubarraySize(m); err == nil {
+		t.Fatal("Samsung probing should fail")
+	}
+}
+
+func TestLatencyModelBasics(t *testing.T) {
+	l := NewLatencyModel()
+	if l.RowClone() <= 0 || l.Frac() <= 0 || l.MAJ() <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+	// The whole point of in-DRAM copy: RowClone is much cheaper than
+	// streaming a row over the channel.
+	if l.RowClone() >= l.WriteRow()/4 {
+		t.Fatalf("RowClone %.1f ns should be well below WriteRow %.1f ns",
+			l.RowClone(), l.WriteRow())
+	}
+	// Multi-row copy grows mildly with row count but stays near one APA.
+	if l.MultiRowCopy(32) <= l.MultiRowCopy(2) {
+		t.Fatal("restore load must grow with rows")
+	}
+	if l.MultiRowCopy(32) > 2*l.RowClone() {
+		t.Fatal("32-row copy should stay within 2x a RowClone")
+	}
+	// Frac is cheaper than RowClone (no restore).
+	if l.Frac() >= l.RowClone() {
+		t.Fatal("Frac should be cheaper than RowClone")
+	}
+}
+
+func TestLatencyAPAMatchesComponents(t *testing.T) {
+	l := NewLatencyModel()
+	apa := timing.APATimings{T1: 1.5, T2: 3}
+	want := 4.5 + l.P.TRAS + l.P.TRP
+	if got := l.APA(apa); got != want {
+		t.Fatalf("APA latency = %v, want %v", got, want)
+	}
+}
+
+func TestMAJSetupScalesWithInputs(t *testing.T) {
+	l := NewLatencyModel()
+	if l.MAJSetup(5, 32, true) <= l.MAJSetup(3, 32, true) {
+		t.Fatal("more operands must cost more setup")
+	}
+	// Non-Frac fallback (Mfr. M) costs more for neutral rows.
+	if l.MAJSetup(3, 32, false) <= l.MAJSetup(3, 32, true) {
+		t.Fatal("solid-value neutral rows must cost more than Frac")
+	}
+	// No replication and no neutral rows: just operand placement.
+	if got, want := l.MAJSetup(3, 3, true), 3*l.RowClone(); got != want {
+		t.Fatalf("MAJSetup(3,3) = %v, want %v", got, want)
+	}
+}

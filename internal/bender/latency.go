@@ -1,0 +1,100 @@
+package bender
+
+import (
+	"repro/internal/timing"
+)
+
+// LatencyModel computes the wall-clock cost (ns) of the command sequences
+// used by the case studies, from tightly scheduled DRAM Bender programs
+// (§8 "we use DRAM Bender to tightly schedule the DRAM commands ... and
+// measure their latency").
+type LatencyModel struct {
+	P timing.Params
+	// BurstBytes is the number of bytes one WR/RD burst transfers at module
+	// level (64 B for a standard DDR4 DIMM burst of 8 over a 64-bit bus).
+	BurstBytes int
+	// RowBytes is the row size in bytes at module level (8 KB).
+	RowBytes int
+	// RestorePerRowNS is the extra restore time the sense amplifiers need
+	// per simultaneously driven row after a multi-row copy.
+	RestorePerRowNS float64
+}
+
+// NewLatencyModel returns the model for a standard DDR4 module.
+func NewLatencyModel() LatencyModel {
+	return LatencyModel{
+		P:               timing.DDR4(),
+		BurstBytes:      64,
+		RowBytes:        8 * 1024,
+		RestorePerRowNS: 1.55,
+	}
+}
+
+// APA returns the latency of one ACT→PRE→ACT sequence with the given
+// timings, including the trailing restore (tRAS) and precharge (tRP) the
+// bank needs before the next operation.
+func (l LatencyModel) APA(t timing.APATimings) float64 {
+	return t.Total() + l.P.TRAS + l.P.TRP
+}
+
+// RowClone returns the latency of one in-DRAM row copy (one APA at the
+// best copy timings).
+func (l LatencyModel) RowClone() float64 {
+	return l.APA(timing.BestCopy())
+}
+
+// MultiRowCopy returns the latency of copying one row into the other rows
+// of an n-row activation group: the APA plus the amplifier's extra restore
+// load for n simultaneously driven rows.
+func (l LatencyModel) MultiRowCopy(n int) float64 {
+	return l.APA(timing.BestCopy()) + l.RestorePerRowNS*float64(n)
+}
+
+// Frac returns the latency of one Frac operation (ACT interrupted by PRE,
+// leaving the row's cells at VDD/2; the row is not restored, so no tRAS is
+// paid).
+func (l LatencyModel) Frac() float64 {
+	return l.P.TRAS // empirical FracDRAM schedule: interrupted ACT + settle
+}
+
+// MAJ returns the latency of one in-DRAM majority operation: the APA at
+// the best majority timings (input placement is accounted separately via
+// RowClone/MultiRowCopy).
+func (l LatencyModel) MAJ() float64 {
+	return l.APA(timing.BestMAJ())
+}
+
+// WriteRow returns the latency of writing a full row over the memory
+// channel: activate, stream the bursts, write-recover, precharge.
+func (l LatencyModel) WriteRow() float64 {
+	bursts := float64(l.RowBytes / l.BurstBytes)
+	return l.P.TRCD + bursts*l.P.TCCD + l.P.TWR + l.P.TRP
+}
+
+// ReadRow returns the latency of reading a full row over the channel.
+func (l LatencyModel) ReadRow() float64 {
+	bursts := float64(l.RowBytes / l.BurstBytes)
+	return l.P.TRCD + bursts*l.P.TCCD + l.P.TBL + l.P.TRP
+}
+
+// MAJSetup returns the latency of placing and replicating the inputs of a
+// MAJX operation with n-row activation: RowClone each of the x operands
+// into the group, then one Multi-RowCopy per operand to replicate it
+// across its copies, then Frac operations for the n%x neutral rows.
+func (l LatencyModel) MAJSetup(x, n int, fracSupported bool) float64 {
+	copies := n / x
+	setup := float64(x) * l.RowClone()
+	if copies > 1 {
+		setup += float64(x) * l.MultiRowCopy(copies)
+	}
+	neutral := n % x
+	if neutral > 0 {
+		if fracSupported {
+			setup += float64(neutral) * l.Frac()
+		} else {
+			// Mfr. M: neutral rows are written with solid values instead.
+			setup += l.WriteRow() + float64(neutral-1)*l.RowClone()
+		}
+	}
+	return setup
+}

@@ -1,0 +1,139 @@
+package bender
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timing"
+)
+
+// Step is one DRAM command issued at an absolute time on the tester's
+// 1.5 ns command grid.
+type Step struct {
+	At  float64 // ns from program start
+	Cmd timing.Command
+	Row int // row address for ACT; -1 where not applicable
+}
+
+// Program is a tightly scheduled DRAM command sequence, the unit DRAM
+// Bender executes. Programs are how the case studies account latencies
+// and how tests verify that the PUD operations issue exactly the command
+// sequences the paper describes.
+type Program struct {
+	Name  string
+	Steps []Step
+}
+
+// Append schedules a command `delay` ns after the previous one (quantized
+// to the tester grid). The first command is issued at t = 0.
+func (p *Program) Append(cmd timing.Command, row int, delay float64) {
+	at := 0.0
+	if len(p.Steps) > 0 {
+		at = p.Steps[len(p.Steps)-1].At + timing.Quantize(delay)
+	}
+	p.Steps = append(p.Steps, Step{At: at, Cmd: cmd, Row: row})
+}
+
+// Duration returns the time from the first command to the last, plus the
+// trailing settle the caller provides (e.g. tRAS+tRP to return the bank
+// to precharged state).
+func (p *Program) Duration(trailing float64) float64 {
+	if len(p.Steps) == 0 {
+		return 0
+	}
+	return p.Steps[len(p.Steps)-1].At + trailing
+}
+
+// Validate checks the schedule is issuable: strictly increasing times on
+// the command grid.
+func (p *Program) Validate() error {
+	prev := -timing.Tick
+	for i, s := range p.Steps {
+		if s.At < 0 || !timing.IsIssuable(s.At+timing.Tick) && s.At != 0 {
+			return fmt.Errorf("bender: step %d at %.2f ns off the command grid", i, s.At)
+		}
+		if s.At <= prev {
+			return fmt.Errorf("bender: step %d at %.2f ns not after %.2f ns", i, s.At, prev)
+		}
+		prev = s.At
+	}
+	return nil
+}
+
+// String renders the command trace.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", p.Name)
+	for _, s := range p.Steps {
+		if s.Row >= 0 {
+			fmt.Fprintf(&b, "  %7.1f ns  %-4s row %d\n", s.At, s.Cmd, s.Row)
+		} else {
+			fmt.Fprintf(&b, "  %7.1f ns  %s\n", s.At, s.Cmd)
+		}
+	}
+	return b.String()
+}
+
+// APAProgram builds the ACT→PRE→ACT sequence with the given timings — the
+// fundamental PUD command sequence (§2.2).
+func APAProgram(rf, rs int, t timing.APATimings) Program {
+	p := Program{Name: fmt.Sprintf("APA(%d,%d) %v", rf, rs, t)}
+	p.Append(timing.CmdACT, rf, 0)
+	p.Append(timing.CmdPRE, -1, t.T1)
+	p.Append(timing.CmdACT, rs, t.T2)
+	return p
+}
+
+// RowCloneProgram builds the in-DRAM copy schedule: a full tRAS before the
+// PRE so the amplifiers latch the source, then the violated-tRP ACT.
+func RowCloneProgram(src, dst int) Program {
+	p := APAProgram(src, dst, timing.BestCopy())
+	p.Name = fmt.Sprintf("RowClone(%d→%d)", src, dst)
+	return p
+}
+
+// ActivationProgram builds the §3.2 characterization schedule: APA, the
+// overdriving WR, then the closing PRE at nominal timing.
+func ActivationProgram(rf, rs int, t timing.APATimings, jedec timing.Params) Program {
+	p := APAProgram(rf, rs, t)
+	p.Name = fmt.Sprintf("ManyRowActivation(%d,%d)", rf, rs)
+	p.Append(timing.CmdWR, -1, jedec.TRCD)
+	p.Append(timing.CmdPRE, -1, jedec.TWR)
+	return p
+}
+
+// MAJProgram builds the complete §3.3 schedule for one MAJX operation with
+// n-row activation: RowClone each operand in, Multi-RowCopy to replicate,
+// Frac the leftovers (or skip on non-Frac chips, whose neutral rows are
+// written over the channel and not scheduled here), then the majority APA.
+func MAJProgram(x, n int, t timing.APATimings, jedec timing.Params, fracSupported bool) Program {
+	p := Program{Name: fmt.Sprintf("MAJ%d@%d-row", x, n)}
+	copies := n / x
+	step := jedec.TRAS + jedec.TRP // bank settle between sub-operations
+	// Operand placement.
+	for j := 0; j < x; j++ {
+		p.Append(timing.CmdACT, j, step)
+		p.Append(timing.CmdPRE, -1, timing.BestCopy().T1)
+		p.Append(timing.CmdACT, j, timing.BestCopy().T2)
+	}
+	// Replication (one Multi-RowCopy per operand).
+	if copies > 1 {
+		for j := 0; j < x; j++ {
+			p.Append(timing.CmdACT, j, step)
+			p.Append(timing.CmdPRE, -1, timing.BestCopy().T1)
+			p.Append(timing.CmdACT, j, timing.BestCopy().T2)
+		}
+	}
+	// Neutralization.
+	if fracSupported {
+		for k := 0; k < n%x; k++ {
+			p.Append(timing.CmdACT, -1, step)
+			p.Append(timing.CmdPRE, -1, timing.BestMAJ().T1)
+		}
+	}
+	// The majority activation itself.
+	p.Append(timing.CmdACT, 0, step)
+	p.Append(timing.CmdPRE, -1, t.T1)
+	p.Append(timing.CmdACT, 1, t.T2)
+	return p
+}

@@ -1,0 +1,485 @@
+package bitserial
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+	"repro/internal/xrand"
+)
+
+func newComputer(t *testing.T, profile dram.Profile, maxX int) *Computer {
+	t.Helper()
+	spec := dram.NewSpec("bitserial-test", profile, 0xbead)
+	spec.Columns = 128
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewComputer(mod, sa, maxX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkVec compares DRAM results against a CPU reference on the reliable
+// columns, requiring at least `minFrac` of all elements to match.
+func checkVec(t *testing.T, c *Computer, got, want []uint64, label string) {
+	t.Helper()
+	mask := c.ReliableMask()
+	total, match := 0, 0
+	for e := range got {
+		reliable := true
+		if e < len(mask) {
+			reliable = mask[e]
+		}
+		if !reliable {
+			continue
+		}
+		total++
+		if got[e] == want[e] {
+			match++
+		}
+	}
+	if total == 0 {
+		t.Fatalf("%s: no reliable columns", label)
+	}
+	if match != total {
+		t.Fatalf("%s: %d/%d reliable elements correct", label, match, total)
+	}
+}
+
+func randValues(n int, width int, seed uint64) []uint64 {
+	src := xrand.NewSource(seed)
+	out := make([]uint64, n)
+	mask := uint64(1)<<uint(width) - 1
+	for i := range out {
+		out[i] = src.Uint64() & mask
+	}
+	return out
+}
+
+func TestNewComputerValidation(t *testing.T) {
+	spec := dram.NewSpec("v", dram.ProfileH, 1)
+	spec.Columns = 64
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewComputer(mod, sa, 4); err == nil {
+		t.Fatal("even maxX should fail")
+	}
+	if _, err := NewComputer(mod, sa, 1); err == nil {
+		t.Fatal("maxX below 3 should fail")
+	}
+}
+
+func TestComputerRejectsSamsung(t *testing.T) {
+	spec := dram.NewSpec("s", dram.ProfileS, 1)
+	spec.Columns = 64
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewComputer(mod, sa, 3); err == nil {
+		t.Fatal("Samsung chips cannot compute")
+	}
+}
+
+func TestReliabilityProbe(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	if c.Reliable() < c.sa.Cols()*3/4 {
+		t.Fatalf("only %d/%d columns reliable", c.Reliable(), c.sa.Cols())
+	}
+}
+
+func TestGatesMatchCPU(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 5)
+	const n = 64
+	av := randValues(n, 16, 1)
+	bv := randValues(n, 16, 2)
+	a, err := c.NewVec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewVec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewVec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, bv); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		op   func(dst, x, y Vec) error
+		ref  func(x, y uint64) uint64
+	}{
+		{"AND", c.VecAND, func(x, y uint64) uint64 { return x & y }},
+		{"OR", c.VecOR, func(x, y uint64) uint64 { return x | y }},
+		{"XOR", c.VecXOR, func(x, y uint64) uint64 { return x ^ y }},
+	}
+	for _, tc := range cases {
+		if err := tc.op(d, a, b); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := c.Load(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = tc.ref(av[i], bv[i])
+		}
+		checkVec(t, c, got, want, tc.name)
+	}
+}
+
+func TestNOT(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	const n = 32
+	av := randValues(n, 8, 3)
+	a, err := c.NewVec(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewVec(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecNOT(d, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = ^av[i] & 0xff
+	}
+	checkVec(t, c, got, want, "NOT")
+}
+
+func testArith(t *testing.T, profile dram.Profile, maxX int) {
+	c := newComputer(t, profile, maxX)
+	const n = 48
+	const w = 12
+	av := randValues(n, w, 4)
+	bv := randValues(n, w, 5)
+	mask := uint64(1)<<w - 1
+	a, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, bv); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.VecADD(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = (av[i] + bv[i]) & mask
+	}
+	checkVec(t, c, got, want, "ADD")
+
+	if err := c.VecSUB(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = (av[i] - bv[i]) & mask
+	}
+	checkVec(t, c, got, want, "SUB")
+}
+
+func TestArithMAJ3Only(t *testing.T) { testArith(t, dram.ProfileH, 3) }
+func TestArithMAJ5(t *testing.T)     { testArith(t, dram.ProfileH, 5) }
+
+func TestMUL(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 5)
+	const n = 32
+	const w = 8
+	av := randValues(n, w, 6)
+	bv := randValues(n, w, 7)
+	mask := uint64(1)<<w - 1
+	a, _ := c.NewVec(w)
+	b, _ := c.NewVec(w)
+	d, _ := c.NewVec(w)
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, bv); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecMUL(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = av[i] * bv[i] & mask
+	}
+	checkVec(t, c, got, want, "MUL")
+}
+
+func TestDIV(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 5)
+	const n = 24
+	const w = 8
+	av := randValues(n, w, 8)
+	bv := randValues(n, w, 9)
+	for i := range bv {
+		if bv[i] == 0 {
+			bv[i] = 1 + av[i]%7
+		}
+	}
+	a, _ := c.NewVec(w)
+	b, _ := c.NewVec(w)
+	q, _ := c.NewVec(w)
+	rm, _ := c.NewVec(w)
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, bv); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecDIV(q, rm, a, b); err != nil {
+		t.Fatal(err)
+	}
+	gotQ, err := c.Load(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := c.Load(rm, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := make([]uint64, n)
+	wantR := make([]uint64, n)
+	for i := range wantQ {
+		wantQ[i] = av[i] / bv[i]
+		wantR[i] = av[i] % bv[i]
+	}
+	checkVec(t, c, gotQ, wantQ, "DIV quotient")
+	checkVec(t, c, gotR, wantR, "DIV remainder")
+}
+
+func TestWideReduction(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 7)
+	const n = 32
+	vals := make([][]uint64, 8)
+	regs := make([]int, 8)
+	for v := range vals {
+		vals[v] = randValues(n, 1, uint64(10+v))
+		r, err := c.AllocReg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[v] = r
+		row := make([]bool, c.sa.Cols())
+		for e, val := range vals[v] {
+			row[e] = val == 1
+		}
+		if err := c.sa.WriteRow(r, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ANDWide(dst, regs...); err != nil {
+		t.Fatal(err)
+	}
+	row, err := c.sa.ReadRow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, n)
+	want := make([]uint64, n)
+	for e := 0; e < n; e++ {
+		if row[e] {
+			got[e] = 1
+		}
+		want[e] = 1
+		for v := range vals {
+			want[e] &= vals[v][e]
+		}
+	}
+	checkVec(t, c, got, want, "ANDWide")
+
+	if err := c.ORWide(dst, regs...); err != nil {
+		t.Fatal(err)
+	}
+	row, err = c.sa.ReadRow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < n; e++ {
+		got[e] = 0
+		if row[e] {
+			got[e] = 1
+		}
+		want[e] = 0
+		for v := range vals {
+			want[e] |= vals[v][e]
+		}
+	}
+	checkVec(t, c, got, want, "ORWide")
+}
+
+func TestOpCountsTracked(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 5)
+	before := c.Counts()
+	a, _ := c.AllocReg()
+	b, _ := c.AllocReg()
+	d, _ := c.AllocReg()
+	zero := make([]bool, c.sa.Cols())
+	if err := c.sa.WriteRow(a, zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.sa.WriteRow(b, zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AND(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Counts()
+	if after.MAJ[3] != before.MAJ[3]+1 {
+		t.Fatalf("MAJ3 count: %d -> %d", before.MAJ[3], after.MAJ[3])
+	}
+}
+
+func TestVecValidation(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	if _, err := c.NewVec(0); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	if _, err := c.NewVec(65); err == nil {
+		t.Fatal("width > 64 should fail")
+	}
+	a, _ := c.NewVec(8)
+	b, _ := c.NewVec(16)
+	if err := c.VecADD(a, a, b); err == nil {
+		t.Fatal("width mismatch should fail")
+	}
+	if err := c.Store(a, make([]uint64, c.sa.Cols()+1)); err == nil {
+		t.Fatal("too many values should fail")
+	}
+}
+
+func TestMAJWidthBoundedByProfile(t *testing.T) {
+	c := newComputer(t, dram.ProfileM, 9) // Mfr. M caps at MAJ7
+	if c.MaxX() > 7 {
+		t.Fatalf("maxX = %d, must be capped at 7 on Mfr. M", c.MaxX())
+	}
+	a, _ := c.AllocReg()
+	if err := c.MAJ(a, a, a, a, a, a, a, a, a, a); err == nil {
+		t.Fatal("MAJ9 should fail on Mfr. M")
+	}
+}
+
+func TestCostModelBasics(t *testing.T) {
+	m := NewCostModel()
+	for _, b := range Benchmarks {
+		for _, x := range []int{3, 5, 7, 9} {
+			ops, err := OpsPerElementOp(b, x, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops <= 0 {
+				t.Fatalf("%s MAJ%d: %v ops", b, x, ops)
+			}
+		}
+		// Wider majority must reduce op counts.
+		o3, _ := OpsPerElementOp(b, 3, 32)
+		o9, _ := OpsPerElementOp(b, 9, 32)
+		if o9 >= o3 {
+			t.Fatalf("%s: MAJ9 ops %v not below MAJ3 ops %v", b, o9, o3)
+		}
+	}
+	if _, err := OpsPerElementOp(BenchADD, 11, 32); err == nil {
+		t.Fatal("MAJ11 should fail")
+	}
+	if _, err := m.BenchmarkTime(BenchADD, 5, 2048, 1024, 0, true); err == nil {
+		t.Fatal("zero success should fail")
+	}
+	if _, err := m.BenchmarkTime(BenchADD, 5, 0, 1024, 0.9, true); err == nil {
+		t.Fatal("zero elements should fail")
+	}
+}
+
+// TestSpeedupShape: with comparable success rates, MAJ5 and MAJ7 beat the
+// MAJ3 baseline; a collapsed MAJ9 success rate (Mfr. H's ~best-group 30%)
+// turns MAJ9 into a slowdown (Fig. 16's third observation).
+func TestSpeedupShape(t *testing.T) {
+	m := NewCostModel()
+	s5, err := m.Speedup(BenchADD, 5, 2048, 1024, 0.95, 0.9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5 <= 1 {
+		t.Fatalf("MAJ5 ADD speedup = %.2f, want > 1", s5)
+	}
+	s7, err := m.Speedup(BenchADD, 7, 2048, 1024, 0.9, 0.9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s7 <= s5 {
+		t.Fatalf("MAJ7 speedup %.2f should beat MAJ5's %.2f", s7, s5)
+	}
+	s9, err := m.Speedup(BenchADD, 9, 2048, 1024, 0.3, 0.9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s9 >= 1 {
+		t.Fatalf("MAJ9 with 30%% success should degrade, got %.2f", s9)
+	}
+}

@@ -1,0 +1,164 @@
+package bitserial
+
+import "fmt"
+
+// Predicate operations: each writes a one-row result register holding the
+// per-lane truth value, suitable as a mux selector (VecSelect) or bitmap.
+
+// VecEQ computes dst[lane] = (a[lane] == b[lane]): the wide AND of the
+// bitwise XNORs.
+func (c *Computer) VecEQ(dst int, a, b Vec) error {
+	if err := checkSameWidth(a, b); err != nil {
+		return err
+	}
+	xnors := make([]int, a.width)
+	defer func() {
+		for _, r := range xnors {
+			if r != 0 {
+				c.FreeReg(r)
+			}
+		}
+	}()
+	for bit := 0; bit < a.width; bit++ {
+		r, err := c.AllocReg()
+		if err != nil {
+			return err
+		}
+		xnors[bit] = r
+		if err := c.XOR(r, a.Regs[bit], b.Regs[bit]); err != nil {
+			return err
+		}
+		if err := c.NOT(r, r); err != nil {
+			return err
+		}
+	}
+	return c.ANDWide(dst, xnors...)
+}
+
+// VecLT computes dst[lane] = (a[lane] < b[lane]) unsigned: a − b borrows
+// iff a < b, and the borrow is the complement of the ripple adder's final
+// carry when computing a + ¬b + 1.
+func (c *Computer) VecLT(dst int, a, b Vec) error {
+	if err := checkSameWidth(a, b); err != nil {
+		return err
+	}
+	nb, err := c.NewVec(b.width)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(nb)
+	if err := c.VecNOT(nb, b); err != nil {
+		return err
+	}
+	diff, err := c.NewVec(a.width)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(diff)
+	carry, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(carry)
+	if err := c.copyReg(carry, c.One()); err != nil {
+		return err
+	}
+	if err := c.addWithCarry(diff, a, nb, carry); err != nil {
+		return err
+	}
+	return c.NOT(dst, carry)
+}
+
+// VecGE computes dst[lane] = (a[lane] >= b[lane]) unsigned.
+func (c *Computer) VecGE(dst int, a, b Vec) error {
+	if err := c.VecLT(dst, a, b); err != nil {
+		return err
+	}
+	return c.NOT(dst, dst)
+}
+
+// VecSelect computes dst[lane] = sel[lane] ? a[lane] : b[lane] per bit,
+// with sel a predicate register.
+func (c *Computer) VecSelect(dst Vec, sel int, a, b Vec) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	for bit := 0; bit < dst.width; bit++ {
+		if err := c.mux(dst.Regs[bit], sel, a.Regs[bit], b.Regs[bit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VecMin computes dst = min(a, b) element-wise (unsigned).
+func (c *Computer) VecMin(dst, a, b Vec) error {
+	return c.minMax(dst, a, b, true)
+}
+
+// VecMax computes dst = max(a, b) element-wise (unsigned).
+func (c *Computer) VecMax(dst, a, b Vec) error {
+	return c.minMax(dst, a, b, false)
+}
+
+func (c *Computer) minMax(dst, a, b Vec, min bool) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	sel, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(sel)
+	if err := c.VecLT(sel, a, b); err != nil {
+		return err
+	}
+	if min {
+		return c.VecSelect(dst, sel, a, b)
+	}
+	return c.VecSelect(dst, sel, b, a)
+}
+
+// PopCount computes dst = number of set bits in a, as a vector of the same
+// width (the count always fits). It adds the bit rows with a balanced
+// adder tree over single-bit vectors.
+func (c *Computer) PopCount(dst, a Vec) error {
+	if err := checkSameWidth(dst, a); err != nil {
+		return err
+	}
+	if a.width == 0 {
+		return fmt.Errorf("bitserial: empty vector")
+	}
+	acc, err := c.NewVec(dst.width)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(acc)
+	operand, err := c.NewVec(dst.width)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(operand)
+	for bit := 0; bit < dst.width; bit++ {
+		if err := c.copyReg(acc.Regs[bit], c.Zero()); err != nil {
+			return err
+		}
+		if err := c.copyReg(operand.Regs[bit], c.Zero()); err != nil {
+			return err
+		}
+	}
+	for bit := 0; bit < a.width; bit++ {
+		if err := c.copyReg(operand.Regs[0], a.Regs[bit]); err != nil {
+			return err
+		}
+		if err := c.VecADD(acc, acc, operand); err != nil {
+			return err
+		}
+	}
+	for bit := 0; bit < dst.width; bit++ {
+		if err := c.copyReg(dst.Regs[bit], acc.Regs[bit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package bitserial
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// predVals reads a predicate register into booleans.
+func predVals(t *testing.T, c *Computer, reg, n int) []bool {
+	t.Helper()
+	row, err := c.ReadRowDirect(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row[:n]
+}
+
+func setupCompare(t *testing.T) (*Computer, Vec, Vec, []uint64, []uint64, int) {
+	t.Helper()
+	c := newComputer(t, dram.ProfileH, 3)
+	const n = 48
+	const w = 10
+	av := randValues(n, w, 21)
+	bv := randValues(n, w, 22)
+	// Force some equal lanes so EQ has positives.
+	for i := 0; i < n; i += 7 {
+		bv[i] = av[i]
+	}
+	a, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, bv); err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b, av, bv, n
+}
+
+func TestVecEQ(t *testing.T) {
+	c, a, b, av, bv, n := setupCompare(t)
+	dst, err := c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecEQ(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := predVals(t, c, dst, n)
+	mask := c.ReliableMask()
+	for i := 0; i < n; i++ {
+		if !mask[i] {
+			continue
+		}
+		if got[i] != (av[i] == bv[i]) {
+			t.Fatalf("lane %d: EQ=%v for %d vs %d", i, got[i], av[i], bv[i])
+		}
+	}
+}
+
+func TestVecLTAndGE(t *testing.T) {
+	c, a, b, av, bv, n := setupCompare(t)
+	lt, err := c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecLT(lt, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecGE(ge, a, b); err != nil {
+		t.Fatal(err)
+	}
+	gotLT := predVals(t, c, lt, n)
+	gotGE := predVals(t, c, ge, n)
+	mask := c.ReliableMask()
+	for i := 0; i < n; i++ {
+		if !mask[i] {
+			continue
+		}
+		if gotLT[i] != (av[i] < bv[i]) {
+			t.Fatalf("lane %d: LT=%v for %d vs %d", i, gotLT[i], av[i], bv[i])
+		}
+		if gotGE[i] == gotLT[i] {
+			t.Fatalf("lane %d: GE must complement LT", i)
+		}
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	c, a, b, av, bv, n := setupCompare(t)
+	d, err := c.NewVec(a.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecMin(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = min(av[i], bv[i])
+	}
+	checkVec(t, c, got, want, "MIN")
+
+	if err := c.VecMax(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = max(av[i], bv[i])
+	}
+	checkVec(t, c, got, want, "MAX")
+}
+
+func TestVecSelect(t *testing.T) {
+	c, a, b, av, bv, n := setupCompare(t)
+	sel, err := c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate selector.
+	row := make([]bool, c.Cols())
+	for i := range row {
+		row[i] = i%2 == 0
+	}
+	if err := c.WriteRowDirect(sel, row); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewVec(a.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VecSelect(d, sel, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		if i%2 == 0 {
+			want[i] = av[i]
+		} else {
+			want[i] = bv[i]
+		}
+	}
+	checkVec(t, c, got, want, "SELECT")
+}
+
+func TestPopCount(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	const n = 32
+	const w = 12
+	av := randValues(n, w, 33)
+	a, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewVec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PopCount(d, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = uint64(bits.OnesCount64(av[i]))
+	}
+	checkVec(t, c, got, want, "POPCOUNT")
+}
+
+func TestCompareValidation(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	a, _ := c.NewVec(8)
+	b, _ := c.NewVec(16)
+	r, _ := c.AllocReg()
+	if err := c.VecEQ(r, a, b); err == nil {
+		t.Fatal("width mismatch should fail")
+	}
+	if err := c.VecLT(r, a, b); err == nil {
+		t.Fatal("width mismatch should fail")
+	}
+}

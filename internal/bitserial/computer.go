@@ -1,0 +1,571 @@
+// Package bitserial implements the paper's §8.1 case study: bulk bitwise
+// and arithmetic computation built from in-DRAM majority operations.
+//
+// Two layers are provided:
+//
+//   - Computer: a functional bit-serial SIMD machine executing on the
+//     simulated DRAM. Vectors are stored bit-sliced (bit i of every element
+//     lives in one DRAM row), logic is computed with real MAJX operations
+//     on a reserved many-row activation group, and correctness is verified
+//     against a CPU reference in the tests and examples.
+//   - CostModel (costs.go): the analytical execution-time model behind
+//     Fig. 16's microbenchmark speedups.
+//
+// Operand staging into the compute group is modeled functionally through
+// the row buffer (always possible on any (src, dst) pair) and *costed* as
+// RowClone/Multi-RowCopy operations, exactly how the paper's evaluation
+// schedules them.
+package bitserial
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// Computer executes majority-based bit-serial computation on one subarray.
+type Computer struct {
+	sa    *dram.Subarray
+	mod   *dram.Module
+	env   analog.Env
+	group bender.Group // the many-row activation group used for MAJ ops
+	maxX  int          // widest usable majority operation
+
+	reliable []bool // per-column mask probed at construction
+	regs     map[int]bool
+	freeRegs []int
+	nextReg  int
+
+	zeroReg int // constant all-0s register
+	oneReg  int // constant all-1s register
+
+	counts OpCounts
+	trial  int
+}
+
+// OpCounts tallies the in-DRAM operations a computation issued; the cost
+// model converts them to execution time.
+type OpCounts struct {
+	MAJ   map[int]int // majority width → count
+	NOT   int         // inverted row copies
+	Stage int         // operand placements (RowClone-equivalent)
+}
+
+// add merges other into o.
+func (o *OpCounts) add(x int) {
+	if o.MAJ == nil {
+		o.MAJ = make(map[int]int)
+	}
+	o.MAJ[x]++
+}
+
+// NewComputer reserves a 32-row activation group in the subarray, probes
+// its per-column reliability with worst-case-margin test vectors, and sets
+// up constant rows. maxX bounds the majority width used (the module's
+// profile may bound it further).
+func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, error) {
+	if maxX < 3 || maxX%2 == 0 {
+		return nil, fmt.Errorf("bitserial: maxX %d must be odd and >= 3", maxX)
+	}
+	if lim := mod.Spec().Profile.MaxMAJ; maxX > lim {
+		maxX = lim
+	}
+	if maxX < 3 {
+		return nil, fmt.Errorf("bitserial: %s chips cannot perform majority operations",
+			mod.Spec().Profile.Manufacturer)
+	}
+	groups, err := bender.SampleGroups(sa, mod, 32, 8, 0xc0117)
+	if err != nil {
+		return nil, err
+	}
+	c := &Computer{
+		sa:   sa,
+		mod:  mod,
+		env:  analog.NominalEnv(),
+		maxX: maxX,
+		regs: make(map[int]bool),
+	}
+	// Probe every candidate group at every width and pick the one
+	// supporting the widest majority with the most reliable columns — the
+	// paper's "row group producing the highest throughput" selection
+	// (§8.1). A width is usable only if it leaves more than a third of
+	// the columns reliable; MAJ7/MAJ9 often are not (Obs. 8), in which
+	// case the computer falls back to narrower fused operations.
+	bestWidth, bestCount := 0, -1
+	for _, g := range groups {
+		width, mask, err := c.scoreGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		count := countTrue(mask)
+		if width > bestWidth || width == bestWidth && count > bestCount {
+			bestWidth, bestCount = width, count
+			c.group = g
+			c.reliable = mask
+		}
+	}
+	if bestWidth == 0 {
+		return nil, fmt.Errorf("bitserial: no reliable compute group found (best %d/%d columns)",
+			bestCount, sa.Cols())
+	}
+	c.maxX = bestWidth
+
+	c.zeroReg, err = c.AllocReg()
+	if err != nil {
+		return nil, err
+	}
+	c.oneReg, err = c.AllocReg()
+	if err != nil {
+		return nil, err
+	}
+	zero := make([]bool, sa.Cols())
+	if err := sa.WriteRow(c.zeroReg, zero); err != nil {
+		return nil, err
+	}
+	if err := sa.WriteRow(c.oneReg, dram.Invert(zero)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scoreGroup probes a candidate group at widths 3, 5, ... up to the
+// computer's bound, intersecting per-width reliability masks, and returns
+// the widest usable majority (0 if even MAJ3 is unusable) with its mask.
+func (c *Computer) scoreGroup(g bender.Group) (int, []bool, error) {
+	threshold := c.sa.Cols() / 3
+	width := 0
+	var reliable []bool
+	for x := 3; x <= c.maxX; x += 2 {
+		mask, err := c.probeGroup(g, x)
+		if err != nil {
+			return 0, nil, err
+		}
+		if reliable != nil {
+			for i := range mask {
+				mask[i] = mask[i] && reliable[i]
+			}
+		}
+		if countTrue(mask) <= threshold {
+			break
+		}
+		width = x
+		reliable = mask
+	}
+	return width, reliable, nil
+}
+
+// probeGroup tests MAJX with minimal margins on a candidate group: every
+// rotation of the one-vote-margin operand pattern, in both directions. A
+// column passing all probes resolves any MAJX with at least that margin
+// correctly: margins only grow with higher vote differences, and all
+// per-column variation (sense threshold, coupling, cell capacitance,
+// group viability) is static.
+func (c *Computer) probeGroup(g bender.Group, x int) ([]bool, error) {
+	saved := c.group
+	c.group = g
+	defer func() { c.group = saved }()
+
+	cols := c.sa.Cols()
+	mask := make([]bool, cols)
+	for i := range mask {
+		mask[i] = true
+	}
+	// Every operand bitmask with a one-vote majority, in both directions:
+	// C(x, (x+1)/2) · 2 compositions (6 for MAJ3, 252 for MAJ9). Each
+	// composition is additionally probed in a *weakened* form with one
+	// replica row of the winning side flipped: a column that still
+	// resolves correctly keeps a margin reserve that survives a group row
+	// dropping out of a later activation (wordline-assertion flicker).
+	winners := (x + 1) / 2
+	copies := c.group.N() / x
+	for m := 0; m < 1<<x; m++ {
+		pop := popcount(m)
+		if pop != winners && pop != x-winners {
+			continue
+		}
+		expectOne := pop == winners
+		operands := make([][]bool, x)
+		winnerSlot := -1
+		for j := range operands {
+			bit := m>>j&1 == 1
+			if bit == expectOne && winnerSlot < 0 {
+				winnerSlot = j
+			}
+			row := make([]bool, cols)
+			for k := range row {
+				row[k] = bit
+			}
+			operands[j] = row
+		}
+		// With replication available, probe two weakened variants (the
+		// handicap lands on different replica rows, so two independent
+		// capacitance draws would both have to sit in the tail for a
+		// dropout to escape); without replication, probe plain.
+		variants := []int{-1}
+		if copies > 1 {
+			variants = []int{weakenRowIndex(copies-1, x, winnerSlot),
+				weakenRowIndex(0, x, winnerSlot)}
+		}
+		for _, weakenRow := range variants {
+			// Repeat each probe: a metastable column resolves randomly per
+			// trial and would pass a single look half the time.
+			for rep := 0; rep < probeRepeats; rep++ {
+				got, _, err := c.execMAJWeakened(operands, weakenRow)
+				if err != nil {
+					return nil, err
+				}
+				for col := range mask {
+					if got[col] != expectOne {
+						mask[col] = false
+					}
+				}
+			}
+		}
+	}
+	return mask, nil
+}
+
+// popcount counts set bits.
+func popcount(m int) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// countTrue counts set entries.
+func countTrue(mask []bool) int {
+	n := 0
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Reliable returns the number of columns the compute group can use.
+func (c *Computer) Reliable() int {
+	n := 0
+	for _, ok := range c.reliable {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ReliableMask returns a copy of the per-column reliability mask.
+func (c *Computer) ReliableMask() []bool {
+	return append([]bool(nil), c.reliable...)
+}
+
+// Counts returns the operation tallies so far.
+func (c *Computer) Counts() OpCounts {
+	out := c.counts
+	out.MAJ = make(map[int]int, len(c.counts.MAJ))
+	for k, v := range c.counts.MAJ {
+		out.MAJ[k] = v
+	}
+	return out
+}
+
+// Group returns the compute group's rows.
+func (c *Computer) Group() bender.Group { return c.group }
+
+// Cols returns the number of SIMD lanes (subarray columns).
+func (c *Computer) Cols() int { return c.sa.Cols() }
+
+// WriteRowDirect writes a register row over the memory channel (a normal
+// WR, not a PUD operation).
+func (c *Computer) WriteRowDirect(reg int, bits []bool) error {
+	return c.sa.WriteRow(reg, bits)
+}
+
+// ReadRowDirect reads a register row over the memory channel.
+func (c *Computer) ReadRowDirect(reg int) ([]bool, error) {
+	return c.sa.ReadRow(reg)
+}
+
+// MaxX returns the widest majority operation in use.
+func (c *Computer) MaxX() int { return c.maxX }
+
+// Zero and One return the constant registers.
+func (c *Computer) Zero() int { return c.zeroReg }
+
+// One returns the constant all-1s register.
+func (c *Computer) One() int { return c.oneReg }
+
+// AllocReg reserves a free row outside the compute group as a register.
+func (c *Computer) AllocReg() (int, error) {
+	if n := len(c.freeRegs); n > 0 {
+		r := c.freeRegs[n-1]
+		c.freeRegs = c.freeRegs[:n-1]
+		c.regs[r] = true
+		return r, nil
+	}
+	inGroup := make(map[int]bool, len(c.group.Rows))
+	for _, r := range c.group.Rows {
+		inGroup[r] = true
+	}
+	for ; c.nextReg < c.sa.Rows(); c.nextReg++ {
+		if !inGroup[c.nextReg] && !c.regs[c.nextReg] {
+			c.regs[c.nextReg] = true
+			r := c.nextReg
+			c.nextReg++
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("bitserial: out of registers (%d rows)", c.sa.Rows())
+}
+
+// FreeReg releases a register for reuse.
+func (c *Computer) FreeReg(r int) {
+	if c.regs[r] {
+		delete(c.regs, r)
+		c.freeRegs = append(c.freeRegs, r)
+	}
+}
+
+// execMAJ stages the operand rows into the compute group with replication
+// and neutral fill, fires the APA, and returns the sensed result.
+func (c *Computer) execMAJ(operands [][]bool) ([]bool, bool, error) {
+	return c.execMAJWeakened(operands, -1)
+}
+
+// probeRepeats is how many times each probe composition is re-executed to
+// screen metastable (trial-dependent) columns.
+const probeRepeats = 3
+
+// weakenRowIndex returns the staged-row index of replica `copy` of slot
+// `slot` in the round-robin operand layout.
+func weakenRowIndex(copy, x, slot int) int { return copy*x + slot }
+
+// execMAJWeakened is execMAJ with an optional handicap used by the
+// reliability probe: the staged row at index `weakenRow` is written with
+// complemented data, reducing its side's vote margin by two.
+func (c *Computer) execMAJWeakened(operands [][]bool, weakenRow int) ([]bool, bool, error) {
+	x := len(operands)
+	n := c.group.N()
+	copies := n / x
+	fracOK := c.mod.Spec().Profile.FracSupported
+	cols := c.sa.Cols()
+	if weakenRow >= copies*x {
+		weakenRow = -1
+	}
+	for i, r := range c.group.Rows {
+		switch {
+		case i == weakenRow:
+			if err := c.sa.WriteRow(r, dram.Invert(operands[i%x])); err != nil {
+				return nil, false, err
+			}
+		case i < copies*x:
+			if err := c.sa.WriteRow(r, operands[i%x]); err != nil {
+				return nil, false, err
+			}
+		case fracOK:
+			if err := c.sa.SetFracRow(r); err != nil {
+				return nil, false, err
+			}
+		default:
+			bits := make([]bool, cols)
+			if (i-copies*x)%2 == 1 {
+				for k := range bits {
+					bits[k] = true
+				}
+			}
+			if err := c.sa.WriteRow(r, bits); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	c.trial++
+	res, err := c.sa.APA(c.group.RF, c.group.RS, dram.APAOptions{
+		Timings: timing.BestMAJ(),
+		Env:     c.env,
+		Trial:   c.trial,
+		// Compute data is arbitrary: assume full coupling like the random
+		// pattern, the paper's worst case.
+		PatternCoupling: dram.PatternRandom.CouplingFactor(),
+		MAJ:             &dram.MAJSpec{X: x, Copies: copies},
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	c.sa.Precharge()
+	got, err := c.sa.ReadRow(c.group.RF)
+	if err != nil {
+		return nil, false, err
+	}
+	return got, res.Viable, nil
+}
+
+// MAJ computes dst = MAJX(srcs...) across all columns. len(srcs) must be
+// odd, at least 3, and at most the computer's usable width.
+func (c *Computer) MAJ(dst int, srcs ...int) error {
+	x := len(srcs)
+	if x < 3 || x%2 == 0 || x > c.maxX {
+		return fmt.Errorf("bitserial: MAJ%d unsupported (max %d)", x, c.maxX)
+	}
+	operands := make([][]bool, x)
+	for j, s := range srcs {
+		row, err := c.sa.ReadRow(s)
+		if err != nil {
+			return err
+		}
+		operands[j] = row
+		c.counts.Stage++
+	}
+	got, _, err := c.execMAJ(operands)
+	if err != nil {
+		return err
+	}
+	c.counts.add(x)
+	return c.sa.WriteRow(dst, got)
+}
+
+// NOT computes dst = ¬src (an inverted row copy, as Ambit's dual-contact
+// rows provide; costed as one RowClone).
+func (c *Computer) NOT(dst, src int) error {
+	row, err := c.sa.ReadRow(src)
+	if err != nil {
+		return err
+	}
+	c.counts.NOT++
+	return c.sa.WriteRow(dst, dram.Invert(row))
+}
+
+// AND computes dst = a ∧ b = MAJ3(a, b, 0).
+func (c *Computer) AND(dst, a, b int) error { return c.MAJ(dst, a, b, c.zeroReg) }
+
+// OR computes dst = a ∨ b = MAJ3(a, b, 1).
+func (c *Computer) OR(dst, a, b int) error { return c.MAJ(dst, a, b, c.oneReg) }
+
+// ANDWide computes dst = AND(srcs...) using the widest available fused
+// majority: ANDk(s₁..s_k) = MAJ(2k−1)(s₁..s_k, 0×(k−1)).
+func (c *Computer) ANDWide(dst int, srcs ...int) error {
+	return c.reduceWide(dst, c.zeroReg, srcs)
+}
+
+// ORWide computes dst = OR(srcs...) via ORk = MAJ(2k−1)(s₁..s_k, 1×(k−1)).
+func (c *Computer) ORWide(dst int, srcs ...int) error {
+	return c.reduceWide(dst, c.oneReg, srcs)
+}
+
+// reduceWide folds srcs with fan-in (maxX+1)/2 fused majority steps.
+func (c *Computer) reduceWide(dst, fill int, srcs []int) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("bitserial: empty reduction")
+	}
+	if len(srcs) == 1 {
+		row, err := c.sa.ReadRow(srcs[0])
+		if err != nil {
+			return err
+		}
+		c.counts.Stage++
+		return c.sa.WriteRow(dst, row)
+	}
+	fanIn := (c.maxX + 1) / 2
+	pending := append([]int(nil), srcs...)
+	tmp, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(tmp)
+	for len(pending) > 1 {
+		k := fanIn
+		if k > len(pending) {
+			k = len(pending)
+		}
+		args := make([]int, 0, 2*k-1)
+		args = append(args, pending[:k]...)
+		for i := 0; i < k-1; i++ {
+			args = append(args, fill)
+		}
+		out := tmp
+		if len(pending) == k {
+			out = dst
+		}
+		if err := c.MAJ(out, args...); err != nil {
+			return err
+		}
+		pending = append([]int{out}, pending[k:]...)
+	}
+	return nil
+}
+
+// XOR computes dst = a ⊕ b = AND(NAND(a,b), OR(a,b)).
+func (c *Computer) XOR(dst, a, b int) error {
+	nand, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(nand)
+	or, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(or)
+	if err := c.AND(nand, a, b); err != nil {
+		return err
+	}
+	if err := c.NOT(nand, nand); err != nil {
+		return err
+	}
+	if err := c.OR(or, a, b); err != nil {
+		return err
+	}
+	return c.AND(dst, nand, or)
+}
+
+// FullAdder computes (sum, carry) = a + b + cin. With MAJ5 available the
+// sum uses the single-step majority identity
+// SUM = MAJ5(a, b, cin, ¬carry, ¬carry); otherwise it falls back to two
+// XOR gates.
+func (c *Computer) FullAdder(sum, carry, a, b, cin int) error {
+	tmpCarry, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(tmpCarry)
+	if err := c.MAJ(tmpCarry, a, b, cin); err != nil {
+		return err
+	}
+	if c.maxX >= 5 {
+		ncarry, err := c.AllocReg()
+		if err != nil {
+			return err
+		}
+		defer c.FreeReg(ncarry)
+		if err := c.NOT(ncarry, tmpCarry); err != nil {
+			return err
+		}
+		if err := c.MAJ(sum, a, b, cin, ncarry, ncarry); err != nil {
+			return err
+		}
+	} else {
+		t, err := c.AllocReg()
+		if err != nil {
+			return err
+		}
+		defer c.FreeReg(t)
+		if err := c.XOR(t, a, b); err != nil {
+			return err
+		}
+		if err := c.XOR(sum, t, cin); err != nil {
+			return err
+		}
+	}
+	// Publish the carry after the sum consumed the operands (sum may alias
+	// a, b or cin; carry must not be clobbered early).
+	row, err := c.sa.ReadRow(tmpCarry)
+	if err != nil {
+		return err
+	}
+	c.counts.Stage++
+	return c.sa.WriteRow(carry, row)
+}

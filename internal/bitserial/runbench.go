@@ -1,0 +1,158 @@
+package bitserial
+
+import (
+	"fmt"
+)
+
+// RunResult reports a functionally executed microbenchmark: the in-DRAM
+// operations it actually issued, the modeled execution time for those
+// operations, and how many reliable lanes matched the CPU reference.
+type RunResult struct {
+	Benchmark Benchmark
+	Width     int
+	Lanes     int
+	Counts    OpCounts
+	ModeledNS float64
+	Correct   int // reliable lanes matching the CPU reference
+	Reliable  int // reliable lanes checked
+}
+
+// RunBenchmark executes one §8.1 microbenchmark functionally on the
+// computer — real majority operations on the simulated DRAM — verifies
+// the result against a CPU reference on the reliable lanes, and prices the
+// issued operations with the latency model. Width is the element width in
+// bits (the paper evaluates 32; smaller widths keep the functional run
+// fast). The vectors are filled with deterministic pseudo-random data
+// derived from seed.
+func RunBenchmark(c *Computer, b Benchmark, width int, seed uint64) (RunResult, error) {
+	if width <= 0 || width > 32 {
+		return RunResult{}, fmt.Errorf("bitserial: width %d outside (0,32]", width)
+	}
+	lanes := c.Cols()
+	av := pseudoValues(lanes, width, seed)
+	bv := pseudoValues(lanes, width, seed+1)
+	mask := uint64(1)<<uint(width) - 1
+	// Avoid division by zero lanes.
+	if b == BenchDIV {
+		for i := range bv {
+			if bv[i] == 0 {
+				bv[i] = 1 + av[i]%5
+			}
+		}
+	}
+
+	a, err := c.NewVec(width)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer c.FreeVec(a)
+	bvec, err := c.NewVec(width)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer c.FreeVec(bvec)
+	d, err := c.NewVec(width)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer c.FreeVec(d)
+	if err := c.Store(a, av); err != nil {
+		return RunResult{}, err
+	}
+	if err := c.Store(bvec, bv); err != nil {
+		return RunResult{}, err
+	}
+
+	before := c.Counts()
+	var ref func(x, y uint64) uint64
+	switch b {
+	case BenchAND:
+		err = c.VecAND(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return x & y }
+	case BenchOR:
+		err = c.VecOR(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return x | y }
+	case BenchXOR:
+		err = c.VecXOR(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return x ^ y }
+	case BenchADD:
+		err = c.VecADD(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return (x + y) & mask }
+	case BenchSUB:
+		err = c.VecSUB(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return (x - y) & mask }
+	case BenchMUL:
+		err = c.VecMUL(d, a, bvec)
+		ref = func(x, y uint64) uint64 { return x * y & mask }
+	case BenchDIV:
+		err = c.VecDIV(d, Vec{}, a, bvec)
+		ref = func(x, y uint64) uint64 { return x / y }
+	default:
+		return RunResult{}, fmt.Errorf("bitserial: unknown benchmark %q", b)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	after := c.Counts()
+
+	counts := OpCounts{
+		NOT:   after.NOT - before.NOT,
+		Stage: after.Stage - before.Stage,
+		MAJ:   make(map[int]int),
+	}
+	for x, n := range after.MAJ {
+		if delta := n - before.MAJ[x]; delta > 0 {
+			counts.MAJ[x] = delta
+		}
+	}
+
+	got, err := c.Load(d, lanes)
+	if err != nil {
+		return RunResult{}, err
+	}
+	maskLanes := c.ReliableMask()
+	res := RunResult{
+		Benchmark: b, Width: width, Lanes: lanes,
+		Counts: counts, ModeledNS: ModeledTime(c, counts),
+	}
+	for i := 0; i < lanes; i++ {
+		if !maskLanes[i] {
+			continue
+		}
+		res.Reliable++
+		if got[i] == ref(av[i], bv[i]) {
+			res.Correct++
+		}
+	}
+	return res, nil
+}
+
+// ModeledTime prices issued operations with the §8.1 latency model: each
+// MAJX pays operand placement + replication + neutralization + the APA;
+// NOTs and staging copies each pay a RowClone.
+func ModeledTime(c *Computer, counts OpCounts) float64 {
+	m := NewCostModel()
+	fracOK := c.mod.Spec().Profile.FracSupported
+	n := c.Group().N()
+	t := 0.0
+	for x, ops := range counts.MAJ {
+		t += float64(ops) * m.MAJOpLatency(x, n, fracOK)
+	}
+	t += float64(counts.NOT) * m.Latency.RowClone()
+	t += float64(counts.Stage) * m.Latency.RowClone()
+	return t
+}
+
+// pseudoValues yields deterministic pseudo-random width-bit values.
+func pseudoValues(n, width int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	mask := uint64(1)<<uint(width) - 1
+	state := seed*0x9e3779b97f4a7c15 + 0x1234
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = state & mask
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package bitserial
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestRunBenchmarkAllSeven(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 5)
+	for _, b := range Benchmarks {
+		width := 10
+		if b == BenchMUL || b == BenchDIV {
+			width = 6 // keep the O(w²) benchmarks quick
+		}
+		res, err := RunBenchmark(c, b, width, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if res.Reliable == 0 {
+			t.Fatalf("%s: no reliable lanes", b)
+		}
+		if res.Correct != res.Reliable {
+			t.Fatalf("%s: %d/%d reliable lanes correct", b, res.Correct, res.Reliable)
+		}
+		if res.ModeledNS <= 0 {
+			t.Fatalf("%s: non-positive modeled time", b)
+		}
+		total := res.Counts.NOT + res.Counts.Stage
+		for _, n := range res.Counts.MAJ {
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: no operations recorded", b)
+		}
+	}
+}
+
+// TestRunBenchmarkCostOrdering: functionally measured op counts reproduce
+// the analytic ordering — MUL and DIV dwarf ADD, which dwarfs AND.
+func TestRunBenchmarkCostOrdering(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	times := make(map[Benchmark]float64)
+	for _, b := range []Benchmark{BenchAND, BenchADD, BenchMUL} {
+		res, err := RunBenchmark(c, b, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[b] = res.ModeledNS
+	}
+	if !(times[BenchAND] < times[BenchADD] && times[BenchADD] < times[BenchMUL]) {
+		t.Fatalf("cost ordering violated: %v", times)
+	}
+}
+
+// TestRunBenchmarkMAJ5CheaperAdders: with MAJ5 available the adder chain
+// issues fewer majority operations than the MAJ3-only construction.
+func TestRunBenchmarkMAJ5CheaperAdders(t *testing.T) {
+	run := func(maxX int) int {
+		c := newComputer(t, dram.ProfileH, maxX)
+		if c.MaxX() < maxX {
+			t.Skipf("no MAJ%d-capable group at this seed", maxX)
+		}
+		res, err := RunBenchmark(c, BenchADD, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range res.Counts.MAJ {
+			total += n
+		}
+		return total
+	}
+	maj3Only := run(3)
+	withMAJ5 := run(5)
+	if withMAJ5 >= maj3Only {
+		t.Fatalf("MAJ5 adders issued %d MAJ ops, MAJ3-only %d", withMAJ5, maj3Only)
+	}
+}
+
+func TestRunBenchmarkValidation(t *testing.T) {
+	c := newComputer(t, dram.ProfileH, 3)
+	if _, err := RunBenchmark(c, BenchADD, 0, 1); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	if _, err := RunBenchmark(c, Benchmark("NOP"), 8, 1); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}

@@ -1,0 +1,353 @@
+package bitserial
+
+import "fmt"
+
+// Vec is a bit-sliced vector of W-bit unsigned integers: bit i of every
+// element lives in DRAM row Regs[i] (least-significant bit first). One Vec
+// holds as many elements as the subarray has columns.
+type Vec struct {
+	Regs  []int
+	width int
+}
+
+// Width returns the element width in bits.
+func (v Vec) Width() int { return v.width }
+
+// NewVec allocates a W-bit vector.
+func (c *Computer) NewVec(width int) (Vec, error) {
+	if width <= 0 || width > 64 {
+		return Vec{}, fmt.Errorf("bitserial: vector width %d outside (0,64]", width)
+	}
+	regs := make([]int, width)
+	for i := range regs {
+		r, err := c.AllocReg()
+		if err != nil {
+			return Vec{}, err
+		}
+		regs[i] = r
+	}
+	return Vec{Regs: regs, width: width}, nil
+}
+
+// FreeVec releases the vector's registers.
+func (c *Computer) FreeVec(v Vec) {
+	for _, r := range v.Regs {
+		c.FreeReg(r)
+	}
+}
+
+// Store loads element values into the vector (element e in column e).
+// Missing elements are zero; excess values are rejected.
+func (c *Computer) Store(v Vec, values []uint64) error {
+	cols := c.sa.Cols()
+	if len(values) > cols {
+		return fmt.Errorf("bitserial: %d values exceed %d columns", len(values), cols)
+	}
+	for bit := 0; bit < v.width; bit++ {
+		row := make([]bool, cols)
+		for e, val := range values {
+			row[e] = (val>>uint(bit))&1 == 1
+		}
+		if err := c.sa.WriteRow(v.Regs[bit], row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads the vector's first n elements back.
+func (c *Computer) Load(v Vec, n int) ([]uint64, error) {
+	if n > c.sa.Cols() {
+		n = c.sa.Cols()
+	}
+	out := make([]uint64, n)
+	for bit := 0; bit < v.width; bit++ {
+		row, err := c.sa.ReadRow(v.Regs[bit])
+		if err != nil {
+			return nil, err
+		}
+		for e := 0; e < n; e++ {
+			if row[e] {
+				out[e] |= 1 << uint(bit)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkSameWidth validates operand widths match.
+func checkSameWidth(vs ...Vec) error {
+	for i := 1; i < len(vs); i++ {
+		if vs[i].width != vs[0].width {
+			return fmt.Errorf("bitserial: width mismatch %d vs %d", vs[i].width, vs[0].width)
+		}
+	}
+	return nil
+}
+
+// VecAND computes dst = a & b element-wise.
+func (c *Computer) VecAND(dst, a, b Vec) error { return c.vecGate(dst, a, b, c.AND) }
+
+// VecOR computes dst = a | b element-wise.
+func (c *Computer) VecOR(dst, a, b Vec) error { return c.vecGate(dst, a, b, c.OR) }
+
+// VecXOR computes dst = a ^ b element-wise.
+func (c *Computer) VecXOR(dst, a, b Vec) error { return c.vecGate(dst, a, b, c.XOR) }
+
+func (c *Computer) vecGate(dst, a, b Vec, gate func(d, x, y int) error) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	for bit := 0; bit < dst.width; bit++ {
+		if err := gate(dst.Regs[bit], a.Regs[bit], b.Regs[bit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VecNOT computes dst = ^a element-wise.
+func (c *Computer) VecNOT(dst, a Vec) error {
+	if err := checkSameWidth(dst, a); err != nil {
+		return err
+	}
+	for bit := 0; bit < dst.width; bit++ {
+		if err := c.NOT(dst.Regs[bit], a.Regs[bit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VecADD computes dst = a + b (mod 2^W) with a ripple-carry majority adder.
+func (c *Computer) VecADD(dst, a, b Vec) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	carry, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(carry)
+	// carry starts at 0.
+	if err := c.copyReg(carry, c.Zero()); err != nil {
+		return err
+	}
+	return c.addWithCarry(dst, a, b, carry)
+}
+
+// addWithCarry ripples a+b+carry into dst, leaving the final carry in the
+// carry register.
+func (c *Computer) addWithCarry(dst, a, b Vec, carry int) error {
+	sum, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(sum)
+	for bit := 0; bit < dst.width; bit++ {
+		if err := c.FullAdder(sum, carry, a.Regs[bit], b.Regs[bit], carry); err != nil {
+			return err
+		}
+		if err := c.copyReg(dst.Regs[bit], sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VecSUB computes dst = a - b (mod 2^W) as a + ¬b + 1.
+func (c *Computer) VecSUB(dst, a, b Vec) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	nb, err := c.NewVec(b.width)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(nb)
+	if err := c.VecNOT(nb, b); err != nil {
+		return err
+	}
+	carry, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(carry)
+	if err := c.copyReg(carry, c.One()); err != nil { // +1 via carry-in
+		return err
+	}
+	return c.addWithCarry(dst, a, nb, carry)
+}
+
+// VecMUL computes dst = a * b (mod 2^W) with shift-and-add over majority
+// adders: for each bit j of b, the partial product (a << j) & b_j is
+// accumulated.
+func (c *Computer) VecMUL(dst, a, b Vec) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	w := dst.width
+	acc, err := c.NewVec(w)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(acc)
+	partial, err := c.NewVec(w)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(partial)
+	for bit := 0; bit < w; bit++ {
+		if err := c.copyReg(acc.Regs[bit], c.Zero()); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < w; j++ {
+		// partial = (a << j) masked by b's bit j.
+		for bit := 0; bit < w; bit++ {
+			if bit < j {
+				if err := c.copyReg(partial.Regs[bit], c.Zero()); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := c.AND(partial.Regs[bit], a.Regs[bit-j], b.Regs[j]); err != nil {
+				return err
+			}
+		}
+		if err := c.VecADD(acc, acc, partial); err != nil {
+			return err
+		}
+	}
+	for bit := 0; bit < w; bit++ {
+		if err := c.copyReg(dst.Regs[bit], acc.Regs[bit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VecDIV computes dst = a / b (unsigned restoring division; elements with
+// b == 0 produce all-1s, the conventional saturating result). rem, when
+// non-empty, receives the remainder.
+func (c *Computer) VecDIV(dst, rem, a, b Vec) error {
+	if err := checkSameWidth(dst, a, b); err != nil {
+		return err
+	}
+	w := dst.width
+	// Remainder accumulator with one headroom bit to catch the SUB borrow.
+	r, err := c.NewVec(w + 1)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(r)
+	bw, err := c.NewVec(w + 1)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(bw)
+	diff, err := c.NewVec(w + 1)
+	if err != nil {
+		return err
+	}
+	defer c.FreeVec(diff)
+	for bit := 0; bit <= w; bit++ {
+		if err := c.copyReg(r.Regs[bit], c.Zero()); err != nil {
+			return err
+		}
+		src := c.Zero()
+		if bit < w {
+			src = b.Regs[bit]
+		}
+		if err := c.copyReg(bw.Regs[bit], src); err != nil {
+			return err
+		}
+	}
+	noBorrow, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(noBorrow)
+
+	for j := w - 1; j >= 0; j-- {
+		// r = (r << 1) | a_j : shift up and bring in the next dividend bit.
+		for bit := w; bit >= 1; bit-- {
+			if err := c.copyReg(r.Regs[bit], r.Regs[bit-1]); err != nil {
+				return err
+			}
+		}
+		if err := c.copyReg(r.Regs[0], a.Regs[j]); err != nil {
+			return err
+		}
+		// diff = r - b; the top bit of diff is the borrow indicator.
+		if err := c.VecSUB(diff, r, bw); err != nil {
+			return err
+		}
+		// noBorrow = ¬diff[w] (diff >= 0) is the quotient bit.
+		if err := c.NOT(noBorrow, diff.Regs[w]); err != nil {
+			return err
+		}
+		if err := c.copyReg(dst.Regs[j], noBorrow); err != nil {
+			return err
+		}
+		// r = noBorrow ? diff : r, per bit: MAJ3-based mux.
+		for bit := 0; bit <= w; bit++ {
+			if err := c.mux(r.Regs[bit], noBorrow, diff.Regs[bit], r.Regs[bit]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rem.Regs) > 0 {
+		if err := checkSameWidth(rem, a); err != nil {
+			return err
+		}
+		for bit := 0; bit < w; bit++ {
+			if err := c.copyReg(rem.Regs[bit], r.Regs[bit]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mux computes dst = sel ? t : f = OR(AND(sel, t), AND(¬sel, f)).
+func (c *Computer) mux(dst, sel, t, f int) error {
+	nsel, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(nsel)
+	at, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(at)
+	af, err := c.AllocReg()
+	if err != nil {
+		return err
+	}
+	defer c.FreeReg(af)
+	if err := c.NOT(nsel, sel); err != nil {
+		return err
+	}
+	if err := c.AND(at, sel, t); err != nil {
+		return err
+	}
+	if err := c.AND(af, nsel, f); err != nil {
+		return err
+	}
+	return c.OR(dst, at, af)
+}
+
+// copyReg copies one register row to another (a RowClone-equivalent).
+func (c *Computer) copyReg(dst, src int) error {
+	if dst == src {
+		return nil
+	}
+	row, err := c.sa.ReadRow(src)
+	if err != nil {
+		return err
+	}
+	c.counts.Stage++
+	return c.sa.WriteRow(dst, row)
+}

@@ -1,0 +1,185 @@
+package charexp
+
+// Ablation studies: disable one mechanism of the electrical model at a
+// time and verify that the paper observation it explains disappears. These
+// tests document which model component carries which result (the
+// per-mechanism inventory of DESIGN.md §5).
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/timing"
+)
+
+// ablationRunner builds a single-H-module runner with modified analog
+// parameters.
+func ablationRunner(t *testing.T, mutate func(*analog.Params)) *Runner {
+	t.Helper()
+	fc := fleet.DefaultConfig()
+	fc.Columns = 256
+	cfg := DefaultConfig()
+	cfg.Fleet = fleet.Representative(fc)[:1] // one SK Hynix module
+	cfg.Trials = 3
+	cfg.GroupsPerSubarray = 6
+	cfg.Banks = 2
+	params := analog.DefaultParams()
+	if mutate != nil {
+		mutate(&params)
+	}
+	cfg.Params = params
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *Runner) majMean(t *testing.T, x, n int, at timing.APATimings, p dram.Pattern) float64 {
+	t.Helper()
+	rates, err := r.pooledSweep(core.SweepConfig{
+		Op: core.OpMAJ, X: x, N: n, Timings: at, Pattern: p,
+	}, analog.NominalEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range rates {
+		sum += v
+	}
+	return sum / float64(len(rates))
+}
+
+// TestAblationViabilityCarriesMAJ9: with the group-viability model
+// disabled (every group resolves deterministically), MAJ9's success rate
+// jumps from single digits to well above 50% — the margin model alone
+// cannot produce Obs. 8's collapse.
+func TestAblationViabilityCarriesMAJ9(t *testing.T) {
+	base := ablationRunner(t, nil)
+	noViab := ablationRunner(t, func(p *analog.Params) {
+		p.ViabilityBase = 100 // every group viable
+		p.SkewPenaltyPerNS = 0
+	})
+	withModel := base.majMean(t, 9, 32, timing.BestMAJ(), dram.PatternRandom)
+	without := noViab.majMean(t, 9, 32, timing.BestMAJ(), dram.PatternRandom)
+	if withModel > 0.25 {
+		t.Fatalf("MAJ9 with viability model = %.3f, expected collapsed", withModel)
+	}
+	if without < withModel+0.30 {
+		t.Fatalf("disabling viability should lift MAJ9 well above %.3f, got %.3f",
+			withModel, without)
+	}
+}
+
+// TestAblationCouplingAndBonusCarryObs9: with coupling noise and the
+// pattern-viability bonus removed, fixed and random data patterns become
+// indistinguishable — Obs. 9 is carried entirely by those two terms.
+func TestAblationCouplingAndBonusCarryObs9(t *testing.T) {
+	ablated := ablationRunner(t, func(p *analog.Params) {
+		p.CouplingSigma = 0
+		p.PatternViabilityBonus = 0
+	})
+	rand := ablated.majMean(t, 7, 32, timing.BestMAJ(), dram.PatternRandom)
+	fixed := ablated.majMean(t, 7, 32, timing.BestMAJ(), dram.Pattern00FF)
+	if diff := fixed - rand; diff > 0.08 || diff < -0.08 {
+		t.Fatalf("without coupling+bonus, fixed (%.3f) and random (%.3f) should match", fixed, rand)
+	}
+	// Sanity: the full model does separate them.
+	full := ablationRunner(t, nil)
+	randFull := full.majMean(t, 7, 32, timing.BestMAJ(), dram.PatternRandom)
+	fixedFull := full.majMean(t, 7, 32, timing.BestMAJ(), dram.Pattern00FF)
+	if fixedFull-randFull < 0.08 {
+		t.Fatalf("full model should separate fixed (%.3f) from random (%.3f)",
+			fixedFull, randFull)
+	}
+}
+
+// TestAblationWriteLoadCarries32RowDip: zeroing the write-driver load term
+// removes the paper's 99.85%-at-32-rows dip — activation success becomes
+// flat in N.
+func TestAblationWriteLoadCarries32RowDip(t *testing.T) {
+	run := func(r *Runner, n int) float64 {
+		rates, err := r.pooledSweep(core.SweepConfig{
+			Op: core.OpManyRowActivation, N: n,
+			Timings: timing.BestSiMRA(), Pattern: dram.PatternRandom,
+		}, analog.NominalEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range rates {
+			sum += v
+		}
+		return sum / float64(len(rates))
+	}
+	full := ablationRunner(t, nil)
+	dipFull := run(full, 8) - run(full, 32)
+	if dipFull < 0.0005 {
+		t.Fatalf("full model should show the 32-row dip, got %.5f", dipFull)
+	}
+	flat := ablationRunner(t, func(p *analog.Params) { p.WriteLoadPerRow = 0 })
+	dipFlat := run(flat, 8) - run(flat, 32)
+	if dipFlat > dipFull/3 {
+		t.Fatalf("without write load the dip should vanish: %.5f vs full %.5f",
+			dipFlat, dipFull)
+	}
+}
+
+// TestAblationSkewPenaltyCarriesObs7: with the activation-skew penalty
+// removed, (3,3) timings perform as well as the best (1.5,3) — the
+// penalty term carries Obs. 7's 45-pp gap.
+func TestAblationSkewPenaltyCarriesObs7(t *testing.T) {
+	full := ablationRunner(t, nil)
+	gapFull := full.majMean(t, 3, 32, timing.BestMAJ(), dram.PatternRandom) -
+		full.majMean(t, 3, 32, timing.APATimings{T1: 3, T2: 3}, dram.PatternRandom)
+	if gapFull < 0.15 {
+		t.Fatalf("full model should penalize (3,3) by >15 pp, got %.3f", gapFull)
+	}
+	ablated := ablationRunner(t, func(p *analog.Params) { p.SkewPenaltyPerNS = 0 })
+	gapAblated := ablated.majMean(t, 3, 32, timing.BestMAJ(), dram.PatternRandom) -
+		ablated.majMean(t, 3, 32, timing.APATimings{T1: 3, T2: 3}, dram.PatternRandom)
+	if gapAblated > gapFull/3 {
+		t.Fatalf("without the skew penalty the (3,3) gap should vanish: %.3f vs %.3f",
+			gapAblated, gapFull)
+	}
+}
+
+// TestAblationShareLatchCarriesT2Cliff: with the share-mode latch race
+// disabled, t2 = 1.5 ns majority operations recover most of their success
+// — the race term carries the Fig. 6 cliff.
+func TestAblationShareLatchCarriesT2Cliff(t *testing.T) {
+	cliffTimings := timing.APATimings{T1: 1.5, T2: 1.5}
+	full := ablationRunner(t, nil)
+	cliffFull := full.majMean(t, 3, 32, cliffTimings, dram.PatternRandom)
+	if cliffFull > 0.35 {
+		t.Fatalf("full model should collapse at t2=1.5, got %.3f", cliffFull)
+	}
+	ablated := ablationRunner(t, func(p *analog.Params) {
+		p.ShareLatchMean = 0
+		p.ShareLatchSigma = 0.001
+	})
+	cliffAblated := ablated.majMean(t, 3, 32, cliffTimings, dram.PatternRandom)
+	if cliffAblated < cliffFull+0.25 {
+		t.Fatalf("without the latch race, t2=1.5 should recover well above %.3f, got %.3f",
+			cliffFull, cliffAblated)
+	}
+}
+
+// TestAblationReplicationCarriesObs6: the replication benefit (Obs. 6) is
+// a margin effect, not a viability artifact: it persists with viability
+// disabled.
+func TestAblationReplicationCarriesObs6(t *testing.T) {
+	noViab := ablationRunner(t, func(p *analog.Params) {
+		p.ViabilityBase = 100
+		p.SkewPenaltyPerNS = 0
+	})
+	r4 := noViab.majMean(t, 3, 4, timing.BestMAJ(), dram.PatternRandom)
+	r32 := noViab.majMean(t, 3, 32, timing.BestMAJ(), dram.PatternRandom)
+	if r32 <= r4+0.05 {
+		t.Fatalf("replication gain should survive without viability: 4-row %.3f vs 32-row %.3f",
+			r4, r32)
+	}
+}

@@ -1,0 +1,227 @@
+package charexp
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bitserial"
+	"repro/internal/coldboot"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// SpeedupCell is one bar of Fig. 16.
+type SpeedupCell struct {
+	Mfr       string
+	Benchmark bitserial.Benchmark
+	X         int
+	Speedup   float64
+	// SuccessX and SuccessBase are the best-group success rates that fed
+	// the retry model.
+	SuccessX    float64
+	SuccessBase float64
+}
+
+// Figure16Result holds the §8.1 microbenchmark evaluation.
+type Figure16Result struct {
+	Cells []SpeedupCell
+	// Elements is the evaluated working-set size (the paper's 8 KB of
+	// 32-bit elements).
+	Elements int
+}
+
+// Speedup returns the modeled speedup for (mfr, benchmark, x).
+func (f Figure16Result) Speedup(mfr string, b bitserial.Benchmark, x int) (float64, bool) {
+	for _, c := range f.Cells {
+		if c.Mfr == mfr && c.Benchmark == b && c.X == x {
+			return c.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+// AverageSpeedup averages a manufacturer's speedups over the benchmarks
+// for one majority width.
+func (f Figure16Result) AverageSpeedup(mfr string, x int) float64 {
+	sum, n := 0.0, 0
+	for _, c := range f.Cells {
+		if c.Mfr == mfr && c.X == x {
+			sum += c.Speedup
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// mfrWidths lists the majority widths evaluated per manufacturer
+// (§8.1: MAJ3/5/7 for Mfr. M, MAJ3/5/7/9 for Mfr. H).
+func mfrWidths(mfr string) []int {
+	if mfr == "M" {
+		return []int{3, 5, 7}
+	}
+	return []int{3, 5, 7, 9}
+}
+
+// Figure16 evaluates the seven arithmetic & logic microbenchmarks: the
+// measured best-group MAJX success rates drive the analytical
+// execution-time model, normalized to the MAJ3-with-4-row-activation
+// baseline (the state of the art prior to this paper).
+func (r *Runner) Figure16() (Figure16Result, error) {
+	const elements = 2048 // 8 KB of 32-bit elements
+	model := bitserial.NewCostModel()
+	out := Figure16Result{Elements: elements}
+
+	for _, mfr := range []string{"M", "H"} {
+		fracOK := mfr == "H"
+		lanes := 0
+		for _, m := range r.mods {
+			if m.Spec().Profile.Name == mfr {
+				lanes = m.Spec().Columns
+				break
+			}
+		}
+		if lanes == 0 {
+			continue // manufacturer not in this fleet
+		}
+		// Computation workloads exercise worst-case one-vote margins (AND
+		// gates, carry chains), so throughput is measured on the
+		// adversarial split pattern rather than the characterization's
+		// random mixture.
+		base, err := r.bestSweepRate(mfr, core.SweepConfig{
+			Op: core.OpMAJ, X: 3, N: 4,
+			Timings: timing.BestMAJ(), Pattern: dram.PatternSplit,
+		}, analog.NominalEnv())
+		if err != nil {
+			return Figure16Result{}, err
+		}
+		for _, x := range mfrWidths(mfr) {
+			sx, err := r.bestSweepRate(mfr, core.SweepConfig{
+				Op: core.OpMAJ, X: x, N: 32,
+				Timings: timing.BestMAJ(), Pattern: dram.PatternSplit,
+			}, analog.NominalEnv())
+			if err != nil {
+				return Figure16Result{}, err
+			}
+			for _, b := range bitserial.Benchmarks {
+				speedup, err := model.Speedup(b, x, elements, lanes, sx, base, fracOK)
+				if err != nil {
+					return Figure16Result{}, err
+				}
+				out.Cells = append(out.Cells, SpeedupCell{
+					Mfr: mfr, Benchmark: b, X: x,
+					Speedup: speedup, SuccessX: sx, SuccessBase: base,
+				})
+			}
+		}
+	}
+	if len(out.Cells) == 0 {
+		return Figure16Result{}, fmt.Errorf("charexp: fleet has no MAJ-capable manufacturer")
+	}
+	return out, nil
+}
+
+// Table renders Fig. 16.
+func (f Figure16Result) Table() Table {
+	t := Table{
+		ID:      "Fig16",
+		Title:   "Microbenchmark speedup of MAJX over the MAJ3@4-row baseline",
+		Columns: []string{"mfr", "benchmark", "MAJ", "speedup", "best success"},
+	}
+	for _, c := range f.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Mfr, string(c.Benchmark), fmt.Sprint(c.X),
+			fmt.Sprintf("%.2fx", c.Speedup), pct(c.SuccessX),
+		})
+	}
+	return t
+}
+
+// DestructionCell is one bar of Fig. 17.
+type DestructionCell struct {
+	Technique coldboot.Technique
+	BankNS    float64
+	Speedup   float64 // over RowClone-based destruction
+}
+
+// Figure17Result holds the §8.2 content-destruction evaluation.
+type Figure17Result struct {
+	Cells []DestructionCell
+}
+
+// Speedup returns the speedup of a technique over RowClone.
+func (f Figure17Result) Speedup(t coldboot.Technique) (float64, bool) {
+	for _, c := range f.Cells {
+		if c.Technique == t {
+			return c.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+// Figure17 measures content-destruction operation counts functionally on a
+// Frac-capable module's subarray, scales them to a 4 Gb bank, and reports
+// speedups over RowClone-based destruction.
+func (r *Runner) Figure17() (Figure17Result, error) {
+	var mod *dram.Module
+	for _, m := range r.mods {
+		if m.Spec().Profile.FracSupported && !m.Spec().Profile.APAGuarded {
+			mod = m
+			break
+		}
+	}
+	if mod == nil {
+		return Figure17Result{}, fmt.Errorf("charexp: fleet has no Frac-capable module")
+	}
+	model := coldboot.NewModel()
+	model.RowsPerBank = mod.RowsPerSubarray() * model.SubarraysPerBank
+
+	times := make([]float64, len(coldboot.Techniques))
+	for i, tech := range coldboot.Techniques {
+		// A fresh subarray per technique so destruction runs are
+		// independent; the op counts are deterministic.
+		sa, err := mod.Subarray(r.cfg.Banks%mod.Spec().Banks, i+8)
+		if err != nil {
+			return Figure17Result{}, err
+		}
+		d, err := coldboot.NewDestroyer(mod)
+		if err != nil {
+			return Figure17Result{}, err
+		}
+		counts, err := d.DestroySubarray(sa, tech)
+		if err != nil {
+			return Figure17Result{}, err
+		}
+		times[i] = model.BankTime(counts)
+	}
+	base := times[0] // RowClone is first in coldboot.Techniques
+	out := Figure17Result{}
+	for i, tech := range coldboot.Techniques {
+		out.Cells = append(out.Cells, DestructionCell{
+			Technique: tech,
+			BankNS:    times[i],
+			Speedup:   base / times[i],
+		})
+	}
+	return out, nil
+}
+
+// Table renders Fig. 17.
+func (f Figure17Result) Table() Table {
+	t := Table{
+		ID:      "Fig17",
+		Title:   "Content-destruction speedup over RowClone-based destruction (4 Gb bank)",
+		Columns: []string{"technique", "bank time (ms)", "speedup"},
+	}
+	for _, c := range f.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Technique.String(),
+			fmt.Sprintf("%.3f", c.BankNS/1e6),
+			fmt.Sprintf("%.2fx", c.Speedup),
+		})
+	}
+	return t
+}

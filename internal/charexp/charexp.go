@@ -1,0 +1,248 @@
+// Package charexp is the characterization harness: one runner per table
+// and figure of the paper's evaluation, producing the same rows/series the
+// paper reports. Each FigureN method reproduces the corresponding figure;
+// results carry both structured data (asserted by the observation tests)
+// and a rendered table (printed by cmd/simra-char and recorded in
+// EXPERIMENTS.md).
+package charexp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+// Config scopes a characterization run.
+type Config struct {
+	// Fleet is the module population (default: fleet.Representative — one
+	// module per die group; use fleet.Modules for the full Table 1/2 run).
+	Fleet []fleet.Entry
+	// Params is the electrical model (default: analog.DefaultParams).
+	Params analog.Params
+	// Trials per row group (default 4; the paper uses 10000 — see
+	// DESIGN.md §5 on why the metric converges quickly here).
+	Trials int
+	// GroupsPerSubarray, SubarraysPerBank and Banks bound the sampling per
+	// module (paper: 100 groups × 3 subarrays × 16 banks).
+	GroupsPerSubarray int
+	SubarraysPerBank  int
+	Banks             int
+	// Seed feeds group sampling and data generation.
+	Seed uint64
+}
+
+// DefaultConfig returns the standard reduced-scale configuration used by
+// the examples and benchmarks. It samples ~2 orders of magnitude fewer
+// (group × trial) instances than the paper; sampling is deterministic.
+func DefaultConfig() Config {
+	fc := fleet.DefaultConfig()
+	fc.Columns = 512
+	return Config{
+		Fleet:             fleet.Representative(fc),
+		Params:            analog.DefaultParams(),
+		Trials:            4,
+		GroupsPerSubarray: 6,
+		SubarraysPerBank:  1,
+		Banks:             2,
+		Seed:              0xd5a,
+	}
+}
+
+// Runner executes experiments against an instantiated fleet.
+type Runner struct {
+	cfg  Config
+	mods []*dram.Module
+}
+
+// NewRunner instantiates the fleet of the configuration.
+func NewRunner(cfg Config) (*Runner, error) {
+	if len(cfg.Fleet) == 0 {
+		return nil, fmt.Errorf("charexp: empty fleet")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("charexp: trials must be positive")
+	}
+	mods, err := fleet.Build(cfg.Fleet, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, mods: mods}, nil
+}
+
+// Modules exposes the instantiated fleet (used by the case studies).
+func (r *Runner) Modules() []*dram.Module { return r.mods }
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// pooledSweep runs one sweep configuration across every applicable module
+// of the fleet under the given environment and pools the per-group success
+// rates, mirroring the paper's "distribution across all tested row groups
+// in all DRAM chips". Modules whose profile cannot run the configuration
+// (MAJ width beyond MaxMAJ, guarded chips) are skipped; an error is
+// returned if no module applies.
+func (r *Runner) pooledSweep(sc core.SweepConfig, env analog.Env) ([]float64, error) {
+	sc.GroupsPerSubarray = r.cfg.GroupsPerSubarray
+	sc.SubarraysPerBank = r.cfg.SubarraysPerBank
+	sc.Banks = r.cfg.Banks
+
+	var pooled []float64
+	ran := false
+	for _, mod := range r.mods {
+		profile := mod.Spec().Profile
+		if profile.APAGuarded {
+			continue
+		}
+		if sc.Op == core.OpMAJ && sc.X > profile.MaxMAJ {
+			continue
+		}
+		tester, err := core.NewTester(mod,
+			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		res, err := tester.RunSweep(sc)
+		if err != nil {
+			return nil, fmt.Errorf("charexp: module %s: %w", mod.Spec().ID, err)
+		}
+		pooled = append(pooled, res.Rates()...)
+		ran = true
+	}
+	if !ran {
+		return nil, fmt.Errorf("charexp: no module in the fleet can run %v (X=%d)", sc.Op, sc.X)
+	}
+	return pooled, nil
+}
+
+// bestSweepRate returns the highest per-group success rate across modules
+// of one manufacturer for a MAJ configuration (the §8.1 "highest
+// throughput group" selection).
+func (r *Runner) bestSweepRate(mfr string, sc core.SweepConfig, env analog.Env) (float64, error) {
+	sc.GroupsPerSubarray = r.cfg.GroupsPerSubarray
+	sc.SubarraysPerBank = r.cfg.SubarraysPerBank
+	sc.Banks = r.cfg.Banks
+
+	best := 0.0
+	ran := false
+	for _, mod := range r.mods {
+		profile := mod.Spec().Profile
+		if profile.Name != mfr || profile.APAGuarded {
+			continue
+		}
+		if sc.Op == core.OpMAJ && sc.X > profile.MaxMAJ {
+			continue
+		}
+		tester, err := core.NewTester(mod,
+			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
+		if err != nil {
+			return 0, err
+		}
+		res, err := tester.RunSweep(sc)
+		if err != nil {
+			return 0, err
+		}
+		if b := res.BestRate(); b > best {
+			best = b
+		}
+		ran = true
+	}
+	if !ran {
+		return 0, fmt.Errorf("charexp: no %s module can run MAJ%d", mfr, sc.X)
+	}
+	return best, nil
+}
+
+// Table is a rendered experiment result: the rows/series a figure reports.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render returns the table in aligned plain text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row,
+// for downstream plotting.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a rate as a percentage.
+func pct(rate float64) string { return fmt.Sprintf("%.2f%%", rate*100) }
+
+// summaryCells renders a stats summary as distribution columns.
+func summaryCells(s stats.Summary) []string {
+	return []string{
+		pct(s.Mean), pct(s.Min), pct(s.Q1), pct(s.Median), pct(s.Q3), pct(s.Max),
+	}
+}
+
+var summaryColumns = []string{"mean", "min", "q1", "median", "q3", "max"}
+
+// sortedKeys returns map keys in sorted order for deterministic rendering.
+func sortedKeys[K int | float64, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,220 @@
+package charexp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitserial"
+	"repro/internal/coldboot"
+	"repro/internal/decoder"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+)
+
+// smallConfig keeps harness tests fast: two modules, minimal sampling.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	fc := fleet.DefaultConfig()
+	fc.Columns = 128
+	reps := fleet.Representative(fc)
+	cfg.Fleet = []fleet.Entry{reps[0], reps[3]} // one H, one M
+	cfg.Trials = 2
+	cfg.GroupsPerSubarray = 3
+	cfg.Banks = 1
+	return cfg
+}
+
+func smallRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fleet = nil
+	if _, err := NewRunner(cfg); err == nil {
+		t.Fatal("empty fleet should fail")
+	}
+	cfg = smallConfig()
+	cfg.Trials = 0
+	if _, err := NewRunner(cfg); err == nil {
+		t.Fatal("zero trials should fail")
+	}
+}
+
+func TestSmallConfigFleetMix(t *testing.T) {
+	r := smallRunner(t)
+	names := map[string]bool{}
+	for _, m := range r.Modules() {
+		names[m.Spec().Profile.Name] = true
+	}
+	if !names["H"] || !names["M"] {
+		t.Fatalf("test fleet should span both manufacturers: %v", names)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	got := tab.Render()
+	if !strings.Contains(got, "T — demo") || !strings.Contains(got, "long-column") {
+		t.Fatalf("render missing headers:\n%s", got)
+	}
+	if len(strings.Split(strings.TrimSpace(got), "\n")) != 5 {
+		t.Fatalf("unexpected line count:\n%s", got)
+	}
+}
+
+func TestTablePopulation(t *testing.T) {
+	tab := TablePopulation(fleet.Modules(fleet.DefaultConfig()))
+	if tab.ID != "Table1" || len(tab.Rows) != 19 { // 18 modules + total
+		t.Fatalf("population table rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "120") {
+		t.Fatal("total chips missing")
+	}
+}
+
+func TestDecoderWalkthrough(t *testing.T) {
+	tab, err := DecoderWalkthrough(decoder.Hynix512())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := tab.Render()
+	if !strings.Contains(rendered, "ACT 127 → PRE → ACT 128") ||
+		!strings.Contains(rendered, "32:") {
+		t.Fatalf("walkthrough missing the 32-row example:\n%s", rendered)
+	}
+}
+
+func TestFigure4aTrend(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(ActivationRows)*5 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	m50, ok := res.Mean(50, 8)
+	if !ok {
+		t.Fatal("missing cell")
+	}
+	if m50 < 0.99 {
+		t.Fatalf("8-row at 50C = %.4f", m50)
+	}
+	if res.Table().ID != "Fig4a" {
+		t.Fatal("bad table ID")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Margin32 < 0.15 || res.Margin32 > 0.30 {
+		t.Fatalf("margin below REF = %v", res.Margin32)
+	}
+	if len(res.SiMRAmW) != 5 || len(res.StandardMW) != 4 {
+		t.Fatalf("unexpected sizes: %v %v", res.SiMRAmW, res.StandardMW)
+	}
+	if res.Table().ID != "Fig5" {
+		t.Fatal("bad table ID")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3*len(CopyDestinations) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, p := range dram.CopyPatterns {
+		m, ok := res.Mean(p, 7)
+		if !ok || m < 0.98 {
+			t.Fatalf("copy to 7 dests with %v = %v", p, m)
+		}
+	}
+}
+
+func TestFigure15(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure15(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := res.Perturbation[4][0].Mean
+	p32 := res.Perturbation[32][0].Mean
+	if p32 <= p4 {
+		t.Fatalf("32-row perturbation %v not above 4-row %v", p32, p4)
+	}
+	if _, ok := res.Success[1]; ok {
+		t.Fatal("single-row should have no success entry")
+	}
+	if res.Table().ID != "Fig15" {
+		t.Fatal("bad table ID")
+	}
+}
+
+func TestFigure16Shape(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mfr. M is evaluated without MAJ9; Mfr. H includes it.
+	if _, ok := res.Speedup("M", bitserial.BenchADD, 9); ok {
+		t.Fatal("Mfr. M should not report MAJ9")
+	}
+	s5, ok := res.Speedup("H", bitserial.BenchADD, 5)
+	if !ok {
+		t.Fatal("missing H/ADD/5")
+	}
+	if s5 <= 1 {
+		t.Fatalf("MAJ5 ADD speedup = %.2f, want > 1", s5)
+	}
+	if res.Table().ID != "Fig16" {
+		t.Fatal("bad table ID")
+	}
+}
+
+func TestFigure17Shape(t *testing.T) {
+	r := smallRunner(t)
+	res, err := r.Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(coldboot.Techniques) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	s32, ok := res.Speedup(coldboot.Technique{Kind: "mrc", N: 32})
+	if !ok {
+		t.Fatal("missing 32-row cell")
+	}
+	if s32 < 8 {
+		t.Fatalf("32-row destruction speedup = %.1f, want order 10-30", s32)
+	}
+	if res.Table().ID != "Fig17" {
+		t.Fatal("bad table ID")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := sortedKeys(m)
+	if keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,117 @@
+package charexp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// ModuleCell is one module's summary for one headline operation.
+type ModuleCell struct {
+	Module  string
+	Mfr     string
+	DieRev  string
+	Op      string
+	Summary stats.Summary
+}
+
+// PerModuleResult is the per-module breakdown the paper's extended version
+// tabulates: the three headline operations measured on every module of the
+// fleet individually.
+type PerModuleResult struct {
+	Cells []ModuleCell
+}
+
+// Mean returns a module's mean success for one of the operation labels
+// ("activation32", "maj3x32", "copy31").
+func (f PerModuleResult) Mean(module, op string) (float64, bool) {
+	for _, c := range f.Cells {
+		if c.Module == module && c.Op == op {
+			return c.Summary.Mean, true
+		}
+	}
+	return 0, false
+}
+
+// PerModule characterizes every module of the fleet individually at the
+// headline operating points: 32-row activation, MAJ3 with 32-row
+// activation, and Multi-RowCopy to 31 destinations.
+func (r *Runner) PerModule() (PerModuleResult, error) {
+	type opSpec struct {
+		label string
+		cfg   core.SweepConfig
+	}
+	ops := []opSpec{
+		{"activation32", core.SweepConfig{
+			Op: core.OpManyRowActivation, N: 32,
+			Timings: timing.BestSiMRA(), Pattern: dram.PatternRandom,
+		}},
+		{"maj3x32", core.SweepConfig{
+			Op: core.OpMAJ, X: 3, N: 32,
+			Timings: timing.BestMAJ(), Pattern: dram.PatternRandom,
+		}},
+		{"copy31", core.SweepConfig{
+			Op: core.OpMultiRowCopy, N: 32,
+			Timings: timing.BestCopy(), Pattern: dram.PatternRandom,
+		}},
+	}
+
+	var out PerModuleResult
+	for _, mod := range r.mods {
+		profile := mod.Spec().Profile
+		if profile.APAGuarded {
+			// Samsung control modules: record zero rows to make the §9
+			// contrast visible in the table.
+			for _, op := range ops {
+				out.Cells = append(out.Cells, ModuleCell{
+					Module: mod.Spec().ID, Mfr: profile.Name,
+					DieRev: mod.Spec().DieRev, Op: op.label,
+				})
+			}
+			continue
+		}
+		tester, err := core.NewTester(mod,
+			core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
+		if err != nil {
+			return PerModuleResult{}, err
+		}
+		for _, op := range ops {
+			cfg := op.cfg
+			cfg.Banks = r.cfg.Banks
+			cfg.SubarraysPerBank = r.cfg.SubarraysPerBank
+			cfg.GroupsPerSubarray = r.cfg.GroupsPerSubarray
+			res, err := tester.RunSweep(cfg)
+			if err != nil {
+				return PerModuleResult{}, err
+			}
+			out.Cells = append(out.Cells, ModuleCell{
+				Module: mod.Spec().ID, Mfr: profile.Name,
+				DieRev: mod.Spec().DieRev, Op: op.label,
+				Summary: res.Summary(),
+			})
+		}
+	}
+	if len(out.Cells) == 0 {
+		return PerModuleResult{}, fmt.Errorf("charexp: empty fleet")
+	}
+	return out, nil
+}
+
+// Table renders the per-module breakdown.
+func (f PerModuleResult) Table() Table {
+	t := Table{
+		ID:      "TableModules",
+		Title:   "Per-module success rates at the headline operating points",
+		Columns: []string{"module", "mfr", "die", "operation", "mean", "min", "max"},
+	}
+	for _, c := range f.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Module, c.Mfr, c.DieRev, c.Op,
+			pct(c.Summary.Mean), pct(c.Summary.Min), pct(c.Summary.Max),
+		})
+	}
+	return t
+}

@@ -1,0 +1,355 @@
+// Package coldboot implements the paper's §8.2 case study: rapid DRAM
+// content destruction to prevent cold-boot attacks, built from the three
+// PUD primitives — RowClone, Frac, and Multi-RowCopy with 2–32-row
+// activation.
+//
+// The functional layer really destroys a simulated subarray's contents and
+// counts the operations it needed; the analytic layer scales those counts
+// to a full bank and produces Fig. 17's speedups.
+package coldboot
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// Technique identifies a content-destruction scheme (Fig. 17's x-axis).
+type Technique struct {
+	// Kind is "rowclone", "frac" or "mrc".
+	Kind string
+	// N is the activation-group size for the "mrc" kind (2–32).
+	N int
+}
+
+// The Fig. 17 techniques in plot order.
+var Techniques = []Technique{
+	{Kind: "rowclone"},
+	{Kind: "frac"},
+	{Kind: "mrc", N: 2},
+	{Kind: "mrc", N: 4},
+	{Kind: "mrc", N: 8},
+	{Kind: "mrc", N: 16},
+	{Kind: "mrc", N: 32},
+}
+
+// String returns the Fig. 17 label.
+func (t Technique) String() string {
+	switch t.Kind {
+	case "rowclone":
+		return "RowClone"
+	case "frac":
+		return "Frac"
+	case "mrc":
+		return fmt.Sprintf("%d-row Activation", t.N)
+	default:
+		return fmt.Sprintf("Technique(%s)", t.Kind)
+	}
+}
+
+// Validate reports whether the technique is well-formed.
+func (t Technique) Validate() error {
+	switch t.Kind {
+	case "rowclone", "frac":
+		return nil
+	case "mrc":
+		if t.N < 2 || t.N > 32 || t.N&(t.N-1) != 0 {
+			return fmt.Errorf("coldboot: MRC group size %d must be a power of two in [2,32]", t.N)
+		}
+		return nil
+	default:
+		return fmt.Errorf("coldboot: unknown technique %q", t.Kind)
+	}
+}
+
+// OpCounts tallies what a destruction run issued.
+type OpCounts struct {
+	WR       int // full-row writes over the channel
+	RowClone int
+	Frac     int
+	MRC      map[int]int // activation size → APA copies
+}
+
+// Destroyer wipes subarrays with a given technique.
+type Destroyer struct {
+	mod *dram.Module
+	env analog.Env
+}
+
+// NewDestroyer builds a destroyer for the module.
+func NewDestroyer(mod *dram.Module) (*Destroyer, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("coldboot: nil module")
+	}
+	if mod.Spec().Profile.APAGuarded {
+		return nil, fmt.Errorf("coldboot: %s chips do not support PUD destruction",
+			mod.Spec().Profile.Manufacturer)
+	}
+	return &Destroyer{mod: mod, env: analog.NominalEnv()}, nil
+}
+
+// DestroySubarray overwrites every row of the subarray using the
+// technique, returning the operation counts. The kill pattern is all-0s
+// (RowClone/MRC) or the neutral VDD/2 state (Frac).
+func (d *Destroyer) DestroySubarray(sa *dram.Subarray, t Technique) (OpCounts, error) {
+	if err := t.Validate(); err != nil {
+		return OpCounts{}, err
+	}
+	switch t.Kind {
+	case "frac":
+		return d.destroyFrac(sa)
+	case "rowclone":
+		return d.destroyMRC(sa, 2) // RowClone is the 2-row special case
+	default:
+		return d.destroyMRC(sa, t.N)
+	}
+}
+
+func (d *Destroyer) destroyFrac(sa *dram.Subarray) (OpCounts, error) {
+	counts := OpCounts{}
+	for r := 0; r < sa.Rows(); r++ {
+		if err := sa.SetFracRow(r); err != nil {
+			return OpCounts{}, err
+		}
+		counts.Frac++
+	}
+	return counts, nil
+}
+
+// destroyMRC wipes the subarray with n-row-activation copies in two
+// phases:
+//
+//  1. Seed: one WR puts the kill pattern into row 0 (a group
+//     representative), then representative-to-representative APA copies
+//     propagate it to one row of every tile group. The activated set of an
+//     APA between two representatives consists entirely of
+//     representatives, so each seeding operation seeds up to n groups at
+//     once while respecting the technique's activation-size bound.
+//  2. Blast: one APA per group from its (destroyed) representative to the
+//     row differing in all d tile fields activates exactly the group and
+//     overwrites every row in it.
+//
+// RowClone-based destruction is the n=2 special case and degenerates to
+// one copy per row, matching the paper's baseline.
+func (d *Destroyer) destroyMRC(sa *dram.Subarray, n int) (OpCounts, error) {
+	dec := d.mod.Decoder()
+	rows := sa.Rows()
+	counts := OpCounts{MRC: make(map[int]int)}
+
+	fields := 0
+	for m := n; m > 1; m >>= 1 {
+		fields++
+	}
+	// tileMask clears the low bit of each of the first `fields` predecoder
+	// fields: a row's group representative.
+	repOf := func(r int) int {
+		for f := 0; f < fields; f++ {
+			r = dec.SetField(r, f, dec.FieldValue(r, f)&^1)
+		}
+		return r
+	}
+
+	kill := make([]bool, sa.Cols())
+	if err := sa.WriteRow(0, kill); err != nil {
+		return OpCounts{}, err
+	}
+	counts.WR++
+
+	opts := dram.APAOptions{Timings: timing.BestCopy(), Env: d.env}
+	apa := func(src, dst int) ([]int, error) {
+		res, err := sa.APA(src, dst, opts)
+		if err != nil {
+			return nil, err
+		}
+		sa.Precharge()
+		if n == 2 {
+			counts.RowClone++
+		} else {
+			counts.MRC[len(res.Activated)]++
+		}
+		return res.Activated, nil
+	}
+
+	// Phase 1: seed every group representative.
+	seeded := make(map[int]bool, rows/n)
+	seeded[repOf(0)] = true
+	for u := 0; u < rows; u++ {
+		rep := repOf(u)
+		if rep != u || seeded[rep] {
+			continue
+		}
+		// Hop from the nearest seeded representative, changing at most
+		// `fields` predecoder fields per APA.
+		src, dist := -1, 1<<30
+		for s := range seeded {
+			if df := dec.DifferingFields(s, rep); df < dist {
+				src, dist = s, df
+			}
+		}
+		if src < 0 {
+			return OpCounts{}, fmt.Errorf("coldboot: no seeded representative")
+		}
+		for src != rep {
+			next := src
+			changed := 0
+			for f := 0; f < dec.NumFields() && changed < fields; f++ {
+				if dec.FieldValue(next, f) != dec.FieldValue(rep, f) {
+					next = dec.SetField(next, f, dec.FieldValue(rep, f))
+					changed++
+				}
+			}
+			if next >= rows {
+				// Partially populated subarray: route through the
+				// representative's populated neighbourhood one field at a
+				// time.
+				next = src
+				for f := 0; f < dec.NumFields(); f++ {
+					if dec.FieldValue(next, f) != dec.FieldValue(rep, f) {
+						cand := dec.SetField(next, f, dec.FieldValue(rep, f))
+						if cand < rows {
+							next = cand
+							break
+						}
+					}
+				}
+				if next == src {
+					return OpCounts{}, fmt.Errorf("coldboot: cannot route to representative %d", rep)
+				}
+			}
+			acts, err := apa(src, next)
+			if err != nil {
+				return OpCounts{}, err
+			}
+			for _, r := range acts {
+				if repOf(r) == r {
+					seeded[r] = true
+				}
+			}
+			src = next
+		}
+	}
+
+	// Phase 2: blast each group from its representative.
+	for u := 0; u < rows; u++ {
+		rep := repOf(u)
+		if rep != u {
+			continue
+		}
+		far := rep
+		for f := 0; f < fields; f++ {
+			far = dec.SetField(far, f, dec.FieldValue(far, f)|1)
+		}
+		if far == rep {
+			continue // single-row group (n == 1 cannot happen; guard anyway)
+		}
+		if far >= rows {
+			continue // clipped group in a partially populated subarray
+		}
+		if _, err := apa(rep, far); err != nil {
+			return OpCounts{}, err
+		}
+	}
+
+	// Mop up any rows a clipped group left behind (640-row subarrays).
+	for u := 0; u < rows; u++ {
+		got, err := sa.ReadRow(u)
+		if err != nil {
+			return OpCounts{}, err
+		}
+		clean := true
+		for c := range got {
+			if got[c] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			continue
+		}
+		src := repOf(u)
+		if src == u {
+			src = 0
+		}
+		if _, err := apa(src, u); err != nil {
+			return OpCounts{}, err
+		}
+	}
+	return counts, nil
+}
+
+// VerifyDestroyed measures how much of the secret is still recoverable
+// from the subarray: the distinguishability |P(read 1 | secret 1) −
+// P(read 1 | secret 0)| pooled over the provided secret rows. An intact
+// row scores 1; a row overwritten with a constant or left in the neutral
+// VDD/2 state (whose readout is uncorrelated amplifier bias) scores ~0.
+func VerifyDestroyed(sa *dram.Subarray, secrets map[int][]bool) (float64, error) {
+	var ones1, total1, ones0, total0 int
+	for row, secret := range secrets {
+		got, err := sa.ReadRow(row)
+		if err != nil {
+			return 0, err
+		}
+		for c := range got {
+			if secret[c] {
+				total1++
+				if got[c] {
+					ones1++
+				}
+			} else {
+				total0++
+				if got[c] {
+					ones0++
+				}
+			}
+		}
+	}
+	if total1 == 0 || total0 == 0 {
+		return 0, nil
+	}
+	p1 := float64(ones1) / float64(total1)
+	p0 := float64(ones0) / float64(total0)
+	diff := p1 - p0
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff, nil
+}
+
+// Model converts destruction op counts to bank-level execution time.
+type Model struct {
+	Latency bender.LatencyModel
+	// RowsPerBank and SubarraysPerBank describe the bank geometry (4 Gb
+	// x8: 65536 rows in 128 subarrays of 512).
+	RowsPerBank      int
+	SubarraysPerBank int
+}
+
+// NewModel returns the 4 Gb x8 bank configuration.
+func NewModel() Model {
+	return Model{
+		Latency:          bender.NewLatencyModel(),
+		RowsPerBank:      65536,
+		SubarraysPerBank: 128,
+	}
+}
+
+// SubarrayTime converts one subarray's measured op counts to nanoseconds.
+func (m Model) SubarrayTime(c OpCounts) float64 {
+	t := float64(c.WR) * m.Latency.WriteRow()
+	t += float64(c.RowClone) * m.Latency.RowClone()
+	t += float64(c.Frac) * m.Latency.Frac()
+	for n, count := range c.MRC {
+		t += float64(count) * m.Latency.MultiRowCopy(n)
+	}
+	return t
+}
+
+// BankTime scales one subarray's ops to the full bank: every subarray
+// repeats the same schedule (the WR seed cannot RowClone across subarray
+// boundaries, so each subarray pays it again).
+func (m Model) BankTime(c OpCounts) float64 {
+	return float64(m.SubarraysPerBank) * m.SubarrayTime(c)
+}

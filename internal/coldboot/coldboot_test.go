@@ -1,0 +1,220 @@
+package coldboot
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+)
+
+func testSubarray(t *testing.T, profile dram.Profile) (*dram.Module, *dram.Subarray) {
+	t.Helper()
+	spec := dram.NewSpec("coldboot-test", profile, 0xdead)
+	spec.Columns = 64
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, sa
+}
+
+// fillSecrets writes distinctive data into a spread of rows.
+func fillSecrets(t *testing.T, sa *dram.Subarray) map[int][]bool {
+	t.Helper()
+	secrets := make(map[int][]bool)
+	for _, row := range []int{1, 7, 63, 100, 255, 300, 511} {
+		if row >= sa.Rows() {
+			continue
+		}
+		data := dram.PatternRandom.FillRow(uint64(row), 0, sa.Cols())
+		if err := sa.WriteRow(row, data); err != nil {
+			t.Fatal(err)
+		}
+		secrets[row] = data
+	}
+	return secrets
+}
+
+func TestTechniqueValidate(t *testing.T) {
+	for _, tech := range Techniques {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%v: %v", tech, err)
+		}
+	}
+	bad := []Technique{
+		{Kind: "mrc", N: 3}, {Kind: "mrc", N: 64}, {Kind: "mrc", N: 0}, {Kind: "zap"},
+	}
+	for _, tech := range bad {
+		if err := tech.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", tech)
+		}
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	if Techniques[0].String() != "RowClone" || Techniques[6].String() != "32-row Activation" {
+		t.Fatal("unexpected labels")
+	}
+}
+
+func TestNewDestroyerRejectsSamsung(t *testing.T) {
+	mod, _ := testSubarray(t, dram.ProfileS)
+	if _, err := NewDestroyer(mod); err == nil {
+		t.Fatal("Samsung should be rejected")
+	}
+	if _, err := NewDestroyer(nil); err == nil {
+		t.Fatal("nil module should be rejected")
+	}
+}
+
+func TestDestroyAllTechniques(t *testing.T) {
+	for _, tech := range Techniques {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			profile := dram.ProfileH
+			if tech.Kind == "frac" {
+				profile = dram.ProfileH // Frac needs H
+			}
+			mod, sa := testSubarray(t, profile)
+			secrets := fillSecrets(t, sa)
+			d, err := NewDestroyer(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts, err := d.DestroySubarray(sa, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			survived, err := VerifyDestroyed(sa, secrets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if survived > 0.05 {
+				t.Fatalf("%.4f of secret bits survived %v", survived, tech)
+			}
+			total := counts.WR + counts.RowClone + counts.Frac
+			for _, c := range counts.MRC {
+				total += c
+			}
+			if total == 0 {
+				t.Fatal("no operations recorded")
+			}
+		})
+	}
+}
+
+// TestMRCOpCountsShrinkWithN: larger activation groups destroy the
+// subarray in fewer operations — the mechanism behind Fig. 17.
+func TestMRCOpCountsShrinkWithN(t *testing.T) {
+	model := NewModel()
+	prevOps := 1 << 30
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		mod, sa := testSubarray(t, dram.ProfileH)
+		d, err := NewDestroyer(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := d.DestroySubarray(sa, Technique{Kind: "mrc", N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := counts.RowClone
+		for _, c := range counts.MRC {
+			ops += c
+		}
+		if ops >= prevOps {
+			t.Fatalf("n=%d needed %d ops, not below previous %d", n, ops, prevOps)
+		}
+		prevOps = ops
+		if model.SubarrayTime(counts) <= 0 {
+			t.Fatal("non-positive destruction time")
+		}
+	}
+}
+
+// TestFig17Speedups: MRC-based destruction beats RowClone-based by an
+// order of magnitude at 32-row activation and also beats Frac (paper: up
+// to 20.87x and 7.55x).
+func TestFig17Speedups(t *testing.T) {
+	model := NewModel()
+	times := make(map[string]float64)
+	for _, tech := range Techniques {
+		mod, sa := testSubarray(t, dram.ProfileH)
+		d, err := NewDestroyer(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := d.DestroySubarray(sa, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[tech.String()] = model.BankTime(counts)
+	}
+	base := times["RowClone"]
+	frac := times["Frac"]
+	mrc32 := times["32-row Activation"]
+	if !(mrc32 < frac && frac < base) {
+		t.Fatalf("expected MRC32 < Frac < RowClone, got %v", times)
+	}
+	if speedup := base / mrc32; speedup < 8 || speedup > 40 {
+		t.Fatalf("32-row speedup over RowClone = %.1f, want O(10-30) (paper 20.87)", speedup)
+	}
+	if speedup := frac / mrc32; speedup < 3 || speedup > 15 {
+		t.Fatalf("32-row speedup over Frac = %.1f, want O(4-10) (paper 7.55)", speedup)
+	}
+	// Speedup grows monotonically with activation size.
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		s := base / times[Technique{Kind: "mrc", N: n}.String()]
+		if s <= prev {
+			t.Fatalf("speedup not increasing at n=%d", n)
+		}
+		prev = s
+	}
+}
+
+func TestDestroy640RowSubarray(t *testing.T) {
+	mod, sa := testSubarray(t, dram.ProfileH640)
+	secrets := fillSecrets(t, sa)
+	d, err := NewDestroyer(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DestroySubarray(sa, Technique{Kind: "mrc", N: 32}); err != nil {
+		t.Fatal(err)
+	}
+	survived, err := VerifyDestroyed(sa, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived > 0.05 {
+		t.Fatalf("%.4f of secret bits survived in 640-row subarray", survived)
+	}
+}
+
+func TestVerifyDestroyedDetectsSurvivors(t *testing.T) {
+	_, sa := testSubarray(t, dram.ProfileH)
+	secrets := fillSecrets(t, sa)
+	survived, err := VerifyDestroyed(sa, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived < 0.9 {
+		t.Fatalf("undestroyed subarray should retain ~all secret 1-bits, got %.3f", survived)
+	}
+}
+
+func TestInvalidTechniqueRejected(t *testing.T) {
+	mod, sa := testSubarray(t, dram.ProfileH)
+	d, err := NewDestroyer(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DestroySubarray(sa, Technique{Kind: "mrc", N: 5}); err == nil {
+		t.Fatal("invalid group size should fail")
+	}
+}

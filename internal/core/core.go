@@ -1,0 +1,372 @@
+// Package core implements the paper's contribution: the
+// simultaneous-many-row-activation PUD operations on COTS DRAM chips and
+// the methodology that characterizes their robustness.
+//
+// The three operation families follow §3.2–§3.4 exactly:
+//
+//   - ManyRowActivation: APA with violated timings, then a WR that
+//     overdrives the bitlines; success = activated cells store the WR data.
+//   - MAJ (MAJX, X ∈ {3,5,7,9}): operands replicated ⌊N/X⌋ times across the
+//     activated rows, leftovers neutralized with Frac (or solid values on
+//     chips without Frac support); success = cells store the majority of
+//     the X operands.
+//   - MultiRowCopy: t1 = tRAS latches the source into the sense amps, the
+//     violated-tRP second ACT opens the destinations; success = destination
+//     cells store the source data.
+//
+// Success rate is the paper's metric: the percentage of cells that produce
+// the correct result in *all* trials of an operation (§3.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/timing"
+	"repro/internal/xrand"
+)
+
+// SuccessResult counts the outcome of one characterized row group.
+type SuccessResult struct {
+	// Cells is the number of cells whose result was checked.
+	Cells int
+	// Stable is the number of cells correct in every trial.
+	Stable int
+	// Viable reports whether the operation's group resolved
+	// deterministically in every trial (majority operations only; true
+	// otherwise).
+	Viable bool
+}
+
+// Rate returns the success rate in [0, 1].
+func (r SuccessResult) Rate() float64 {
+	if r.Cells == 0 {
+		return 0
+	}
+	return float64(r.Stable) / float64(r.Cells)
+}
+
+// Tester drives PUD characterization on one module.
+type Tester struct {
+	mod    *dram.Module
+	env    analog.Env
+	trials int
+	seed   uint64
+
+	// mu guards the module's lazy subarray allocation during parallel
+	// sweeps; distinct subarrays are otherwise independent.
+	mu sync.Mutex
+}
+
+// Option configures a Tester.
+type Option func(*Tester)
+
+// WithEnv sets the operating conditions (default: 50 °C, nominal VPP).
+func WithEnv(env analog.Env) Option { return func(t *Tester) { t.env = env } }
+
+// WithTrials sets the per-group trial count (default 8). The paper runs
+// 10000; the success-rate metric converges quickly because most
+// instability is static in origin (see DESIGN.md §5 "Scaling").
+func WithTrials(n int) Option { return func(t *Tester) { t.trials = n } }
+
+// WithSeed sets the experiment seed feeding data patterns.
+func WithSeed(seed uint64) Option { return func(t *Tester) { t.seed = seed } }
+
+// NewTester builds a tester for the module.
+func NewTester(mod *dram.Module, opts ...Option) (*Tester, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("core: nil module")
+	}
+	t := &Tester{mod: mod, env: analog.NominalEnv(), trials: 8, seed: 1}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive, got %d", t.trials)
+	}
+	if err := t.env.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Module returns the module under test.
+func (t *Tester) Module() *dram.Module { return t.mod }
+
+// Env returns the tester's operating conditions.
+func (t *Tester) Env() analog.Env { return t.env }
+
+// Trials returns the per-group trial count.
+func (t *Tester) Trials() int { return t.trials }
+
+// ManyRowActivation characterizes simultaneous many-row activation on one
+// row group (§3.2): initialize the group's rows with the pattern, issue
+// APA(RF, RS) with the given timings, issue a WR with the inverted
+// pattern, then read every row of the group back with nominal timings. A
+// cell succeeds in a trial iff it stores the WR data.
+func (t *Tester) ManyRowActivation(sa *dram.Subarray, g bender.Group,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+
+	cols := sa.Cols()
+	// §3.2: the subarray is initialized with one predefined data pattern
+	// and the WR carries a different one — the complement, so that a cell
+	// that misses the overdrive is always detected as a failure.
+	seed := t.groupSeed(sa, g)
+	initData := p.FillRow(seed, 0, cols)
+	wrData := dram.Invert(initData)
+	stable := newStableSet(len(g.Rows) * cols)
+
+	for trial := 0; trial < t.trials; trial++ {
+		for _, r := range g.Rows {
+			if err := sa.WriteRow(r, initData); err != nil {
+				return SuccessResult{}, err
+			}
+		}
+		if _, err := sa.APA(g.RF, g.RS, dram.APAOptions{
+			Timings:         at,
+			Env:             t.env,
+			Trial:           trial,
+			PatternCoupling: p.CouplingFactor(),
+		}); err != nil {
+			return SuccessResult{}, err
+		}
+		if err := sa.WriteOpenRows(wrData); err != nil {
+			return SuccessResult{}, err
+		}
+		sa.Precharge()
+		for i, r := range g.Rows {
+			got, err := sa.ReadRow(r)
+			if err != nil {
+				return SuccessResult{}, err
+			}
+			base := i * cols
+			for c := range got {
+				if got[c] != wrData[c] {
+					stable.fail(base + c)
+				}
+			}
+		}
+	}
+	return SuccessResult{Cells: len(g.Rows) * cols, Stable: stable.count(), Viable: true}, nil
+}
+
+// MAJ characterizes an X-input majority with the group's N-row activation
+// (§3.3). Operands take their data from the pattern (operand j is pattern
+// row j); each operand is replicated ⌊N/X⌋ times; the N%X leftover rows
+// are neutralized. A cell succeeds in a trial iff the group's rows end up
+// storing the bitwise majority of the X operands.
+func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+
+	if x < 3 || x%2 == 0 {
+		return SuccessResult{}, fmt.Errorf("core: MAJ width %d must be odd and >= 3", x)
+	}
+	n := g.N()
+	if n < x {
+		return SuccessResult{}, fmt.Errorf("core: MAJ%d needs at least %d rows, group has %d", x, x, n)
+	}
+	copies := n / x
+	cols := sa.Cols()
+	seed := t.groupSeed(sa, g)
+
+	// Operand data and the expected bitwise majority.
+	operands := make([][]bool, x)
+	for j := range operands {
+		operands[j] = p.FillRow(seed, j, cols)
+	}
+	expected := make([]bool, cols)
+	for c := range expected {
+		ones := 0
+		for j := range operands {
+			if operands[j][c] {
+				ones++
+			}
+		}
+		expected[c] = ones > x/2
+	}
+
+	fracOK := t.mod.Spec().Profile.FracSupported
+	stable := newStableSet(cols)
+	viable := true
+
+	for trial := 0; trial < t.trials; trial++ {
+		// Row assignment: the first copies*x rows hold the replicated
+		// operands round-robin; the leftover rows are neutral.
+		for i, r := range g.Rows {
+			switch {
+			case i < copies*x:
+				if err := sa.WriteRow(r, operands[i%x]); err != nil {
+					return SuccessResult{}, err
+				}
+			case fracOK:
+				if err := sa.SetFracRow(r); err != nil {
+					return SuccessResult{}, err
+				}
+			default:
+				// Mfr. M fallback (footnote 5): balanced solid rows that
+				// the biased sense amplifiers cancel out.
+				bits := make([]bool, cols)
+				if (i-copies*x)%2 == 1 {
+					for c := range bits {
+						bits[c] = true
+					}
+				}
+				if err := sa.WriteRow(r, bits); err != nil {
+					return SuccessResult{}, err
+				}
+			}
+		}
+		res, err := sa.APA(g.RF, g.RS, dram.APAOptions{
+			Timings:         at,
+			Env:             t.env,
+			Trial:           trial,
+			PatternCoupling: p.CouplingFactor(),
+			MAJ:             &dram.MAJSpec{X: x, Copies: copies},
+		})
+		if err != nil {
+			return SuccessResult{}, err
+		}
+		viable = viable && res.Viable
+		sa.Precharge()
+		got, err := sa.ReadRow(g.RF)
+		if err != nil {
+			return SuccessResult{}, err
+		}
+		for c := range got {
+			if got[c] != expected[c] {
+				stable.fail(c)
+			}
+		}
+	}
+	return SuccessResult{Cells: cols, Stable: stable.count(), Viable: viable}, nil
+}
+
+// MultiRowCopy characterizes copying the group's RF row into the group's
+// other rows (§3.4): destinations are initialized with the pattern, the
+// source with a different pattern, then APA with a restore-compliant t1
+// and violated t2. A destination cell succeeds in a trial iff it stores
+// the source data.
+func (t *Tester) MultiRowCopy(sa *dram.Subarray, g bender.Group,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+
+	cols := sa.Cols()
+	seed := t.groupSeed(sa, g)
+	// §3.4: the source row carries the tested data pattern (Fig. 11's
+	// "copying all-1s to 31 rows" series names the *copied* data) and the
+	// destinations are initialized with a different pattern. For solid
+	// patterns that is the complement, so a cell the copy misses is always
+	// detected; for Random, each destination gets its own random row (the
+	// §3.1 random methodology).
+	src := p.FillRow(seed, 0, cols)
+	destInit := func(i int) []bool {
+		if p == dram.PatternRandom {
+			return p.FillRow(seed, i+1, cols)
+		}
+		return dram.Invert(src)
+	}
+
+	dests := make([]int, 0, len(g.Rows)-1)
+	for _, r := range g.Rows {
+		if r != g.RF {
+			dests = append(dests, r)
+		}
+	}
+	stable := newStableSet(len(dests) * cols)
+
+	for trial := 0; trial < t.trials; trial++ {
+		for i, r := range dests {
+			if err := sa.WriteRow(r, destInit(i)); err != nil {
+				return SuccessResult{}, err
+			}
+		}
+		if err := sa.WriteRow(g.RF, src); err != nil {
+			return SuccessResult{}, err
+		}
+		if _, err := sa.APA(g.RF, g.RS, dram.APAOptions{
+			Timings:         at,
+			Env:             t.env,
+			Trial:           trial,
+			PatternCoupling: p.CouplingFactor(),
+		}); err != nil {
+			return SuccessResult{}, err
+		}
+		sa.Precharge()
+		for i, r := range dests {
+			got, err := sa.ReadRow(r)
+			if err != nil {
+				return SuccessResult{}, err
+			}
+			base := i * cols
+			for c := range got {
+				if got[c] != src[c] {
+					stable.fail(base + c)
+				}
+			}
+		}
+	}
+	return SuccessResult{Cells: len(dests) * cols, Stable: stable.count(), Viable: true}, nil
+}
+
+// RowClone copies row src to row dst with the best copy timings,
+// returning the fraction of correctly copied cells. src and dst must
+// belong to the same subarray and form a 2-row decoder group.
+func (t *Tester) RowClone(sa *dram.Subarray, src, dst int) (float64, error) {
+	rows, err := t.mod.Decoder().ActivatedRows(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != 2 {
+		return 0, fmt.Errorf("core: rows %d and %d activate %d rows; RowClone needs exactly 2",
+			src, dst, len(rows))
+	}
+	want, err := sa.ReadRow(src)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sa.APA(src, dst, dram.APAOptions{
+		Timings: timing.BestCopy(),
+		Env:     t.env,
+	}); err != nil {
+		return 0, err
+	}
+	sa.Precharge()
+	got, err := sa.ReadRow(dst)
+	if err != nil {
+		return 0, err
+	}
+	match := 0
+	for c := range got {
+		if got[c] == want[c] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(got)), nil
+}
+
+// groupSeed derives the data seed for one row group: the paper
+// re-generates the tested data for every group instance, so operand values
+// (and the fixed-pattern byte choices) vary group to group.
+func (t *Tester) groupSeed(sa *dram.Subarray, g bender.Group) uint64 {
+	return xrand.Hash(t.seed, uint64(sa.Bank()), uint64(sa.Index()),
+		uint64(g.RF), uint64(g.RS))
+}
+
+// stableSet tracks which cells have remained correct through all trials.
+type stableSet struct {
+	failed []bool
+	fails  int
+}
+
+func newStableSet(n int) *stableSet { return &stableSet{failed: make([]bool, n)} }
+
+func (s *stableSet) fail(i int) {
+	if !s.failed[i] {
+		s.failed[i] = true
+		s.fails++
+	}
+}
+
+func (s *stableSet) count() int { return len(s.failed) - s.fails }

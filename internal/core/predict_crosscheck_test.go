@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// TestPredictorMatchesSimulation cross-checks the closed-form success
+// predictor (analog.PredictMAJSuccess) against the full simulation: the
+// two share the model constants but compute through entirely different
+// paths (numeric integration vs per-cell Monte-Carlo execution), so
+// agreement within a few percentage points validates both.
+func TestPredictorMatchesSimulation(t *testing.T) {
+	spec := dram.NewSpec("crosscheck", dram.ProfileH, 0xcc01)
+	spec.Columns = 512
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewTester(mod, WithTrials(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := analog.DefaultParams()
+	for _, x := range []int{3, 5, 7, 9} {
+		sweep, err := tester.RunSweep(SweepConfig{
+			Op: OpMAJ, X: x, N: 32,
+			Timings: timing.BestMAJ(),
+			Pattern: dram.PatternRandom,
+			Banks:   2, GroupsPerSubarray: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := sweep.Summary().Mean
+		predicted := params.PredictMAJSuccess(x, 32, 1, 0)
+		if diff := math.Abs(simulated - predicted); diff > 0.12 {
+			t.Errorf("MAJ%d: simulation %.4f vs prediction %.4f (|diff| %.4f > 0.12)",
+				x, simulated, predicted, diff)
+		}
+	}
+}
+
+// TestPredictorMatchesReplicationTrend: the predictor tracks the simulated
+// replication curve for MAJ3.
+func TestPredictorMatchesReplicationTrend(t *testing.T) {
+	spec := dram.NewSpec("crosscheck2", dram.ProfileH, 0xcc02)
+	spec.Columns = 256
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewTester(mod, WithTrials(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := analog.DefaultParams()
+	for _, n := range []int{4, 8, 16, 32} {
+		sweep, err := tester.RunSweep(SweepConfig{
+			Op: OpMAJ, X: 3, N: n,
+			Timings: timing.BestMAJ(),
+			Pattern: dram.PatternRandom,
+			Banks:   2, GroupsPerSubarray: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := sweep.Summary().Mean
+		predicted := params.PredictMAJSuccess(3, n, 1, 0)
+		if diff := math.Abs(simulated - predicted); diff > 0.15 {
+			t.Errorf("MAJ3@%d: simulation %.4f vs prediction %.4f (|diff| %.4f > 0.15)",
+				n, simulated, predicted, diff)
+		}
+	}
+}

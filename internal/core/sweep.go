@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// OpKind selects the characterized operation family.
+type OpKind uint8
+
+// The characterized PUD operation families.
+const (
+	OpManyRowActivation OpKind = iota
+	OpMAJ
+	OpMultiRowCopy
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpManyRowActivation:
+		return "many-row-activation"
+	case OpMAJ:
+		return "MAJ"
+	case OpMultiRowCopy:
+		return "multi-row-copy"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// SweepConfig describes one characterization cell: an operation at a fixed
+// configuration, measured over sampled row groups of a module.
+type SweepConfig struct {
+	Op      OpKind
+	X       int // MAJ width (OpMAJ only)
+	N       int // simultaneously activated rows
+	Timings timing.APATimings
+	Pattern dram.Pattern
+	// SubarraysPerBank and GroupsPerSubarray bound the sample; the paper
+	// uses 3 and 100.
+	SubarraysPerBank  int
+	GroupsPerSubarray int
+	// Banks limits how many banks are sampled (0 = all). Experiments use a
+	// subset by default to bound runtime; the sampling is deterministic.
+	Banks int
+}
+
+// withDefaults fills unset sampling bounds.
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.SubarraysPerBank == 0 {
+		c.SubarraysPerBank = 1
+	}
+	if c.GroupsPerSubarray == 0 {
+		c.GroupsPerSubarray = 8
+	}
+	if c.Banks == 0 {
+		c.Banks = 2
+	}
+	return c
+}
+
+// GroupOutcome is the measured success of one row group.
+type GroupOutcome struct {
+	Sample bender.SubarraySample
+	Group  bender.Group
+	Result SuccessResult
+}
+
+// SweepResult aggregates one characterization cell across all sampled
+// groups of a module.
+type SweepResult struct {
+	Config   SweepConfig
+	Module   string
+	Outcomes []GroupOutcome
+}
+
+// Rates returns the per-group success rates.
+func (r SweepResult) Rates() []float64 {
+	out := make([]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = o.Result.Rate()
+	}
+	return out
+}
+
+// Summary returns the box-whisker statistics across groups.
+func (r SweepResult) Summary() stats.Summary { return stats.MustSummarize(r.Rates()) }
+
+// BestRate returns the highest per-group success rate — the quantity the
+// case studies use ("we choose the group of rows ... which produces the
+// highest throughput", §8.1).
+func (r SweepResult) BestRate() float64 {
+	best := 0.0
+	for _, o := range r.Outcomes {
+		if rate := o.Result.Rate(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// RunSweep measures one configuration across the module's sampled
+// subarrays and row groups. Groups are characterized in parallel across
+// subarrays; results are deterministic regardless of scheduling.
+func (t *Tester) RunSweep(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Op == OpMAJ && (cfg.X < 3 || cfg.X%2 == 0) {
+		return SweepResult{}, fmt.Errorf("core: sweep MAJ width %d invalid", cfg.X)
+	}
+	if cfg.N < 2 {
+		return SweepResult{}, fmt.Errorf("core: sweep needs N >= 2, got %d", cfg.N)
+	}
+
+	samples := bender.SampleSubarrays(t.mod, cfg.SubarraysPerBank, t.seed)
+	if cfg.Banks > 0 {
+		filtered := samples[:0]
+		for _, s := range samples {
+			if s.Bank < cfg.Banks {
+				filtered = append(filtered, s)
+			}
+		}
+		samples = filtered
+	}
+
+	type task struct {
+		idx    int
+		sample bender.SubarraySample
+	}
+	tasks := make(chan task)
+	outcomes := make([][]GroupOutcome, len(samples))
+	errs := make([]error, len(samples))
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				outcomes[tk.idx], errs[tk.idx] = t.sweepSubarray(cfg, tk.sample)
+			}
+		}()
+	}
+	for i, s := range samples {
+		tasks <- task{idx: i, sample: s}
+	}
+	close(tasks)
+	wg.Wait()
+
+	res := SweepResult{Config: cfg, Module: t.mod.Spec().ID}
+	for i := range samples {
+		if errs[i] != nil {
+			return SweepResult{}, errs[i]
+		}
+		res.Outcomes = append(res.Outcomes, outcomes[i]...)
+	}
+	return res, nil
+}
+
+// sweepSubarray characterizes all sampled groups of one subarray.
+//
+// Each goroutine works on distinct subarrays, and module subarray lookup
+// is the only shared structure — guard it with the tester's mutex.
+func (t *Tester) sweepSubarray(cfg SweepConfig, s bender.SubarraySample) ([]GroupOutcome, error) {
+	sa, err := t.subarray(s)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := bender.SampleGroups(sa, t.mod, cfg.N, cfg.GroupsPerSubarray, t.seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupOutcome, 0, len(groups))
+	for _, g := range groups {
+		var r SuccessResult
+		switch cfg.Op {
+		case OpManyRowActivation:
+			r, err = t.ManyRowActivation(sa, g, cfg.Timings, cfg.Pattern)
+		case OpMAJ:
+			r, err = t.MAJ(sa, g, cfg.X, cfg.Timings, cfg.Pattern)
+		case OpMultiRowCopy:
+			r, err = t.MultiRowCopy(sa, g, cfg.Timings, cfg.Pattern)
+		default:
+			err = fmt.Errorf("core: unknown op kind %v", cfg.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupOutcome{Sample: s, Group: g, Result: r})
+	}
+	return out, nil
+}
+
+// subarray fetches a subarray with the module map guarded against
+// concurrent lazy allocation.
+func (t *Tester) subarray(s bender.SubarraySample) (*dram.Subarray, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mod.Subarray(s.Bank, s.Subarray)
+}

@@ -1,0 +1,293 @@
+// Package decoder models the hypothetical hierarchical DRAM row decoder of
+// §7.1 of the paper: a Global Wordline Decoder (GWLD) that selects a
+// subarray, and a per-subarray Local Wordline Decoder (LWLD) whose Stage 1
+// predecodes the low-order row-address bits in several predecoder tiers
+// with *latched* outputs, and whose Stage 2 ANDs the predecoded signals to
+// assert one local wordline.
+//
+// The key behaviour: a PRE issued with a greatly violated tRP fails to
+// clear the predecoder latches. The following ACT then latches the second
+// row address *in addition to* the first, so Stage 2 asserts the Cartesian
+// product of the latched per-field values — 2^d wordlines, where d is the
+// number of predecoder fields in which the two addresses differ. This
+// reproduces the paper's observed mapping exactly, including the
+// ACT 0 → PRE → ACT 7 (4 rows: {0,1,6,7}) and ACT 127 → PRE → ACT 128
+// (32 rows) walkthroughs, and explains why only 1, 2, 4, 8, 16 and 32
+// simultaneously activated rows are observed (Limitation 2).
+package decoder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes a subarray's local wordline decoder.
+type Config struct {
+	// FieldBits lists the width in bits of each predecoder tier, from the
+	// least-significant address bits upward. The paper's examined SK Hynix
+	// chip uses five tiers over 9 row-address bits: A decodes RA[0] (1:2),
+	// and B..E each decode two bits (2:4).
+	FieldBits []int
+
+	// Rows is the number of physically populated rows in the subarray. It
+	// may be smaller than 2^(sum of FieldBits): SK Hynix modules with
+	// 640-row subarrays populate 640 of 1024 decodable addresses. Wordlines
+	// decoded beyond Rows simply do not exist and are dropped from
+	// activation sets.
+	Rows int
+}
+
+// Hynix512 returns the decoder configuration of the paper's examined
+// SK Hynix chip: 512-row subarrays, predecoders A(1:2) and B..E(2:4).
+func Hynix512() Config {
+	return Config{FieldBits: []int{1, 2, 2, 2, 2}, Rows: 512}
+}
+
+// Hynix640 returns the configuration for the 640-row subarray variant
+// reported in Table 1 (10 decodable bits, 640 populated rows).
+func Hynix640() Config {
+	return Config{FieldBits: []int{2, 2, 2, 2, 2}, Rows: 640}
+}
+
+// Micron1024 returns the configuration for Micron's 1024-row subarrays:
+// five 2-bit predecoder tiers covering 10 row-address bits.
+func Micron1024() Config {
+	return Config{FieldBits: []int{2, 2, 2, 2, 2}, Rows: 1024}
+}
+
+// Decoder is an immutable decoder for one subarray geometry.
+type Decoder struct {
+	cfg       Config
+	shifts    []uint // bit offset of each field
+	masks     []int  // value mask of each field
+	totalBits int
+}
+
+// New validates the configuration and builds a Decoder.
+func New(cfg Config) (*Decoder, error) {
+	if len(cfg.FieldBits) == 0 {
+		return nil, fmt.Errorf("decoder: no predecoder fields")
+	}
+	total := 0
+	shifts := make([]uint, len(cfg.FieldBits))
+	masks := make([]int, len(cfg.FieldBits))
+	for i, b := range cfg.FieldBits {
+		if b <= 0 || b > 8 {
+			return nil, fmt.Errorf("decoder: field %d has invalid width %d", i, b)
+		}
+		shifts[i] = uint(total)
+		masks[i] = (1 << b) - 1
+		total += b
+	}
+	if total > 20 {
+		return nil, fmt.Errorf("decoder: %d address bits exceed supported maximum", total)
+	}
+	if cfg.Rows <= 0 || cfg.Rows > 1<<total {
+		return nil, fmt.Errorf("decoder: %d rows not decodable with %d bits", cfg.Rows, total)
+	}
+	return &Decoder{cfg: cfg, shifts: shifts, masks: masks, totalBits: total}, nil
+}
+
+// Rows returns the number of populated rows.
+func (d *Decoder) Rows() int { return d.cfg.Rows }
+
+// NumFields returns the number of predecoder tiers.
+func (d *Decoder) NumFields() int { return len(d.cfg.FieldBits) }
+
+// TotalBits returns the number of decoded row-address bits.
+func (d *Decoder) TotalBits() int { return d.totalBits }
+
+// MaxSimultaneousRows returns the upper bound on simultaneously activatable
+// rows: 2^(number of predecoders), per the paper's hypothesis ("the
+// examined module likely has five predecoders, and thus we can activate up
+// to 2^5 rows").
+func (d *Decoder) MaxSimultaneousRows() int { return 1 << d.NumFields() }
+
+// FieldValue extracts predecoder field f's value from a row address.
+func (d *Decoder) FieldValue(row, f int) int {
+	return (row >> d.shifts[f]) & d.masks[f]
+}
+
+// FieldWidth returns the bit width of predecoder field f.
+func (d *Decoder) FieldWidth(f int) int { return d.cfg.FieldBits[f] }
+
+// SetField returns the row address with predecoder field f's value
+// replaced by val (masked to the field width).
+func (d *Decoder) SetField(row, f, val int) int {
+	return row&^(d.masks[f]<<d.shifts[f]) | (val&d.masks[f])<<d.shifts[f]
+}
+
+// DifferingFields returns the number of predecoder fields in which the two
+// row addresses differ.
+func (d *Decoder) DifferingFields(rf, rs int) int {
+	n := 0
+	for f := range d.cfg.FieldBits {
+		if d.FieldValue(rf, f) != d.FieldValue(rs, f) {
+			n++
+		}
+	}
+	return n
+}
+
+// validRow reports whether the address names a populated row.
+func (d *Decoder) validRow(row int) bool { return row >= 0 && row < d.cfg.Rows }
+
+// checkRows returns an error naming the first out-of-range address.
+func (d *Decoder) checkRows(rows ...int) error {
+	for _, r := range rows {
+		if !d.validRow(r) {
+			return fmt.Errorf("decoder: row %d outside subarray of %d rows", r, d.cfg.Rows)
+		}
+	}
+	return nil
+}
+
+// ActivationCount returns the number of wordlines asserted by
+// APA(rf, rs) with violated tRP, counting only populated rows.
+func (d *Decoder) ActivationCount(rf, rs int) (int, error) {
+	rows, err := d.ActivatedRows(rf, rs)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// ActivatedRows returns the sorted set of rows asserted by an
+// ACT(rf) → PRE → ACT(rs) sequence whose tRP violation prevents the
+// predecoder latches from clearing. Addresses decoding beyond the
+// populated row count are dropped.
+func (d *Decoder) ActivatedRows(rf, rs int) ([]int, error) {
+	if err := d.checkRows(rf, rs); err != nil {
+		return nil, err
+	}
+	var l Latches
+	l.init(d)
+	l.Latch(rf)
+	l.Latch(rs)
+	return l.AssertedRows(), nil
+}
+
+// PairForCount returns a second row address rs such that APA(rf, rs)
+// simultaneously activates exactly n rows (n must be a power of two not
+// exceeding MaxSimultaneousRows), with every activated row populated.
+// The fields flipped are chosen deterministically starting from the
+// lowest-order predecoder, matching how the paper constructs its row
+// groups (e.g. ACT 127 → ACT 128 for 32 rows).
+func (d *Decoder) PairForCount(rf, n int) (int, error) {
+	if err := d.checkRows(rf); err != nil {
+		return 0, err
+	}
+	if n < 1 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("decoder: activation count %d is not a power of two", n)
+	}
+	fields := 0
+	for m := n; m > 1; m >>= 1 {
+		fields++
+	}
+	if fields > d.NumFields() {
+		return 0, fmt.Errorf("decoder: %d rows exceed the %d-row decoder limit",
+			n, d.MaxSimultaneousRows())
+	}
+	rs := rf
+	for f := 0; f < fields; f++ {
+		rs ^= 1 << d.shifts[f] // flip the low bit of field f
+	}
+	// All activated rows must be populated. Flipping low bits of fields
+	// never increases the address beyond max(rf, rs), so checking the
+	// Cartesian product's maximum element suffices; do it exactly.
+	rows, err := d.ActivatedRows(rf, rs)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != n {
+		return 0, fmt.Errorf("decoder: pair (%d,%d) activates %d rows, want %d (subarray bound)",
+			rf, rs, len(rows), n)
+	}
+	return rs, nil
+}
+
+// Latches models the Stage-1 predecoder output latches of one LWLD. Each
+// field tier holds the set of currently latched predecoded values. A PRE
+// with nominal timing clears all latches; a PRE whose tRP is violated
+// leaves them set, so a subsequent ACT merges its address in.
+//
+// The zero value is not usable; obtain one from Decoder.NewLatches.
+type Latches struct {
+	d      *Decoder
+	values []map[int]bool
+}
+
+// NewLatches returns an empty latch bank for this decoder.
+func (d *Decoder) NewLatches() *Latches {
+	var l Latches
+	l.init(d)
+	return &l
+}
+
+func (l *Latches) init(d *Decoder) {
+	l.d = d
+	l.values = make([]map[int]bool, d.NumFields())
+	for i := range l.values {
+		l.values[i] = make(map[int]bool, 2)
+	}
+}
+
+// Latch records an ACT to the given row: each predecoder tier latches the
+// row's field value alongside whatever is already latched.
+func (l *Latches) Latch(row int) {
+	for f := range l.values {
+		l.values[f][l.d.FieldValue(row, f)] = true
+	}
+}
+
+// Clear models a PRE with nominal timing: all predecoded signals are
+// de-asserted.
+func (l *Latches) Clear() {
+	for f := range l.values {
+		for k := range l.values[f] {
+			delete(l.values[f], k)
+		}
+	}
+}
+
+// Empty reports whether no signals are latched.
+func (l *Latches) Empty() bool {
+	for f := range l.values {
+		if len(l.values[f]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AssertedRows returns the sorted set of populated rows whose wordlines
+// Stage 2 asserts: the Cartesian product of the latched per-field values.
+func (l *Latches) AssertedRows() []int {
+	if l.Empty() {
+		return nil
+	}
+	addrs := []int{0}
+	for f := range l.values {
+		vals := make([]int, 0, len(l.values[f]))
+		for v := range l.values[f] {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		next := make([]int, 0, len(addrs)*len(vals))
+		for _, v := range vals {
+			part := v << l.d.shifts[f]
+			for _, a := range addrs {
+				next = append(next, a|part)
+			}
+		}
+		addrs = next
+	}
+	out := addrs[:0]
+	for _, a := range addrs {
+		if l.d.validRow(a) {
+			out = append(out, a)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

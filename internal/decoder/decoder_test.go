@@ -1,0 +1,299 @@
+package decoder
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Decoder {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no fields", Config{Rows: 512}},
+		{"zero width", Config{FieldBits: []int{0, 2}, Rows: 4}},
+		{"negative width", Config{FieldBits: []int{-1}, Rows: 2}},
+		{"too many rows", Config{FieldBits: []int{1, 2}, Rows: 9}},
+		{"zero rows", Config{FieldBits: []int{1}, Rows: 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.cfg); err == nil {
+				t.Fatalf("New(%+v) should fail", c.cfg)
+			}
+		})
+	}
+}
+
+func TestStandardConfigs(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		rows   int
+		bits   int
+		fields int
+		maxAct int
+	}{
+		{Hynix512(), 512, 9, 5, 32},
+		{Hynix640(), 640, 10, 5, 32},
+		{Micron1024(), 1024, 10, 5, 32},
+	}
+	for _, c := range cases {
+		d := mustNew(t, c.cfg)
+		if d.Rows() != c.rows || d.TotalBits() != c.bits ||
+			d.NumFields() != c.fields || d.MaxSimultaneousRows() != c.maxAct {
+			t.Fatalf("config %+v: rows=%d bits=%d fields=%d max=%d",
+				c.cfg, d.Rows(), d.TotalBits(), d.NumFields(), d.MaxSimultaneousRows())
+		}
+	}
+}
+
+// TestPaperWalkthroughFig14 checks the paper's Fig. 14 example: issuing
+// ACT 0 → PRE → ACT 7 with violated timings asserts LWL0, LWL1, LWL6 and
+// LWL7 — rows {0, 1, 6, 7}.
+func TestPaperWalkthroughFig14(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	rows, err := d.ActivatedRows(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 6, 7}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("APA(0,7) rows = %v, want %v", rows, want)
+	}
+}
+
+// TestPaper32RowExample checks the §7.1 claim that ACT 127 → PRE → ACT 128
+// makes all five predecoders latch two outputs, activating 32 rows.
+func TestPaper32RowExample(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	n, err := d.ActivationCount(127, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 32 {
+		t.Fatalf("APA(127,128) activates %d rows, want 32", n)
+	}
+}
+
+func TestSameRowActivatesOne(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	rows, err := d.ActivatedRows(42, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, []int{42}) {
+		t.Fatalf("APA(42,42) = %v", rows)
+	}
+}
+
+func TestActivatedRowsOutOfRange(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	if _, err := d.ActivatedRows(-1, 0); err == nil {
+		t.Fatal("negative row should error")
+	}
+	if _, err := d.ActivatedRows(0, 512); err == nil {
+		t.Fatal("row 512 should error in 512-row subarray")
+	}
+}
+
+// TestCountIsPowerOfTwoOfDifferingFields is the paper's formula: to
+// activate 2^N rows, N different predecoders must latch two values.
+func TestCountIsPowerOfTwoOfDifferingFields(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	f := func(a, b uint16) bool {
+		rf := int(a) % 512
+		rs := int(b) % 512
+		rows, err := d.ActivatedRows(rf, rs)
+		if err != nil {
+			return false
+		}
+		want := 1 << d.DifferingFields(rf, rs)
+		return len(rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivatedSetContainsBothTargets: the activated set always includes
+// both rows named in the APA sequence.
+func TestActivatedSetContainsBothTargets(t *testing.T) {
+	d := mustNew(t, Micron1024())
+	f := func(a, b uint16) bool {
+		rf := int(a) % 1024
+		rs := int(b) % 1024
+		rows, err := d.ActivatedRows(rf, rs)
+		if err != nil {
+			return false
+		}
+		hasRF, hasRS := false, false
+		for _, r := range rows {
+			if r == rf {
+				hasRF = true
+			}
+			if r == rs {
+				hasRS = true
+			}
+		}
+		return hasRF && hasRS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivationSymmetric: APA(a,b) and APA(b,a) assert the same wordline
+// set (the latches are order-insensitive).
+func TestActivationSymmetric(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	f := func(a, b uint16) bool {
+		rf := int(a) % 512
+		rs := int(b) % 512
+		r1, err1 := d.ActivatedRows(rf, rs)
+		r2, err2 := d.ActivatedRows(rs, rf)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return reflect.DeepEqual(r1, r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlyPowersOfTwoReachable reproduces Limitation 2: only 1, 2, 4, 8,
+// 16 and 32 simultaneously activated rows are observable.
+func TestOnlyPowersOfTwoReachable(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	valid := map[int]bool{1: true, 2: true, 4: true, 8: true, 16: true, 32: true}
+	for rf := 0; rf < 64; rf++ {
+		for rs := 0; rs < 512; rs += 7 {
+			n, err := d.ActivationCount(rf, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valid[n] {
+				t.Fatalf("APA(%d,%d) activated %d rows", rf, rs, n)
+			}
+		}
+	}
+}
+
+func TestPairForCount(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		rs, err := d.PairForCount(100, n)
+		if err != nil {
+			t.Fatalf("PairForCount(100,%d): %v", n, err)
+		}
+		got, err := d.ActivationCount(100, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Fatalf("PairForCount(100,%d) gave rs=%d with %d rows", n, rs, got)
+		}
+	}
+}
+
+func TestPairForCountErrors(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	if _, err := d.PairForCount(0, 3); err == nil {
+		t.Fatal("non-power-of-two should error")
+	}
+	if _, err := d.PairForCount(0, 64); err == nil {
+		t.Fatal("count above decoder limit should error")
+	}
+	if _, err := d.PairForCount(600, 2); err == nil {
+		t.Fatal("out-of-range base row should error")
+	}
+}
+
+// TestPairForCount640 exercises the partially populated 640-row subarray:
+// pairs anchored at in-bounds rows must produce fully populated activation
+// sets or a descriptive error.
+func TestPairForCount640(t *testing.T) {
+	d := mustNew(t, Hynix640())
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		rs, err := d.PairForCount(0, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rows, err := d.ActivatedRows(0, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r >= 640 {
+				t.Fatalf("n=%d activated unpopulated row %d", n, r)
+			}
+		}
+	}
+}
+
+func TestLatchesClear(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	l := d.NewLatches()
+	if !l.Empty() {
+		t.Fatal("fresh latches should be empty")
+	}
+	l.Latch(5)
+	if l.Empty() {
+		t.Fatal("latches should hold after Latch")
+	}
+	l.Clear()
+	if !l.Empty() {
+		t.Fatal("Clear should empty the latches")
+	}
+	if rows := l.AssertedRows(); rows != nil {
+		t.Fatalf("cleared latches assert %v", rows)
+	}
+}
+
+// TestThreeACTMerge: latching three addresses merges all three — the
+// decoder supports arbitrarily long violated sequences (used by the TRNG
+// extension).
+func TestThreeACTMerge(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	l := d.NewLatches()
+	l.Latch(0)
+	l.Latch(1)
+	l.Latch(2)
+	rows := l.AssertedRows()
+	// Fields: A latches {0,1}; B latches {0,1}; others {0}.
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("3-ACT merge = %v, want %v", rows, want)
+	}
+}
+
+func TestFieldValue(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	// Row 0b1_10_01_11_0 = fields A=0, B=3, C=1, D=2, E=1.
+	row := 0<<0 | 3<<1 | 1<<3 | 2<<5 | 1<<7
+	want := []int{0, 3, 1, 2, 1}
+	for f, w := range want {
+		if got := d.FieldValue(row, f); got != w {
+			t.Fatalf("field %d = %d, want %d", f, got, w)
+		}
+	}
+}
+
+func TestDifferingFieldsSelf(t *testing.T) {
+	d := mustNew(t, Hynix512())
+	for r := 0; r < 512; r += 31 {
+		if d.DifferingFields(r, r) != 0 {
+			t.Fatalf("row %d differs from itself", r)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analog"
+	"repro/internal/timing"
+)
+
+// propertySubarray returns a small shared module/subarray for the quick
+// checks.
+func propertySubarray(t *testing.T) *Subarray {
+	t.Helper()
+	spec := NewSpec("property", ProfileH, 0xfade)
+	spec.Columns = 64
+	m, err := NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa
+}
+
+// TestPropertyAPAInvariants: for any row pair and any in-envelope timing,
+// the asserted set is a subset of the decoder's activation set, both rows
+// are in the activation set, and the mode matches the timing regime.
+func TestPropertyAPAInvariants(t *testing.T) {
+	sa := propertySubarray(t)
+	jedec := timing.DDR4()
+	f := func(a, b uint16, t1Sel, t2Sel uint8, trial uint8) bool {
+		rf := int(a) % sa.Rows()
+		rs := int(b) % sa.Rows()
+		t1 := []float64{1.5, 3, 18, 36}[t1Sel%4]
+		t2 := []float64{1.5, 3, 4.5, 6, 13.5}[t2Sel%5]
+		res, err := sa.APA(rf, rs, APAOptions{
+			Timings: timing.APATimings{T1: t1, T2: t2},
+			Env:     analog.NominalEnv(),
+			Trial:   int(trial),
+		})
+		sa.Precharge()
+		if err != nil {
+			return false
+		}
+		// Mode must follow the timing regime.
+		switch {
+		case t2 >= jedec.TRP:
+			if res.Mode != ModeSingle {
+				return false
+			}
+		case t1 >= 15:
+			if res.Mode != ModeCopy {
+				return false
+			}
+		default:
+			if res.Mode != ModeShare {
+				return false
+			}
+		}
+		// Asserted ⊆ Activated, and RF always asserts in violated modes.
+		act := make(map[int]bool, len(res.Activated))
+		for _, r := range res.Activated {
+			act[r] = true
+		}
+		for _, r := range res.Asserted {
+			if !act[r] {
+				return false
+			}
+		}
+		if res.Mode != ModeSingle {
+			foundRF := false
+			for _, r := range res.Asserted {
+				if r == rf {
+					foundRF = true
+				}
+			}
+			if !foundRF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCopyConservation: after a copy-mode APA, every asserted
+// cell stores either the source bit or (rare weak cells) its previous
+// value — never anything else, and charge levels stay in {0, 1}.
+func TestPropertyCopyConservation(t *testing.T) {
+	sa := propertySubarray(t)
+	f := func(a, b uint16, seed uint64) bool {
+		rf := int(a) % sa.Rows()
+		rs := int(b) % sa.Rows()
+		if rf == rs {
+			return true
+		}
+		src := PatternRandom.FillRow(seed, 0, sa.Cols())
+		prev := PatternRandom.FillRow(seed, 1, sa.Cols())
+		if sa.WriteRow(rf, src) != nil {
+			return false
+		}
+		rows, err := sa.mod.Decoder().ActivatedRows(rf, rs)
+		if err != nil {
+			return false
+		}
+		for _, r := range rows {
+			if r != rf {
+				if sa.WriteRow(r, prev) != nil {
+					return false
+				}
+			}
+		}
+		res, err := sa.APA(rf, rs, APAOptions{
+			Timings: timing.BestCopy(),
+			Env:     analog.NominalEnv(),
+		})
+		sa.Precharge()
+		if err != nil || res.Mode != ModeCopy {
+			return false
+		}
+		for _, r := range res.Asserted {
+			got, err := sa.ReadRow(r)
+			if err != nil {
+				return false
+			}
+			for c := range got {
+				if got[c] != src[c] && got[c] != prev[c] {
+					return false
+				}
+				lvl, err := sa.RawLevel(r, c)
+				if err != nil || (lvl != 0 && lvl != 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyShareWriteBackUniform: after a share-mode APA, all asserted
+// rows store identical data (the sense amplifiers drive one value per
+// bitline into every open cell).
+func TestPropertyShareWriteBackUniform(t *testing.T) {
+	sa := propertySubarray(t)
+	f := func(a, b uint16, seed uint64, trial uint8) bool {
+		rf := int(a) % sa.Rows()
+		rs := int(b) % sa.Rows()
+		rows, err := sa.mod.Decoder().ActivatedRows(rf, rs)
+		if err != nil {
+			return false
+		}
+		for i, r := range rows {
+			if sa.WriteRow(r, PatternRandom.FillRow(seed, i, sa.Cols())) != nil {
+				return false
+			}
+		}
+		res, err := sa.APA(rf, rs, APAOptions{
+			Timings: timing.BestMAJ(),
+			Env:     analog.NominalEnv(),
+			Trial:   int(trial),
+		})
+		sa.Precharge()
+		if err != nil || res.Mode != ModeShare {
+			return false
+		}
+		var ref []bool
+		for _, r := range res.Asserted {
+			got, err := sa.ReadRow(r)
+			if err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for c := range got {
+				if got[c] != ref[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySuccessRatesBounded: sweep success rates always land in
+// [0, 1] and are reproducible.
+func TestPropertySuccessRatesBounded(t *testing.T) {
+	spec := NewSpec("bounded", ProfileM, 0xcafe)
+	spec.Columns = 64
+	m, err := NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := m.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, t1Sel, t2Sel uint8) bool {
+		t1 := []float64{1.5, 3, 36}[t1Sel%3]
+		t2 := []float64{1.5, 3, 6}[t2Sel%3]
+		res, err := sa.APA(int(seed%uint64(sa.Rows())), int(seed>>8%uint64(sa.Rows())), APAOptions{
+			Timings: timing.APATimings{T1: t1, T2: t2},
+			Env:     analog.NominalEnv(),
+		})
+		sa.Precharge()
+		if err != nil {
+			return false
+		}
+		return len(res.Asserted) >= 1 && len(res.Asserted) <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,482 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/timing"
+	"repro/internal/xrand"
+)
+
+// Static-draw tags: every source of per-cell/per-row/per-column static
+// process variation hashes a distinct tag so draws are independent.
+const (
+	tagGamma      = 0x01 // per-cell capacitance variation
+	tagFrac       = 0x02 // per-cell Frac residual level
+	tagTheta      = 0x03 // per-column sense threshold
+	tagCoupling   = 0x04 // per-(column, group) coupling noise
+	tagLatch      = 0x05 // per-row predecoder latch settle threshold
+	tagWL         = 0x06 // per-row wordline settle threshold
+	tagWeakWR     = 0x07 // per-cell weak write cells
+	tagWeakCopy   = 0x08 // per-cell weak copy destinations
+	tagViab       = 0x09 // per-group viability draw
+	tagSABias     = 0x0a // per-column sense-amp bias (Frac readout)
+	tagJitter     = 0x0b // per-(row, trial) assertion jitter
+	tagMeta       = 0x0c // per-(column, trial) metastable resolution
+	tagShareLatch = 0x0d // per-group share-mode latch race threshold
+)
+
+// chargeFrac is the stored level of a Frac (VDD/2) cell.
+const chargeFrac = 0.5
+
+// Subarray is one DRAM subarray: a rows×columns array of cells sharing
+// bitlines and sense amplifiers, addressed by a local row decoder. All PUD
+// operations take place within a single subarray.
+type Subarray struct {
+	mod      *Module
+	bankIdx  int
+	saIdx    int
+	rows     int
+	cols     int
+	charge   []float32 // rows*cols stored levels: 0, 1, or chargeFrac
+	asserted []int     // rows left open by the last APA (until precharge)
+	copyMode bool      // whether the last APA latched the sense amps
+}
+
+func newSubarray(m *Module, bankIdx, saIdx int) *Subarray {
+	rows := m.dec.Rows()
+	cols := m.spec.Columns
+	return &Subarray{
+		mod:     m,
+		bankIdx: bankIdx,
+		saIdx:   saIdx,
+		rows:    rows,
+		cols:    cols,
+		charge:  make([]float32, rows*cols),
+	}
+}
+
+// Rows returns the subarray height.
+func (s *Subarray) Rows() int { return s.rows }
+
+// Cols returns the simulated bitline count.
+func (s *Subarray) Cols() int { return s.cols }
+
+// Bank returns the bank index this subarray belongs to.
+func (s *Subarray) Bank() int { return s.bankIdx }
+
+// Index returns the subarray's index within its bank.
+func (s *Subarray) Index() int { return s.saIdx }
+
+func (s *Subarray) checkRow(row int) error {
+	if row < 0 || row >= s.rows {
+		return fmt.Errorf("dram: row %d outside subarray of %d rows", row, s.rows)
+	}
+	return nil
+}
+
+func (s *Subarray) idx(row, col int) int { return row*s.cols + col }
+
+// key hashes a structural coordinate with the module seed.
+func (s *Subarray) key(parts ...uint64) uint64 {
+	all := append([]uint64{s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx)}, parts...)
+	return xrand.Hash(all...)
+}
+
+// cellNorm returns the static standard-normal draw for a cell and tag.
+func (s *Subarray) cellNorm(row, col int, tag uint64) float64 {
+	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
+		uint64(row), uint64(col), tag)
+}
+
+// colNorm returns the static standard-normal draw for a column and tag.
+func (s *Subarray) colNorm(col int, tag uint64) float64 {
+	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
+		0xffff, uint64(col), tag)
+}
+
+// rowNorm returns the static standard-normal draw for a row and tag.
+func (s *Subarray) rowNorm(row int, tag uint64) float64 {
+	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
+		uint64(row), 0xfffe, tag)
+}
+
+// WriteRow performs a nominal-timing activate + write + precharge of one
+// row: cells take solid charge levels.
+func (s *Subarray) WriteRow(row int, bits []bool) error {
+	if err := s.checkRow(row); err != nil {
+		return err
+	}
+	if len(bits) != s.cols {
+		return fmt.Errorf("dram: row data has %d bits, want %d", len(bits), s.cols)
+	}
+	base := s.idx(row, 0)
+	for c, b := range bits {
+		if b {
+			s.charge[base+c] = 1
+		} else {
+			s.charge[base+c] = 0
+		}
+	}
+	return nil
+}
+
+// FillRow writes a pattern row (see Pattern.Bit) with nominal timing.
+func (s *Subarray) FillRow(row int, p Pattern, seed uint64, rowOrdinal int) error {
+	return s.WriteRow(row, p.FillRow(seed, rowOrdinal, s.cols))
+}
+
+// SetFracRow performs the Frac operation of FracDRAM on a row: every cell
+// is left storing VDD/2, contributing (almost) nothing to later charge
+// sharing. It returns an error on modules whose chips do not support Frac
+// (Mfr. M, footnote 5); callers fall back to solid neutral rows there.
+func (s *Subarray) SetFracRow(row int) error {
+	if !s.mod.spec.Profile.FracSupported {
+		return fmt.Errorf("dram: %s chips do not support the Frac operation",
+			s.mod.spec.Profile.Manufacturer)
+	}
+	if err := s.checkRow(row); err != nil {
+		return err
+	}
+	base := s.idx(row, 0)
+	for c := 0; c < s.cols; c++ {
+		s.charge[base+c] = chargeFrac
+	}
+	return nil
+}
+
+// ReadRow performs a nominal-timing read. Frac cells resolve to the
+// column's static sense-amplifier bias (the paper observes Mfr. M's
+// amplifiers are "always biased to one or zero").
+func (s *Subarray) ReadRow(row int) ([]bool, error) {
+	if err := s.checkRow(row); err != nil {
+		return nil, err
+	}
+	out := make([]bool, s.cols)
+	base := s.idx(row, 0)
+	for c := range out {
+		ch := s.charge[base+c]
+		switch {
+		case ch > 0.5+1e-6:
+			out[c] = true
+		case ch < 0.5-1e-6:
+			out[c] = false
+		default:
+			out[c] = s.colNorm(c, tagSABias) > 0
+		}
+	}
+	return out, nil
+}
+
+// RawLevel exposes a cell's stored charge level for tests and the TRNG
+// extension.
+func (s *Subarray) RawLevel(row, col int) (float64, error) {
+	if err := s.checkRow(row); err != nil {
+		return 0, err
+	}
+	if col < 0 || col >= s.cols {
+		return 0, fmt.Errorf("dram: column %d outside subarray of %d columns", col, s.cols)
+	}
+	return float64(s.charge[s.idx(row, col)]), nil
+}
+
+// MAJSpec tells the APA engine that the charge-share operation implements
+// an X-input majority with the given replication factor, enabling the
+// group-viability model. A nil spec (plain activation or copy attempts)
+// is always viable.
+type MAJSpec struct {
+	X      int // number of majority inputs
+	Copies int // replication factor ⌊N/X⌋
+}
+
+// APAOptions parameterizes one ACT→PRE→ACT command sequence.
+type APAOptions struct {
+	Timings timing.APATimings
+	Env     analog.Env
+	// Trial indexes the repetition of the experiment; it seeds the
+	// per-trial transient draws (assertion jitter, metastable resolutions).
+	Trial int
+	// PatternCoupling is the data pattern's coupling factor (see
+	// Pattern.CouplingFactor); zero for a quiet array.
+	PatternCoupling float64
+	// MAJ, when non-nil, enables the majority-group viability model.
+	MAJ *MAJSpec
+}
+
+// Mode describes what the APA sequence did electrically.
+type Mode uint8
+
+// APA modes.
+const (
+	// ModeSingle: the sequence behaved like a normal activation of the
+	// second row — either tRP was respected (the latches cleared properly)
+	// or the chip's control circuitry guards against the violation
+	// (Samsung, §9 Limitation 1).
+	ModeSingle Mode = iota
+	// ModeShare: charge-share (majority) mode — t1 below the sense-latch
+	// point, all activated cells share charge and the amplifier resolves
+	// their aggregate perturbation.
+	ModeShare
+	// ModeCopy: the sense amplifier latched the first row before the
+	// second ACT and drives its data into every activated row.
+	ModeCopy
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSingle:
+		return "single"
+	case ModeShare:
+		return "share"
+	case ModeCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// APAResult reports the outcome of one APA sequence.
+type APAResult struct {
+	Mode Mode
+	// Activated is the decoder's asserted-wordline set (sorted).
+	Activated []int
+	// Asserted is the subset whose wordlines actually settled this trial.
+	Asserted []int
+	// Viable reports whether the majority group resolved deterministically
+	// (always true outside share mode or without a MAJSpec).
+	Viable bool
+}
+
+// APA issues ACT(rf) --t1--> PRE --t2--> ACT(rs) and applies its electrical
+// consequences to the array. After APA the asserted rows remain open: a
+// subsequent WriteOpenRows models the WR-overdrive step of §3.2, and
+// Precharge closes the bank.
+func (s *Subarray) APA(rf, rs int, opts APAOptions) (APAResult, error) {
+	if err := s.checkRow(rf); err != nil {
+		return APAResult{}, err
+	}
+	if err := s.checkRow(rs); err != nil {
+		return APAResult{}, err
+	}
+	t := opts.Timings.Quantized()
+	params := s.mod.params
+	jedec := timing.DDR4()
+
+	// Multi-row activation requires the tRP violation (so the predecoder
+	// latches keep the first address) on an unguarded chip. Otherwise the
+	// sequence is a normal back-to-back activation: only the second row
+	// ends up open.
+	if !t.ViolatesTRP(jedec) || s.mod.spec.Profile.APAGuarded {
+		s.asserted = []int{rs}
+		s.copyMode = false
+		return APAResult{Mode: ModeSingle, Activated: []int{rs}, Asserted: []int{rs}, Viable: true}, nil
+	}
+
+	activated, err := s.mod.dec.ActivatedRows(rf, rs)
+	if err != nil {
+		return APAResult{}, err
+	}
+
+	// Per-row wordline assertion: rf stays asserted from the first ACT;
+	// every other row in the set must win the settling race (§4 Obs. 2).
+	asserted := make([]int, 0, len(activated))
+	n := len(activated)
+	for _, r := range activated {
+		if r == rf {
+			asserted = append(asserted, r)
+			continue
+		}
+		latchThresh := params.LatchThreshold(s.rowNorm(r, tagLatch), n, opts.Env)
+		wlThresh := params.WLThreshold(s.rowNorm(r, tagWL))
+		jit := params.AssertTransientSigma *
+			xrand.Norm(s.key(uint64(r), uint64(opts.Trial), tagJitter))
+		if t.T2+jit >= latchThresh && t.Total()+jit >= wlThresh {
+			asserted = append(asserted, r)
+		}
+	}
+
+	res := APAResult{Activated: activated, Asserted: asserted, Viable: true}
+	if t.T1 >= params.SenseLatchTime {
+		res.Mode = ModeCopy
+		s.applyCopy(rf, asserted, t, opts)
+	} else {
+		res.Mode = ModeShare
+		res.Viable = s.applyShare(rf, rs, asserted, t, opts)
+	}
+	s.asserted = append([]int(nil), asserted...)
+	s.copyMode = res.Mode == ModeCopy
+	return res, nil
+}
+
+// applyCopy drives the sense amplifiers' latched data (the first row's
+// contents) into every asserted row. Weak destination cells keep their old
+// charge.
+func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts APAOptions) {
+	params := s.mod.params
+	jedec := timing.DDR4()
+	nAct := len(asserted)
+	srcBase := s.idx(rf, 0)
+	// Collective pull-up droop depends on the fraction of 1s driven
+	// across the amplifier stripe.
+	ones := 0
+	for c := 0; c < s.cols; c++ {
+		if s.charge[srcBase+c] > 0.5 {
+			ones++
+		}
+	}
+	onesFrac := float64(ones) / float64(s.cols)
+	for c := 0; c < s.cols; c++ {
+		ch := s.charge[srcBase+c]
+		var bit bool
+		switch {
+		case ch > 0.5+1e-6:
+			bit = true
+		case ch < 0.5-1e-6:
+			bit = false
+		default:
+			bit = s.colNorm(c, tagSABias) > 0
+		}
+		pFail := params.CopyFailProb(bit, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
+		var level float32
+		if bit {
+			level = 1
+		}
+		for _, r := range asserted {
+			if r != rf {
+				// Static weak-cell draw: a weak destination never takes
+				// the copy, so it fails every trial (matching the
+				// all-trials success metric).
+				u := xrand.Uniform(s.key(uint64(r), uint64(c), tagWeakCopy))
+				if u < pFail {
+					continue
+				}
+			}
+			s.charge[s.idx(r, c)] = level
+		}
+	}
+}
+
+// applyShare performs charge-share (majority) resolution on every bitline
+// and writes the sensed value back into all asserted cells. It returns
+// whether the group was viable (see analog.Params.ViabilityZ); non-viable
+// groups resolve metastably, differently on every trial.
+func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, opts APAOptions) bool {
+	params := s.mod.params
+	drive := params.DriveFactor(opts.Env)
+	rfWeight := params.RFWeight(t.Total()) * drive
+
+	// Share-mode group latch race: below the per-group t2 threshold the
+	// whole group's sensing is metastable (Obs. 7's t2 = 1.5 ns cliff).
+	shareThresh := params.ShareLatchThreshold(
+		xrand.Norm(s.key(uint64(rf), uint64(rs), tagShareLatch)))
+	viable := t.T2 >= shareThresh
+
+	if viable && opts.MAJ != nil {
+		bias := s.mod.spec.Profile.ViabilityBias
+		if opts.MAJ.X > s.mod.spec.Profile.MaxMAJ {
+			bias -= 3 // beyond the vendor's supported majority width
+		}
+		if !s.mod.spec.Profile.FracSupported {
+			// Solid-value neutral rows rely on amplifier bias
+			// cancellation, which is slightly less robust than Frac.
+			bias -= 0.1
+		}
+		z := params.ViabilityZ(opts.MAJ.X, opts.MAJ.Copies, t.Total(),
+			opts.PatternCoupling, bias)
+		viable = xrand.Norm(s.key(uint64(rf), uint64(rs), tagViab)) < z
+	}
+
+	groupKey := s.key(uint64(rf), uint64(rs))
+	terms := make([]analog.CellTerm, 0, len(asserted))
+	for c := 0; c < s.cols; c++ {
+		var bit bool
+		if !viable {
+			// Metastable group: the amplifier race resolves arbitrarily,
+			// differently every trial.
+			bit = xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta)&1 == 1
+		} else {
+			terms = terms[:0]
+			for _, r := range asserted {
+				ch := float64(s.charge[s.idx(r, c)])
+				var level float64
+				switch {
+				case ch > 0.5+1e-6:
+					level = 1
+				case ch < 0.5-1e-6:
+					level = -1
+				default:
+					level = params.FracSigma * s.cellNorm(r, c, tagFrac)
+				}
+				w := drive
+				if r == rf {
+					w = rfWeight
+				}
+				terms = append(terms, analog.CellTerm{
+					Level:     level,
+					CapFactor: 1 + params.CellCapSigma*s.cellNorm(r, c, tagGamma),
+					Weight:    w,
+				})
+			}
+			delta := params.Perturbation(terms)
+			coupling := params.CouplingNoise(
+				xrand.Norm(groupKey, uint64(c), tagCoupling), opts.PatternCoupling)
+			theta := params.SenseThreshold(s.colNorm(c, tagTheta))
+			v := delta + coupling
+			if v > theta {
+				bit = true
+			} else if v < -theta {
+				bit = false
+			} else {
+				// Below the reliable sensing margin: metastable per trial.
+				bit = xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta, 1)&1 == 1
+			}
+		}
+		var level float32
+		if bit {
+			level = 1
+		}
+		for _, r := range asserted {
+			s.charge[s.idx(r, c)] = level
+		}
+	}
+	return viable
+}
+
+// WriteOpenRows models the WR command of the §3.2 methodology: the write
+// drivers overdrive the bitlines, updating the cells of every row still
+// asserted from the preceding APA. Weak cells (static, rare) miss the
+// update. It returns an error if no rows are open.
+func (s *Subarray) WriteOpenRows(bits []bool) error {
+	if len(s.asserted) == 0 {
+		return fmt.Errorf("dram: WR with no open rows (issue APA first)")
+	}
+	if len(bits) != s.cols {
+		return fmt.Errorf("dram: WR data has %d bits, want %d", len(bits), s.cols)
+	}
+	pFail := s.mod.params.WriteFailProb(len(s.asserted))
+	for _, r := range s.asserted {
+		base := s.idx(r, 0)
+		for c, b := range bits {
+			if xrand.Uniform(s.key(uint64(r), uint64(c), tagWeakWR)) < pFail {
+				continue
+			}
+			if b {
+				s.charge[base+c] = 1
+			} else {
+				s.charge[base+c] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// OpenRows returns the rows currently asserted (open) after an APA.
+func (s *Subarray) OpenRows() []int { return append([]int(nil), s.asserted...) }
+
+// Precharge closes the bank: wordlines de-assert and the bitlines return
+// to VDD/2. Cell contents are unaffected (they were restored or
+// overwritten while open).
+func (s *Subarray) Precharge() {
+	s.asserted = nil
+	s.copyMode = false
+}

@@ -1,0 +1,101 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := Default()
+	m.RefMW = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero REF power should fail")
+	}
+}
+
+func TestSiMRAGrowsWithN(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		p, err := m.SiMRA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Fatalf("power not increasing at n=%d", n)
+		}
+		prev = p
+	}
+}
+
+func TestSiMRARejectsBadN(t *testing.T) {
+	m := Default()
+	for _, n := range []int{0, 3, 6, 64, -1} {
+		if _, err := m.SiMRA(n); err == nil {
+			t.Fatalf("n=%d should fail", n)
+		}
+	}
+}
+
+// TestObs5PowerBudget: 32-row activation draws ~21% less than REF, the
+// most power-consuming standard operation.
+func TestObs5PowerBudget(t *testing.T) {
+	m := Default()
+	margin, err := m.MarginBelowRef(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(margin-0.2119) > 0.03 {
+		t.Fatalf("32-row margin below REF = %.4f, want ~0.2119", margin)
+	}
+	// REF must dominate every other standard operation.
+	for _, op := range Ops {
+		p, err := m.Standard(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > m.RefMW {
+			t.Fatalf("%v draws %v mW, above REF", op, p)
+		}
+	}
+}
+
+// TestSiMRABelowAllWROrRD: even 32-row activation stays below RD/WR/REF
+// (the paper's key feasibility argument).
+func TestSiMRAWithinBudget(t *testing.T) {
+	m := Default()
+	p32, err := m.SiMRA(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []Op{OpRd, OpWr, OpRef} {
+		std, err := m.Standard(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p32 >= std {
+			t.Fatalf("32-row power %v exceeds %v's %v", p32, op, std)
+		}
+	}
+}
+
+func TestStandardUnknownOp(t *testing.T) {
+	if _, err := Default().Standard(Op(99)); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpActPre.String() != "ACT+PRE" || OpRef.String() != "REF" {
+		t.Fatal("bad op names")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown op name")
+	}
+}

@@ -1,0 +1,197 @@
+// Package spice is the circuit-level transient simulator standing in for
+// the paper's LTspice + Rambus-model setup (§3.5): an RC model of one
+// bitline with N simultaneously connected DRAM cells and a regenerative
+// sense amplifier, Monte-Carlo-sampled over capacitor and transistor
+// parameter variation.
+//
+// It regenerates Fig. 15: (a) the bitline perturbation distribution right
+// before sensing for MAJ3(1,1,0) with N-row activation, and (b) the MAJ3
+// success rate across process-variation percentages.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Circuit holds the nominal electrical parameters of the simulated
+// bitline. Values are scaled from the Rambus reference model to a
+// 22 nm-class node as the paper does; only ratios matter for the
+// perturbation results.
+type Circuit struct {
+	VDD     float64 // core voltage, V
+	CellFF  float64 // cell capacitance, fF
+	BitFF   float64 // bitline capacitance, fF
+	GOnUS   float64 // access-transistor on-conductance, µS
+	ShareNS float64 // charge-sharing window before the amplifier fires, ns
+	StepNS  float64 // integration step, ns
+	// GVarLambda is the exponential sensitivity of the on-conductance to
+	// process variation: g = g0·exp(λ·δ). Threshold-voltage shifts act
+	// exponentially on the transistor's drive in the short sharing window,
+	// which is what collapses 4-row MAJ3 at high variation (Fig. 15b).
+	GVarLambda float64
+}
+
+// DefaultCircuit returns the nominal 22 nm-class model.
+func DefaultCircuit() Circuit {
+	return Circuit{
+		VDD:        1.2,
+		CellFF:     22,
+		BitFF:      88,
+		GOnUS:      30,
+		ShareNS:    1.5,
+		StepNS:     0.01,
+		GVarLambda: 5.0,
+	}
+}
+
+// Validate reports whether the circuit is integrable.
+func (c Circuit) Validate() error {
+	switch {
+	case c.VDD <= 0, c.CellFF <= 0, c.BitFF <= 0, c.GOnUS <= 0:
+		return fmt.Errorf("spice: parameters must be positive: %+v", c)
+	case c.StepNS <= 0 || c.StepNS > c.ShareNS:
+		return fmt.Errorf("spice: bad integration step %v", c.StepNS)
+	}
+	return nil
+}
+
+// cell is one DRAM cell connected to the bitline during the transient.
+type cell struct {
+	v    float64 // stored voltage
+	capF float64 // capacitance, fF
+	g    float64 // access conductance, µS
+}
+
+// Transient integrates the charge-sharing transient of the given cells
+// against a VDD/2-precharged bitline and returns the bitline deviation
+// from VDD/2 at the end of the sharing window.
+//
+// The network is dVb/dt = Σ gᵢ(Vᵢ−Vb)/Cb, dVᵢ/dt = gᵢ(Vb−Vᵢ)/Cᵢ, a
+// well-behaved RC star integrated with forward Euler at a small step. In
+// (V, ns, fF, µS) units the equations carry no scale factors: µS/fF =
+// 1/ns, so a 22 fF cell through a 30 µS transistor has τ ≈ 0.73 ns,
+// matching real charge-sharing time scales.
+func (c Circuit) Transient(cells []cell) float64 {
+	vb := c.VDD / 2
+	vs := make([]float64, len(cells))
+	for i, cl := range cells {
+		vs[i] = cl.v
+	}
+	steps := int(c.ShareNS / c.StepNS)
+	for s := 0; s < steps; s++ {
+		for i, cl := range cells {
+			// Exact single-cell relaxation toward the (slow) bitline over
+			// one step: unconditionally stable for any conductance draw.
+			alpha := 1 - math.Exp(-cl.g/cl.capF*c.StepNS)
+			dv := (vb - vs[i]) * alpha
+			vs[i] += dv
+			vb -= dv * cl.capF / c.BitFF // charge conservation
+		}
+	}
+	return vb - c.VDD/2
+}
+
+// MonteCarlo runs the Fig. 15 experiment: `sets` independent samples of an
+// N-row MAJ3(1,1,0) activation at the given process-variation fraction
+// (e.g. 0.4 for ±40%), returning the per-sample bitline perturbations and
+// the fraction of samples whose amplifier resolves the correct majority
+// (logic 1 for two 1-operands vs one 0-operand).
+type MonteCarlo struct {
+	Circuit Circuit
+	Seed    uint64
+	// SenseOffsetV is the amplifier's input-referred offset sigma (V).
+	SenseOffsetV float64
+}
+
+// NewMonteCarlo returns a simulator with the default circuit.
+func NewMonteCarlo(seed uint64) *MonteCarlo {
+	return &MonteCarlo{Circuit: DefaultCircuit(), Seed: seed, SenseOffsetV: 0.035}
+}
+
+// Result holds one Monte-Carlo sweep cell of Fig. 15.
+type Result struct {
+	N             int
+	Variation     float64
+	Perturbations []float64
+	SuccessRate   float64
+}
+
+// Run simulates `sets` samples of MAJ3(1,1,0) with n-row activation at the
+// given variation fraction. For n == 1 a single charged cell is simulated
+// (the paper's single-row reference distribution); n must otherwise be a
+// multiple-of-activation count ≥ 3 (4, 8, 16 or 32).
+func (mc *MonteCarlo) Run(n int, variation float64, sets int) (Result, error) {
+	if err := mc.Circuit.Validate(); err != nil {
+		return Result{}, err
+	}
+	if sets <= 0 {
+		return Result{}, fmt.Errorf("spice: sets must be positive")
+	}
+	if variation < 0 || variation >= 1 {
+		return Result{}, fmt.Errorf("spice: variation %v outside [0,1)", variation)
+	}
+	if n != 1 && n < 3 {
+		return Result{}, fmt.Errorf("spice: unsupported row count %d", n)
+	}
+
+	res := Result{N: n, Variation: variation, Perturbations: make([]float64, 0, sets)}
+	correct := 0
+	for set := 0; set < sets; set++ {
+		src := xrand.NewSource(mc.Seed, uint64(n), uint64(set),
+			uint64(math.Float64bits(variation)))
+		cells := mc.buildCells(n, variation, src)
+		delta := mc.Circuit.Transient(cells)
+		res.Perturbations = append(res.Perturbations, delta)
+		if n != 1 {
+			// The amplifier resolves sign(delta + offset); MAJ3(1,1,0) = 1.
+			offset := mc.SenseOffsetV * src.Norm()
+			if delta+offset > 0 {
+				correct++
+			}
+		}
+	}
+	if n != 1 {
+		res.SuccessRate = float64(correct) / float64(sets)
+	}
+	return res, nil
+}
+
+// buildCells constructs the MAJ3(1,1,0) cell population for n-row
+// activation: ⌊n/3⌋ copies of each operand (1,1,0) and n%3 neutral VDD/2
+// cells, parameters varied uniformly by ±variation.
+func (mc *MonteCarlo) buildCells(n int, variation float64, src *xrand.Source) []cell {
+	c := mc.Circuit
+	varyCap := func() float64 {
+		f := 1 + variation*src.Norm()
+		if f < 0.15 {
+			f = 0.15
+		}
+		return c.CellFF * f
+	}
+	varyG := func() float64 {
+		return c.GOnUS * math.Exp(c.GVarLambda*variation*src.Norm())
+	}
+	mk := func(v float64) cell { return cell{v: v, capF: varyCap(), g: varyG()} }
+	if n == 1 {
+		return []cell{mk(c.VDD)}
+	}
+	copies := n / 3
+	cells := make([]cell, 0, n)
+	for i := 0; i < copies; i++ {
+		cells = append(cells, mk(c.VDD), mk(c.VDD), mk(0))
+	}
+	for i := 0; i < n%3; i++ {
+		cells = append(cells, mk(c.VDD/2))
+	}
+	return cells
+}
+
+// Variations lists Fig. 15's process-variation fractions.
+var Variations = []float64{0, 0.10, 0.20, 0.30, 0.40}
+
+// RowCounts lists Fig. 15's activation counts (1 is the single-row
+// reference of Fig. 15a; success is reported for the rest).
+var RowCounts = []int{1, 4, 8, 16, 32}

@@ -1,0 +1,232 @@
+// Package stats provides the summary statistics used throughout the
+// characterization harness: success-rate distributions across row groups,
+// box-and-whiskers summaries matching the paper's plots, and simple
+// histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a summary is requested for an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the box-and-whiskers statistics the paper plots: the box is
+// bounded by the first and third quartiles, whiskers show min and max, and
+// we additionally record mean and standard deviation for the "average
+// success rate" lines.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over the sample. The input slice is not
+// modified. It returns ErrEmpty for an empty sample.
+func Summarize(sample []float64) (Summary, error) {
+	if len(sample) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against FP rounding
+	}
+
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+	}, nil
+}
+
+// MustSummarize is like Summarize but returns a zero Summary for an empty
+// sample instead of an error. It is intended for experiment code paths
+// where an empty sample indicates a configuration with zero sampled groups
+// and a zero row is an acceptable report.
+func MustSummarize(sample []float64) Summary {
+	s, err := Summarize(sample)
+	if err != nil {
+		return Summary{}
+	}
+	return s
+}
+
+// IQR returns the inter-quartile range (box size).
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// String renders the summary in a compact single-line form used by the
+// characterization CLI.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// quantileSorted computes the q-th quantile (0<=q<=1) of an ascending
+// sorted sample using linear interpolation between closest ranks.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile computes the q-th quantile of an unsorted sample. It returns
+// ErrEmpty for an empty sample and clamps q into [0, 1].
+func Quantile(sample []float64, q float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// Accumulator incrementally collects sample values; it is the building
+// block experiments use to gather per-row-group success rates without
+// retaining intermediate structures. The zero value is ready to use.
+type Accumulator struct {
+	values []float64
+}
+
+// Add appends one observation.
+func (a *Accumulator) Add(v float64) { a.values = append(a.values, v) }
+
+// AddAll appends many observations.
+func (a *Accumulator) AddAll(vs ...float64) { a.values = append(a.values, vs...) }
+
+// Len reports the number of collected observations.
+func (a *Accumulator) Len() int { return len(a.values) }
+
+// Values returns a copy of the collected observations.
+func (a *Accumulator) Values() []float64 {
+	out := make([]float64, len(a.values))
+	copy(out, a.values)
+	return out
+}
+
+// Summary summarizes the collected observations.
+func (a *Accumulator) Summary() Summary { return MustSummarize(a.values) }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+// It returns an error for invalid configurations rather than panicking.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid bounds [%v, %v]", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation; out-of-range values are tallied separately.
+func (h *Histogram) Add(v float64) {
+	if v < h.Lo {
+		h.under++
+		return
+	}
+	if v >= h.Hi {
+		if v == h.Hi {
+			h.Counts[len(h.Counts)-1]++
+			return
+		}
+		h.over++
+		return
+	}
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Outliers returns the number of observations below Lo and above Hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// PercentDiff returns the difference a-b expressed in percentage points
+// when a and b are rates in [0,1], i.e. (a-b)*100.
+func PercentDiff(a, b float64) float64 { return (a - b) * 100 }
+
+// RelativeChange returns (a-b)/b, guarding against division by zero: when b
+// is zero it returns +Inf for positive a, 0 for zero a, and -Inf otherwise.
+func RelativeChange(a, b float64) float64 {
+	if b == 0 {
+		switch {
+		case a > 0:
+			return math.Inf(1)
+		case a < 0:
+			return math.Inf(-1)
+		default:
+			return 0
+		}
+	}
+	return (a - b) / b
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 || s.Mean != 3.5 {
+		t.Fatalf("unexpected single-value summary: %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Fatalf("single-value stddev = %v, want 0", s.StdDev)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..9: median 5, q1 3, q3 7, mean 5.
+	var in []float64
+	for i := 1; i <= 9; i++ {
+		in = append(in, float64(i))
+	}
+	s, err := Summarize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 || s.Q1 != 3 || s.Q3 != 7 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.IQR() != 4 {
+		t.Fatalf("IQR = %v, want 4", s.IQR())
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				in = append(in, v)
+			}
+		}
+		if len(in) == 0 {
+			return true
+		}
+		s, err := Summarize(in)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Q1 && s.Q1 <= s.Median &&
+			s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				in = append(in, v)
+			}
+		}
+		if len(in) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(in, q)
+			if err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileClamp(t *testing.T) {
+	in := []float64{1, 2, 3}
+	lo, _ := Quantile(in, -1)
+	hi, _ := Quantile(in, 2)
+	if lo != 1 || hi != 3 {
+		t.Fatalf("clamped quantiles = %v, %v", lo, hi)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.AddAll(2, 3)
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	s := a.Summary()
+	if s.Mean != 2 {
+		t.Fatalf("mean = %v, want 2", s.Mean)
+	}
+	vs := a.Values()
+	vs[0] = 99
+	if a.Summary().Mean != 2 {
+		t.Fatal("Values() must return a copy")
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	s := a.Summary()
+	if s.N != 0 {
+		t.Fatalf("empty accumulator summary N = %d", s.N)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	h.Add(10) // boundary goes to last bin
+	if h.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("outliers = %d, %d", under, over)
+	}
+	for i, c := range h.Counts {
+		want := 1
+		if i == 9 {
+			want = 2
+		}
+		if c != want {
+			t.Fatalf("bin %d count = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Fatal("expected error for lo == hi")
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	if got := PercentDiff(0.99, 0.68); math.Abs(got-31.0) > 1e-9 {
+		t.Fatalf("PercentDiff = %v, want 31", got)
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(3, 2); got != 0.5 {
+		t.Fatalf("RelativeChange(3,2) = %v", got)
+	}
+	if got := RelativeChange(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelativeChange(1,0) = %v, want +Inf", got)
+	}
+	if got := RelativeChange(0, 0); got != 0 {
+		t.Fatalf("RelativeChange(0,0) = %v, want 0", got)
+	}
+}
+
+func TestQuantileSortedAgainstSort(t *testing.T) {
+	in := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	med, err := Quantile(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), in...)
+	sort.Float64s(sorted)
+	if med != sorted[4] {
+		t.Fatalf("median = %v, want %v", med, sorted[4])
+	}
+}

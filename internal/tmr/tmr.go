@@ -1,0 +1,128 @@
+// Package tmr implements the paper's majority-based error-correction case
+// study (§8.1 "Majority-based Error Correction Operations"): triple (and
+// wider) modular redundancy where the voting is performed *inside DRAM*
+// with a single MAJX operation over the replicated copies.
+//
+// A MAJX vote over X copies corrects up to (X−1)/2 corrupted copies per
+// bit: TMR (MAJ3) corrects one fault, MAJ9-based voting corrects four.
+// (The paper quotes three faults for MAJ9 by reserving margin; the
+// combinatorial bound is (X−1)/2.)
+package tmr
+
+import (
+	"fmt"
+
+	"repro/internal/bitserial"
+	"repro/internal/dram"
+	"repro/internal/xrand"
+)
+
+// Voter performs in-DRAM modular-redundancy voting.
+type Voter struct {
+	c *bitserial.Computer
+	x int
+}
+
+// NewVoter builds a voter over X copies (odd, 3..computer width).
+func NewVoter(c *bitserial.Computer, x int) (*Voter, error) {
+	if c == nil {
+		return nil, fmt.Errorf("tmr: nil computer")
+	}
+	if x < 3 || x%2 == 0 {
+		return nil, fmt.Errorf("tmr: copies %d must be odd and >= 3", x)
+	}
+	if x > c.MaxX() {
+		return nil, fmt.Errorf("tmr: MAJ%d unavailable (computer supports up to MAJ%d)",
+			x, c.MaxX())
+	}
+	return &Voter{c: c, x: x}, nil
+}
+
+// Copies returns the redundancy degree.
+func (v *Voter) Copies() int { return v.x }
+
+// Correctable returns the number of per-bit faulty copies the vote
+// tolerates: (X−1)/2.
+func (v *Voter) Correctable() int { return (v.x - 1) / 2 }
+
+// Protect stores the data into X freshly allocated copy registers and
+// returns them.
+func (v *Voter) Protect(data []bool) ([]int, error) {
+	regs := make([]int, v.x)
+	for i := range regs {
+		r, err := v.c.AllocReg()
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = r
+		if err := v.c.WriteRowDirect(r, data); err != nil {
+			return nil, err
+		}
+	}
+	return regs, nil
+}
+
+// Vote performs the in-DRAM majority over the copy registers and writes
+// the corrected value into dst.
+func (v *Voter) Vote(dst int, copies []int) error {
+	if len(copies) != v.x {
+		return fmt.Errorf("tmr: %d copies, want %d", len(copies), v.x)
+	}
+	return v.c.MAJ(dst, copies...)
+}
+
+// InjectFaults flips `faults` deterministic pseudo-random bit positions in
+// each of the selected copy registers (distinct positions per register),
+// modeling radiation-induced upsets. It returns the flipped positions per
+// register for verification.
+func (v *Voter) InjectFaults(copies []int, faultyCopies, faults int, seed uint64) (map[int][]int, error) {
+	if faultyCopies > len(copies) {
+		return nil, fmt.Errorf("tmr: %d faulty copies exceed %d", faultyCopies, len(copies))
+	}
+	out := make(map[int][]int, faultyCopies)
+	cols := v.c.Cols()
+	for i := 0; i < faultyCopies; i++ {
+		reg := copies[i]
+		src := xrand.NewSource(seed, uint64(reg), 0x7a0)
+		positions := src.Sample(cols, faults)
+		row, err := v.c.ReadRowDirect(reg)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range positions {
+			row[p] = !row[p]
+		}
+		if err := v.c.WriteRowDirect(reg, row); err != nil {
+			return nil, err
+		}
+		out[reg] = positions
+	}
+	return out, nil
+}
+
+// Recover reads a voted register back.
+func (v *Voter) Recover(reg int) ([]bool, error) {
+	return v.c.ReadRowDirect(reg)
+}
+
+// Mismatches counts positions where got differs from want, restricted to
+// the computer's reliable columns.
+func (v *Voter) Mismatches(got, want []bool) int {
+	mask := v.c.ReliableMask()
+	n := 0
+	for i := range got {
+		if i < len(mask) && !mask[i] {
+			continue
+		}
+		if got[i] != want[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// RandomData produces a deterministic random payload of the computer's
+// column width.
+func (v *Voter) RandomData(seed uint64) []bool {
+	return dram.PatternRandom.FillRow(seed, 0, v.c.Cols())
+}

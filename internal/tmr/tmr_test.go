@@ -1,0 +1,164 @@
+package tmr
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/bitserial"
+	"repro/internal/dram"
+)
+
+func newVoter(t *testing.T, x int) *Voter {
+	t.Helper()
+	spec := dram.NewSpec("tmr-test", dram.ProfileH, 0x73a)
+	spec.Columns = 128
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := bitserial.NewComputer(mod, sa, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxX() < x {
+		t.Skipf("compute group only supports MAJ%d", c.MaxX())
+	}
+	v, err := NewVoter(c, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewVoterValidation(t *testing.T) {
+	v := newVoter(t, 3)
+	if _, err := NewVoter(nil, 3); err == nil {
+		t.Fatal("nil computer should fail")
+	}
+	if _, err := NewVoter(v.c, 4); err == nil {
+		t.Fatal("even copies should fail")
+	}
+	if _, err := NewVoter(v.c, 11); err == nil {
+		t.Fatal("copies beyond computer width should fail")
+	}
+}
+
+func TestCorrectable(t *testing.T) {
+	cases := map[int]int{3: 1, 5: 2}
+	for x, want := range cases {
+		v := newVoter(t, x)
+		if got := v.Correctable(); got != want {
+			t.Fatalf("MAJ%d correctable = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestTMRCorrectsSingleFault: the classic TMR property, voted in DRAM.
+func TestTMRCorrectsSingleFault(t *testing.T) {
+	v := newVoter(t, 3)
+	data := v.RandomData(1)
+	copies, err := v.Protect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.InjectFaults(copies, 1, 12, 99); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := v.c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Vote(dst, copies); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Recover(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := v.Mismatches(got, data); n != 0 {
+		t.Fatalf("TMR left %d mismatches after a single-copy fault", n)
+	}
+}
+
+// TestMAJ5CorrectsTwoFaultyCopies: wider in-DRAM votes tolerate more
+// faulty copies (the paper's up-to-three-faults claim for MAJ9).
+func TestMAJ5CorrectsTwoFaultyCopies(t *testing.T) {
+	v := newVoter(t, 5)
+	data := v.RandomData(2)
+	copies, err := v.Protect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.InjectFaults(copies, 2, 20, 7); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := v.c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Vote(dst, copies); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Recover(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := v.Mismatches(got, data); n != 0 {
+		t.Fatalf("MAJ5 vote left %d mismatches after two faulty copies", n)
+	}
+}
+
+// TestTMRFailsBeyondBudget: two faulty copies at the same positions defeat
+// TMR — the vote follows the (wrong) majority, as it must.
+func TestTMRFailsBeyondBudget(t *testing.T) {
+	v := newVoter(t, 3)
+	data := v.RandomData(3)
+	copies, err := v.Protect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the same position in two copies.
+	for _, reg := range copies[:2] {
+		row, err := v.c.ReadRowDirect(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row[0] = !row[0]
+		if err := v.c.WriteRowDirect(reg, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := v.c.AllocReg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Vote(dst, copies); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Recover(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := v.c.ReliableMask()
+	if mask[0] && got[0] == data[0] {
+		t.Fatal("two colluding faults should defeat TMR at that position")
+	}
+}
+
+func TestInjectFaultsValidation(t *testing.T) {
+	v := newVoter(t, 3)
+	copies, err := v.Protect(v.RandomData(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.InjectFaults(copies, 4, 1, 1); err == nil {
+		t.Fatal("more faulty copies than copies should fail")
+	}
+	if err := v.Vote(0, copies[:2]); err == nil {
+		t.Fatal("wrong copy count should fail")
+	}
+}

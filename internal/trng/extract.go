@@ -1,0 +1,114 @@
+package trng
+
+import (
+	"fmt"
+	"math"
+)
+
+// VonNeumann applies the classic von Neumann extractor to a raw bit
+// stream: consecutive pairs (0,1) → 0, (1,0) → 1, equal pairs discarded.
+// The output is unbiased whenever pairs are independent and identically
+// biased, which is what QUAC-style post-processing assumes.
+func VonNeumann(raw []bool) []bool {
+	out := make([]bool, 0, len(raw)/4)
+	for i := 0; i+1 < len(raw); i += 2 {
+		if raw[i] != raw[i+1] {
+			out = append(out, raw[i])
+		}
+	}
+	return out
+}
+
+// HealthReport summarizes the statistical health of a bit stream, after
+// the continuous-health-test style of SP 800-90B.
+type HealthReport struct {
+	Bits       int
+	OnesFrac   float64 // monobit proportion
+	MaxRunLen  int     // longest run of identical bits
+	SerialCorr float64 // lag-1 serial correlation coefficient
+}
+
+// Analyze computes a HealthReport. It returns an error for streams too
+// short to say anything (fewer than 64 bits).
+func Analyze(bitstream []bool) (HealthReport, error) {
+	n := len(bitstream)
+	if n < 64 {
+		return HealthReport{}, fmt.Errorf("trng: %d bits too short to analyze", n)
+	}
+	ones := 0
+	run, maxRun := 1, 1
+	for i, b := range bitstream {
+		if b {
+			ones++
+		}
+		if i > 0 {
+			if b == bitstream[i-1] {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 1
+			}
+		}
+	}
+	mean := float64(ones) / float64(n)
+	// Lag-1 serial correlation.
+	var num, den float64
+	for i := 0; i < n; i++ {
+		xi := bit01(bitstream[i]) - mean
+		den += xi * xi
+		if i+1 < n {
+			num += xi * (bit01(bitstream[i+1]) - mean)
+		}
+	}
+	corr := 0.0
+	if den > 0 {
+		corr = num / den
+	}
+	return HealthReport{
+		Bits:       n,
+		OnesFrac:   mean,
+		MaxRunLen:  maxRun,
+		SerialCorr: corr,
+	}, nil
+}
+
+// Healthy reports whether the stream passes loose randomness screens: a
+// monobit proportion within 4σ of 1/2, no run longer than expected for
+// the stream length (with slack), and negligible lag-1 correlation.
+func (h HealthReport) Healthy() bool {
+	sigma := 0.5 / math.Sqrt(float64(h.Bits))
+	if math.Abs(h.OnesFrac-0.5) > 4*sigma {
+		return false
+	}
+	expectedMaxRun := math.Log2(float64(h.Bits)) + 4
+	if float64(h.MaxRunLen) > expectedMaxRun+4 {
+		return false
+	}
+	return math.Abs(h.SerialCorr) < 0.1
+}
+
+func bit01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Bytes packs a bit stream into bytes, MSB first, dropping the incomplete
+// tail.
+func Bytes(bitstream []bool) []byte {
+	out := make([]byte, 0, len(bitstream)/8)
+	for i := 0; i+8 <= len(bitstream); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b <<= 1
+			if bitstream[i+j] {
+				b |= 1
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

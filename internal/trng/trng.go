@@ -1,0 +1,112 @@
+// Package trng is the extension the paper's related-work discussion points
+// at (§10, QUAC-TRNG): true-random-number generation from the metastable
+// sensing of simultaneously activated rows storing opposing values.
+//
+// Activating a balanced group — half the rows charged, half discharged —
+// leaves the bitline perturbation at ~0, so the sense amplifier resolves
+// from thermal noise: a fresh random bit per column per activation. The
+// paper's 32-row activation widens the QUAC idea from 4 to 32 rows.
+package trng
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// Generator produces random bits from one subarray.
+type Generator struct {
+	sa    *dram.Subarray
+	group bender.Group
+	env   analog.Env
+	trial int
+}
+
+// NewGenerator reserves an n-row activation group for entropy extraction.
+func NewGenerator(mod *dram.Module, sa *dram.Subarray, n int) (*Generator, error) {
+	if mod.Spec().Profile.APAGuarded {
+		return nil, fmt.Errorf("trng: %s chips cannot multi-activate",
+			mod.Spec().Profile.Manufacturer)
+	}
+	if n < 2 || n&(n-1) != 0 || n > 32 {
+		return nil, fmt.Errorf("trng: group size %d must be a power of two in [2,32]", n)
+	}
+	groups, err := bender.SampleGroups(sa, mod, n, 1, 0x7e9)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{sa: sa, group: groups[0], env: analog.NominalEnv()}, nil
+}
+
+// Draw performs one balanced activation and returns the sensed bits. The
+// metastable columns resolve differently draw to draw; stable columns
+// (process variation biases them to a fixed value) carry no entropy and
+// are filtered by Bits, as QUAC-TRNG's post-processing does.
+func (g *Generator) Draw() ([]bool, error) {
+	cols := g.sa.Cols()
+	half := make([]bool, cols)
+	for i := range half {
+		half[i] = true
+	}
+	// Balanced fill: alternating charged/discharged rows.
+	for i, r := range g.group.Rows {
+		bits := half
+		if i%2 == 1 {
+			bits = make([]bool, cols)
+		}
+		if err := g.sa.WriteRow(r, bits); err != nil {
+			return nil, err
+		}
+	}
+	g.trial++
+	if _, err := g.sa.APA(g.group.RF, g.group.RS, dram.APAOptions{
+		Timings: timing.BestMAJ(),
+		Env:     g.env,
+		Trial:   g.trial,
+	}); err != nil {
+		return nil, err
+	}
+	g.sa.Precharge()
+	return g.sa.ReadRow(g.group.RF)
+}
+
+// Bits draws `draws` times and returns the concatenated entropy bits of
+// columns that toggled at least once across a calibration pass (the
+// metastable columns). The first two draws are used for calibration.
+func (g *Generator) Bits(draws int) ([]bool, error) {
+	if draws < 3 {
+		return nil, fmt.Errorf("trng: need at least 3 draws, got %d", draws)
+	}
+	cols := g.sa.Cols()
+	first, err := g.Draw()
+	if err != nil {
+		return nil, err
+	}
+	toggled := make([]bool, cols)
+	second, err := g.Draw()
+	if err != nil {
+		return nil, err
+	}
+	for c := range toggled {
+		toggled[c] = first[c] != second[c]
+	}
+	var out []bool
+	for i := 2; i < draws; i++ {
+		bits, err := g.Draw()
+		if err != nil {
+			return nil, err
+		}
+		for c := range bits {
+			if toggled[c] {
+				out = append(out, bits[c])
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trng: no metastable columns found in group")
+	}
+	return out, nil
+}

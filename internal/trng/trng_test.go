@@ -1,0 +1,110 @@
+package trng
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/dram"
+)
+
+func newGen(t *testing.T, profile dram.Profile, n int) *Generator {
+	t.Helper()
+	spec := dram.NewSpec("trng-test", profile, 0x777)
+	spec.Columns = 256
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mod, sa, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	spec := dram.NewSpec("trng-v", dram.ProfileH, 1)
+	spec.Columns = 64
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 64} {
+		if _, err := NewGenerator(mod, sa, n); err == nil {
+			t.Fatalf("n=%d should fail", n)
+		}
+	}
+}
+
+func TestSamsungRejected(t *testing.T) {
+	spec := dram.NewSpec("trng-s", dram.ProfileS, 1)
+	spec.Columns = 64
+	mod, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenerator(mod, sa, 4); err == nil {
+		t.Fatal("Samsung chips should be rejected")
+	}
+}
+
+func TestDrawsDiffer(t *testing.T) {
+	g := newGen(t, dram.ProfileH, 32)
+	a, err := g.Draw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Draw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff < len(a)/10 {
+		t.Fatalf("only %d/%d columns toggled between draws", diff, len(a))
+	}
+}
+
+func TestBitsBalanced(t *testing.T) {
+	g := newGen(t, dram.ProfileH, 32)
+	bits, err := g.Bits(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) < 500 {
+		t.Fatalf("too few entropy bits: %d", len(bits))
+	}
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(len(bits))
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("entropy bias = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestBitsValidation(t *testing.T) {
+	g := newGen(t, dram.ProfileH, 4)
+	if _, err := g.Bits(2); err == nil {
+		t.Fatal("too few draws should fail")
+	}
+}

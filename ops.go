@@ -1,0 +1,117 @@
+package simra
+
+import (
+	"repro/internal/bitserial"
+	"repro/internal/coldboot"
+	"repro/internal/core"
+	"repro/internal/tmr"
+	"repro/internal/trng"
+)
+
+// Characterization types (the paper's contribution, §3–§6).
+type (
+	// Tester drives PUD characterization on one module.
+	Tester = core.Tester
+	// TesterOption configures a Tester.
+	TesterOption = core.Option
+	// SuccessResult is the outcome of one characterized row group.
+	SuccessResult = core.SuccessResult
+	// SweepConfig describes one characterization cell.
+	SweepConfig = core.SweepConfig
+	// SweepResult aggregates a cell across sampled groups.
+	SweepResult = core.SweepResult
+	// OpKind selects the characterized operation family.
+	OpKind = core.OpKind
+)
+
+// Characterized operation families.
+const (
+	OpManyRowActivation = core.OpManyRowActivation
+	OpMAJ               = core.OpMAJ
+	OpMultiRowCopy      = core.OpMultiRowCopy
+)
+
+// NewTester builds a characterization tester for a module.
+func NewTester(mod *Module, opts ...TesterOption) (*Tester, error) {
+	return core.NewTester(mod, opts...)
+}
+
+// WithEnv sets the tester's operating conditions.
+func WithEnv(env Env) TesterOption { return core.WithEnv(env) }
+
+// WithTrials sets the per-group trial count.
+func WithTrials(n int) TesterOption { return core.WithTrials(n) }
+
+// WithSeed sets the experiment data seed.
+func WithSeed(seed uint64) TesterOption { return core.WithSeed(seed) }
+
+// Case-study types (§8) and the TRNG extension.
+type (
+	// Computer is the majority-based bit-serial SIMD machine.
+	Computer = bitserial.Computer
+	// Vec is a bit-sliced vector of unsigned integers.
+	Vec = bitserial.Vec
+	// Benchmark names a §8.1 microbenchmark.
+	Benchmark = bitserial.Benchmark
+	// CostModel is the Fig. 16 execution-time model.
+	CostModel = bitserial.CostModel
+	// BenchmarkRunResult is a functionally executed microbenchmark.
+	BenchmarkRunResult = bitserial.RunResult
+	// Voter performs in-DRAM modular-redundancy voting.
+	Voter = tmr.Voter
+	// Destroyer wipes subarrays for cold-boot-attack prevention.
+	Destroyer = coldboot.Destroyer
+	// DestructionTechnique is a Fig. 17 destruction scheme.
+	DestructionTechnique = coldboot.Technique
+	// DestructionOpCounts tallies a destruction run's operations.
+	DestructionOpCounts = coldboot.OpCounts
+	// DestructionModel converts op counts to bank-level wipe time.
+	DestructionModel = coldboot.Model
+	// TRNG generates random bits from metastable many-row activation.
+	TRNG = trng.Generator
+)
+
+// NewComputer reserves a compute group on a subarray and probes its
+// reliability; maxX bounds the majority width used.
+func NewComputer(mod *Module, sa *Subarray, maxX int) (*Computer, error) {
+	return bitserial.NewComputer(mod, sa, maxX)
+}
+
+// NewCostModel returns the §8.1 execution-time model.
+func NewCostModel() CostModel { return bitserial.NewCostModel() }
+
+// MicroBenchmarks lists the seven §8.1 microbenchmarks in Fig. 16 order.
+func MicroBenchmarks() []Benchmark {
+	return append([]Benchmark(nil), bitserial.Benchmarks...)
+}
+
+// RunBenchmark functionally executes one microbenchmark on the computer,
+// verifies it against a CPU reference, and prices the issued operations.
+func RunBenchmark(c *Computer, b Benchmark, width int, seed uint64) (BenchmarkRunResult, error) {
+	return bitserial.RunBenchmark(c, b, width, seed)
+}
+
+// NewVoter builds an in-DRAM majority voter over x copies.
+func NewVoter(c *Computer, x int) (*Voter, error) { return tmr.NewVoter(c, x) }
+
+// NewDestroyer builds a content destroyer for a module.
+func NewDestroyer(mod *Module) (*Destroyer, error) { return coldboot.NewDestroyer(mod) }
+
+// DestructionTechniques lists the Fig. 17 schemes in plot order.
+func DestructionTechniques() []DestructionTechnique {
+	return append([]DestructionTechnique(nil), coldboot.Techniques...)
+}
+
+// NewDestructionModel returns the 4 Gb bank destruction-time model.
+func NewDestructionModel() DestructionModel { return coldboot.NewModel() }
+
+// VerifyDestroyed measures the residual correlation between a subarray's
+// contents and the given secret rows (0 = fully destroyed, 1 = intact).
+func VerifyDestroyed(sa *Subarray, secrets map[int][]bool) (float64, error) {
+	return coldboot.VerifyDestroyed(sa, secrets)
+}
+
+// NewTRNG reserves an n-row activation group for entropy extraction.
+func NewTRNG(mod *Module, sa *Subarray, n int) (*TRNG, error) {
+	return trng.NewGenerator(mod, sa, n)
+}

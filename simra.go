@@ -1,0 +1,171 @@
+// Package simra is the public API of the SiMRA-DRAM reproduction: an
+// executable model of the DSN 2024 paper "Simultaneous Many-Row Activation
+// in Off-the-Shelf DRAM Chips: Experimental Characterization and
+// Analysis".
+//
+// The package re-exports the stable surface of the internal subsystems:
+//
+//   - DRAM device model: modules, manufacturer profiles, data patterns and
+//     the timing-violating APA command engine (internal/dram, internal/
+//     decoder, internal/timing, internal/analog).
+//   - PUD operations and their characterization: simultaneous many-row
+//     activation, MAJX, Multi-RowCopy and the success-rate methodology
+//     (internal/core, internal/bender).
+//   - The experiment harness regenerating every table and figure of the
+//     paper's evaluation (internal/charexp, internal/fleet, internal/
+//     power, internal/spice).
+//   - The case studies: majority-based bit-serial computation, in-DRAM
+//     modular-redundancy voting, cold-boot content destruction, and the
+//     TRNG extension (internal/bitserial, internal/tmr, internal/coldboot,
+//     internal/trng).
+//
+// # Quick start
+//
+//	spec := simra.NewSpec("demo", simra.ProfileH, 42)
+//	mod, err := simra.NewModule(spec, simra.DefaultParams())
+//	if err != nil { ... }
+//	tester, err := simra.NewTester(mod)
+//	sa, err := mod.Subarray(0, 0)
+//	groups, err := simra.SampleGroups(sa, mod, 32, 1, 7)
+//	res, err := tester.MAJ(sa, groups[0], 3, simra.BestMAJTimings(), simra.PatternRandom)
+//	fmt.Printf("MAJ3 with 32-row activation: %.2f%% success\n", res.Rate()*100)
+//
+// See examples/ for runnable programs and DESIGN.md for the model's
+// relationship to the paper.
+package simra
+
+import (
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/decoder"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/timing"
+)
+
+// Device-model types.
+type (
+	// Module is one DDR4 DRAM module under test.
+	Module = dram.Module
+	// Spec identifies a module (a row of the paper's Table 2).
+	Spec = dram.Spec
+	// Profile is a manufacturer behavioural profile.
+	Profile = dram.Profile
+	// Subarray is one DRAM subarray; all PUD operations happen within one.
+	Subarray = dram.Subarray
+	// Pattern is a data pattern used to fill rows.
+	Pattern = dram.Pattern
+	// APAOptions parameterizes a raw ACT→PRE→ACT sequence.
+	APAOptions = dram.APAOptions
+	// AnalogParams is the calibrated electrical model.
+	AnalogParams = analog.Params
+	// Env is an operating point (temperature, wordline voltage).
+	Env = analog.Env
+	// APATimings is the (t1, t2) pair of an APA sequence.
+	APATimings = timing.APATimings
+	// DecoderConfig describes a subarray's hierarchical row decoder.
+	DecoderConfig = decoder.Config
+	// Decoder computes activated-row sets for APA sequences.
+	Decoder = decoder.Decoder
+	// Group is a sampled set of simultaneously activated rows.
+	Group = bender.Group
+	// FleetEntry is one module of the tested population.
+	FleetEntry = fleet.Entry
+	// FleetConfig bounds the simulated population.
+	FleetConfig = fleet.Config
+	// LatencyModel accounts DRAM command latencies.
+	LatencyModel = bender.LatencyModel
+)
+
+// Manufacturer profiles from the paper's Table 1 / §9.
+var (
+	// ProfileH is SK Hynix (512-row subarrays, Frac-capable, MAJ up to 9).
+	ProfileH = dram.ProfileH
+	// ProfileH640 is the SK Hynix 640-row-subarray variant.
+	ProfileH640 = dram.ProfileH640
+	// ProfileM is Micron (1024-row subarrays, no Frac, MAJ up to 7).
+	ProfileM = dram.ProfileM
+	// ProfileS is Samsung, whose control circuitry guards against
+	// timing-violating APA sequences: no PUD operations are observable.
+	ProfileS = dram.ProfileS
+)
+
+// Data patterns (§3.1).
+const (
+	PatternRandom = dram.PatternRandom
+	Pattern00FF   = dram.Pattern00FF
+	PatternAA55   = dram.PatternAA55
+	PatternCC33   = dram.PatternCC33
+	Pattern6699   = dram.Pattern6699
+	PatternAll0   = dram.PatternAll0
+	PatternAll1   = dram.PatternAll1
+)
+
+// NewSpec returns a module spec with conventional defaults.
+func NewSpec(id string, profile Profile, seed uint64) Spec {
+	return dram.NewSpec(id, profile, seed)
+}
+
+// NewModule instantiates a DRAM module.
+func NewModule(spec Spec, params AnalogParams) (*Module, error) {
+	return dram.NewModule(spec, params)
+}
+
+// DefaultParams returns the calibrated electrical model (see DESIGN.md §4).
+func DefaultParams() AnalogParams { return analog.DefaultParams() }
+
+// NominalEnv returns the default operating point: 50 °C, VPP = 2.5 V.
+func NominalEnv() Env { return analog.NominalEnv() }
+
+// JEDEC timing presets and the paper's best operating points.
+func BestSiMRATimings() APATimings { return timing.BestSiMRA() }
+
+// BestMAJTimings returns the best majority-operation timings (Obs. 7).
+func BestMAJTimings() APATimings { return timing.BestMAJ() }
+
+// BestCopyTimings returns the best Multi-RowCopy timings (Obs. 14).
+func BestCopyTimings() APATimings { return timing.BestCopy() }
+
+// NewDecoder builds a hierarchical row decoder.
+func NewDecoder(cfg DecoderConfig) (*Decoder, error) { return decoder.New(cfg) }
+
+// Decoder geometries of the tested chips.
+func DecoderHynix512() DecoderConfig { return decoder.Hynix512() }
+
+// DecoderHynix640 returns the 640-row SK Hynix geometry.
+func DecoderHynix640() DecoderConfig { return decoder.Hynix640() }
+
+// DecoderMicron1024 returns the Micron geometry.
+func DecoderMicron1024() DecoderConfig { return decoder.Micron1024() }
+
+// SampleGroups samples row groups of exactly n simultaneously activated
+// rows, as the characterization methodology does (§3.1).
+func SampleGroups(sa *Subarray, mod *Module, n, count int, seed uint64) ([]Group, error) {
+	return bender.SampleGroups(sa, mod, n, count, seed)
+}
+
+// InferSubarraySize reverse-engineers a module's subarray height with
+// RowClone probing (§3.1).
+func InferSubarraySize(mod *Module) (int, error) { return bender.InferSubarraySize(mod) }
+
+// NewLatencyModel returns the DDR4 command-latency model used by the case
+// studies.
+func NewLatencyModel() LatencyModel { return bender.NewLatencyModel() }
+
+// DefaultFleetConfig returns the standard fleet configuration.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// FleetModules returns the 18-module / 120-chip population of Table 1/2.
+func FleetModules(cfg FleetConfig) []FleetEntry { return fleet.Modules(cfg) }
+
+// FleetRepresentative returns one module per die group (the reduced
+// population most experiments use).
+func FleetRepresentative(cfg FleetConfig) []FleetEntry { return fleet.Representative(cfg) }
+
+// FleetSamsung returns the §9 Samsung control modules.
+func FleetSamsung(cfg FleetConfig) []FleetEntry { return fleet.SamsungModules(cfg) }
+
+// BuildFleet instantiates modules for the entries.
+func BuildFleet(entries []FleetEntry, params AnalogParams) ([]*Module, error) {
+	return fleet.Build(entries, params)
+}
