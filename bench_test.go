@@ -6,6 +6,7 @@
 package simra_test
 
 import (
+	"runtime"
 	"testing"
 
 	simra "repro"
@@ -24,9 +25,24 @@ func benchConfig() simra.ExperimentConfig {
 	return cfg
 }
 
+// benchRunner pins the engine to one worker. This matches the pre-engine
+// behaviour of these benchmarks exactly: with Banks=1 and one subarray
+// per bank, the old per-module sweep pool was clamped to a single worker
+// and the module loop was sequential, so the BenchmarkFigureN numbers
+// stay comparable across the engine's introduction. The
+// BenchmarkFigureN...Parallel variants lift the bound to runtime.NumCPU().
 func benchRunner(b *testing.B) *simra.Experiments {
+	return benchRunnerWorkers(b, 1)
+}
+
+// benchRunnerWorkers returns the shared benchmark runner with the engine
+// bounded to the given worker count. Results are identical for every
+// count; only wall time differs.
+func benchRunnerWorkers(b *testing.B, workers int) *simra.Experiments {
 	b.Helper()
-	r, err := simra.NewExperiments(benchConfig())
+	cfg := benchConfig()
+	cfg.Engine.Workers = workers
+	r, err := simra.NewExperiments(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -262,6 +278,63 @@ func BenchmarkFigure17ContentDestruction(b *testing.B) {
 		}
 		s, _ := res.Speedup(simra.DestructionTechnique{Kind: "mrc", N: 32})
 		b.ReportMetric(s, "mrc32-x")
+	}
+}
+
+// Parallel variants of the heaviest sweeps: the same figures at
+// workers = NumCPU. Comparing BenchmarkFigureNXxx to
+// BenchmarkFigureNXxxParallel shows the engine's speedup; outputs are
+// bit-identical (see internal/charexp's determinism tests).
+
+// BenchmarkFigure3TimingParallel is Fig. 3 at workers = NumCPU.
+func BenchmarkFigure3TimingParallel(b *testing.B) {
+	r := benchRunnerWorkers(b, runtime.NumCPU())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := res.Cell(3, 3, 32)
+		b.ReportMetric(s.Mean*100, "succ32@best%")
+	}
+}
+
+// BenchmarkFigure6MAJ3TimingParallel is Fig. 6 at workers = NumCPU.
+func BenchmarkFigure6MAJ3TimingParallel(b *testing.B) {
+	r := benchRunnerWorkers(b, runtime.NumCPU())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := res.Cell(1.5, 3, 32)
+		b.ReportMetric(s.Mean*100, "MAJ3@32%")
+	}
+}
+
+// BenchmarkFigure7DataPatternsParallel is Fig. 7 at workers = NumCPU.
+func BenchmarkFigure7DataPatternsParallel(b *testing.B) {
+	r := benchRunnerWorkers(b, runtime.NumCPU())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m5, _ := res.Mean(5, simra.PatternRandom, 32)
+		b.ReportMetric(m5*100, "MAJ5rand%")
+	}
+}
+
+// BenchmarkFigure10CopyTimingParallel is Fig. 10 at workers = NumCPU.
+func BenchmarkFigure10CopyTimingParallel(b *testing.B) {
+	r := benchRunnerWorkers(b, runtime.NumCPU())
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := res.Cell(36, 3, 31)
+		b.ReportMetric(s.Mean*100, "copy31@best%")
 	}
 }
 

@@ -15,24 +15,26 @@ import (
 
 func main() {
 	var (
-		cols   = flag.Int("cols", 256, "simulated columns per subarray")
-		trials = flag.Int("trials", 4, "trials per row group for success measurement")
-		demo   = flag.Bool("demo", true, "also run the functional in-DRAM demonstrations")
+		cols    = flag.Int("cols", 256, "simulated columns per subarray")
+		trials  = flag.Int("trials", 4, "trials per row group for success measurement")
+		demo    = flag.Bool("demo", true, "also run the functional in-DRAM demonstrations")
+		workers = flag.Int("workers", 0, "parallel sweep shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
-	if err := run(*cols, *trials, *demo); err != nil {
+	if err := run(*cols, *trials, *demo, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "simra-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cols, trials int, demo bool) error {
+func run(cols, trials int, demo bool, workers int) error {
 	fleetCfg := simra.DefaultFleetConfig()
 	fleetCfg.Columns = cols
 	cfg := simra.DefaultExperimentConfig()
 	cfg.Fleet = simra.FleetRepresentative(fleetCfg)
 	cfg.Trials = trials
+	cfg.Engine = simra.EngineConfig{Workers: workers}
 
 	runner, err := simra.NewExperiments(cfg)
 	if err != nil {
@@ -61,6 +63,7 @@ func run(cols, trials int, demo bool) error {
 	}
 	fmt.Println(fig17.Table().Render())
 	fmt.Printf("(Fig. 17 in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(engine: %s)\n\n", runner.Stats())
 
 	if !demo {
 		return nil

@@ -21,25 +21,26 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to reproduce: all, table1, modules, 3, 4a, 4b, 5, 6, 7, 8, 9, 10, 11, 12a, 12b, 14, 15, 16, 17")
-		full   = flag.Bool("full", false, "use the full 18-module fleet of Table 1/2 (slow)")
-		trials = flag.Int("trials", 0, "trials per row group (0 = default)")
-		groups = flag.Int("groups", 0, "row groups per subarray (0 = default)")
-		banks  = flag.Int("banks", 0, "banks sampled per module (0 = default)")
-		cols   = flag.Int("cols", 0, "simulated columns per subarray (0 = default)")
-		seed   = flag.Uint64("seed", 0, "experiment seed (0 = default)")
-		sets   = flag.Int("sets", 200, "Monte-Carlo samples per Fig. 15 cell")
-		format = flag.String("format", "text", "output format: text or csv")
+		fig     = flag.String("fig", "all", "figure to reproduce: all, table1, modules, 3, 4a, 4b, 5, 6, 7, 8, 9, 10, 11, 12a, 12b, 14, 15, 16, 17")
+		full    = flag.Bool("full", false, "use the full 18-module fleet of Table 1/2 (slow)")
+		trials  = flag.Int("trials", 0, "trials per row group (0 = default)")
+		groups  = flag.Int("groups", 0, "row groups per subarray (0 = default)")
+		banks   = flag.Int("banks", 0, "banks sampled per module (0 = default)")
+		cols    = flag.Int("cols", 0, "simulated columns per subarray (0 = default)")
+		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		sets    = flag.Int("sets", 200, "Monte-Carlo samples per Fig. 15 cell")
+		format  = flag.String("format", "text", "output format: text or csv")
+		workers = flag.Int("workers", 0, "parallel sweep shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *full, *trials, *groups, *banks, *cols, *seed, *sets, *format); err != nil {
+	if err := run(*fig, *full, *trials, *groups, *banks, *cols, *seed, *sets, *format, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "simra-char:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, sets int, format string) error {
+func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, sets int, format string, workers int) error {
 	render := func(t simra.ExperimentTable) string {
 		if format == "csv" {
 			return t.CSV()
@@ -70,6 +71,7 @@ func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, se
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Engine = simra.EngineConfig{Workers: workers}
 
 	want := func(id string) bool { return fig == "all" || fig == id }
 
@@ -133,8 +135,11 @@ func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, se
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q; valid: all, table1, %s, 14",
+		return fmt.Errorf("unknown figure %q; valid: all, table1, modules, %s, 14",
 			fig, strings.Join([]string{"3", "4a", "4b", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "15", "16", "17"}, ", "))
+	}
+	if format == "text" {
+		fmt.Printf("(engine: %s)\n", runner.Stats())
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package simra
 
 import (
 	"repro/internal/charexp"
+	"repro/internal/engine"
 	"repro/internal/power"
 	"repro/internal/spice"
 )
@@ -14,6 +15,14 @@ type (
 	Experiments = charexp.Runner
 	// ExperimentTable is a rendered experiment result.
 	ExperimentTable = charexp.Table
+
+	// EngineConfig bounds the execution engine's shard parallelism
+	// (ExperimentConfig.Engine). Workers = 0 uses GOMAXPROCS; results are
+	// bit-identical for every worker count (DESIGN.md §6).
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of the engine's progress counters
+	// (shards done, activations issued, wall time); see Experiments.Stats.
+	EngineStats = engine.Snapshot
 
 	// Figure results.
 	Figure3Result      = charexp.Figure3Result
@@ -38,6 +47,14 @@ type (
 
 // DefaultExperimentConfig returns the reduced-scale harness configuration.
 func DefaultExperimentConfig() ExperimentConfig { return charexp.DefaultConfig() }
+
+// ShardSeed derives the stable sub-seed of one (module, bank, subarray)
+// shard from the root experiment seed: a pre-mixed per-shard stream for
+// tooling that extends the engine (the built-in sweeps key their
+// randomness on the same coordinates directly).
+func ShardSeed(root uint64, module, bank, subarray int) uint64 {
+	return engine.ShardSeed(root, module, bank, subarray)
+}
 
 // NewExperiments instantiates the fleet and returns the figure runners.
 func NewExperiments(cfg ExperimentConfig) (*Experiments, error) {

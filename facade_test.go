@@ -104,6 +104,50 @@ func TestFacadeDecoders(t *testing.T) {
 	}
 }
 
+// TestFacadeEngine covers the execution-engine surface of the facade:
+// the Workers knob changes scheduling only, never results, and the
+// runner exposes progress counters.
+func TestFacadeEngine(t *testing.T) {
+	fc := simra.DefaultFleetConfig()
+	fc.Columns = 128
+	base := simra.DefaultExperimentConfig()
+	base.Fleet = simra.FleetRepresentative(fc)[:2]
+	base.Trials = 2
+	base.GroupsPerSubarray = 2
+	base.Banks = 1
+
+	render := make(map[int]string)
+	for _, workers := range []int{1, 8} {
+		cfg := base
+		cfg.Engine = simra.EngineConfig{Workers: workers}
+		runner, err := simra.NewExperiments(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Figure11()
+		if err != nil {
+			t.Fatal(err)
+		}
+		render[workers] = res.Table().Render()
+		stats := runner.Stats()
+		if stats.ShardsDone == 0 || stats.ShardsDone != stats.ShardsTotal {
+			t.Fatalf("workers=%d: stats = %+v, want completed shards", workers, stats)
+		}
+		if stats.Activations == 0 {
+			t.Fatalf("workers=%d: no activations recorded", workers)
+		}
+	}
+	if render[1] != render[8] {
+		t.Fatal("Figure11 table differs between workers=1 and workers=8")
+	}
+	if simra.ShardSeed(1, 0, 0, 0) == simra.ShardSeed(2, 0, 0, 0) {
+		t.Fatal("shard sub-seed must depend on the root seed")
+	}
+	if simra.ShardSeed(1, 0, 0, 0) != simra.ShardSeed(1, 0, 0, 0) {
+		t.Fatal("shard sub-seed must be stable")
+	}
+}
+
 // TestFacadeVerifyDestroyed covers the destruction verification helper.
 func TestFacadeVerifyDestroyed(t *testing.T) {
 	spec := simra.NewSpec("facade-destroy", simra.ProfileH, 5)

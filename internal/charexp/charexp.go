@@ -14,6 +14,7 @@ import (
 	"repro/internal/analog"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/fleet"
 	"repro/internal/stats"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	Banks             int
 	// Seed feeds group sampling and data generation.
 	Seed uint64
+	// Engine bounds the execution engine's shard parallelism (see
+	// internal/engine and DESIGN.md §6). The zero value uses GOMAXPROCS
+	// workers; results are bit-identical for every worker count.
+	Engine engine.Config
 }
 
 // DefaultConfig returns the standard reduced-scale configuration used by
@@ -54,10 +59,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runner executes experiments against an instantiated fleet.
+// Runner executes experiments against an instantiated fleet. Sweeps are
+// sharded per (module, bank, subarray) and executed on the engine's
+// worker pool; the runner accumulates progress counters across them.
 type Runner struct {
-	cfg  Config
-	mods []*dram.Module
+	cfg   Config
+	mods  []*dram.Module
+	stats engine.Stats
 }
 
 // NewRunner instantiates the fleet of the configuration.
@@ -81,41 +89,38 @@ func (r *Runner) Modules() []*dram.Module { return r.mods }
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// Stats returns a snapshot of the execution engine's progress counters
+// accumulated across every sweep this runner has executed.
+func (r *Runner) Stats() engine.Snapshot { return r.stats.Snapshot() }
+
 // pooledSweep runs one sweep configuration across every applicable module
 // of the fleet under the given environment and pools the per-group success
 // rates, mirroring the paper's "distribution across all tested row groups
 // in all DRAM chips". Modules whose profile cannot run the configuration
 // (MAJ width beyond MaxMAJ, guarded chips) are skipped; an error is
-// returned if no module applies.
+// returned if no module applies. The per-(module, bank, subarray) shards
+// execute on the engine's worker pool.
 func (r *Runner) pooledSweep(sc core.SweepConfig, env analog.Env) ([]float64, error) {
-	sc.GroupsPerSubarray = r.cfg.GroupsPerSubarray
-	sc.SubarraysPerBank = r.cfg.SubarraysPerBank
-	sc.Banks = r.cfg.Banks
-
-	var pooled []float64
-	ran := false
-	for _, mod := range r.mods {
-		profile := mod.Spec().Profile
-		if profile.APAGuarded {
-			continue
-		}
-		if sc.Op == core.OpMAJ && sc.X > profile.MaxMAJ {
-			continue
-		}
-		tester, err := core.NewTester(mod,
-			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
-		if err != nil {
-			return nil, err
-		}
-		res, err := tester.RunSweep(sc)
-		if err != nil {
-			return nil, fmt.Errorf("charexp: module %s: %w", mod.Spec().ID, err)
-		}
-		pooled = append(pooled, res.Rates()...)
-		ran = true
+	sc = r.boundSweep(sc)
+	shards, applicable, err := r.sweepShards(sc, env, "")
+	if err != nil {
+		return nil, err
 	}
-	if !ran {
+	if applicable == 0 {
 		return nil, fmt.Errorf("charexp: no module in the fleet can run %v (X=%d)", sc.Op, sc.X)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("charexp: %v (X=%d): no subarrays sampled; check the sampling bounds", sc.Op, sc.X)
+	}
+	outcomes, err := r.runShards(sc, shards)
+	if err != nil {
+		return nil, err
+	}
+	var pooled []float64
+	for _, out := range outcomes {
+		for _, o := range out {
+			pooled = append(pooled, o.Result.Rate())
+		}
 	}
 	return pooled, nil
 }
@@ -124,36 +129,28 @@ func (r *Runner) pooledSweep(sc core.SweepConfig, env analog.Env) ([]float64, er
 // of one manufacturer for a MAJ configuration (the §8.1 "highest
 // throughput group" selection).
 func (r *Runner) bestSweepRate(mfr string, sc core.SweepConfig, env analog.Env) (float64, error) {
-	sc.GroupsPerSubarray = r.cfg.GroupsPerSubarray
-	sc.SubarraysPerBank = r.cfg.SubarraysPerBank
-	sc.Banks = r.cfg.Banks
-
-	best := 0.0
-	ran := false
-	for _, mod := range r.mods {
-		profile := mod.Spec().Profile
-		if profile.Name != mfr || profile.APAGuarded {
-			continue
-		}
-		if sc.Op == core.OpMAJ && sc.X > profile.MaxMAJ {
-			continue
-		}
-		tester, err := core.NewTester(mod,
-			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
-		if err != nil {
-			return 0, err
-		}
-		res, err := tester.RunSweep(sc)
-		if err != nil {
-			return 0, err
-		}
-		if b := res.BestRate(); b > best {
-			best = b
-		}
-		ran = true
+	sc = r.boundSweep(sc)
+	shards, applicable, err := r.sweepShards(sc, env, mfr)
+	if err != nil {
+		return 0, err
 	}
-	if !ran {
+	if applicable == 0 {
 		return 0, fmt.Errorf("charexp: no %s module can run MAJ%d", mfr, sc.X)
+	}
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("charexp: %s MAJ%d: no subarrays sampled; check the sampling bounds", mfr, sc.X)
+	}
+	outcomes, err := r.runShards(sc, shards)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, out := range outcomes {
+		for _, o := range out {
+			if rate := o.Result.Rate(); rate > best {
+				best = rate
+			}
+		}
 	}
 	return best, nil
 }

@@ -1,10 +1,13 @@
 package charexp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/bender"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/timing"
 )
@@ -59,7 +62,22 @@ func (r *Runner) PerModule() (PerModuleResult, error) {
 		}},
 	}
 
+	// The engine's canonical shard unit — one shard per sampled
+	// (module, bank, subarray) — so the runner's shard counters stay in
+	// one unit across figures. Each shard runs all three headline ops on
+	// its subarray sequentially: the ops share the sampled subarrays, so
+	// splitting them into separate shards would race on subarray state.
+	// Cells are laid out up front in fleet order and the ordered shard
+	// results are folded back into them, keeping the table identical to a
+	// sequential run.
+	type shardRef struct {
+		cellBase int // index of the module's first op cell
+		tester   *core.Tester
+		cfgs     []core.SweepConfig // bounded, one per op
+		sample   bender.SubarraySample
+	}
 	var out PerModuleResult
+	var shards []shardRef
 	for _, mod := range r.mods {
 		profile := mod.Spec().Profile
 		if profile.APAGuarded {
@@ -74,24 +92,58 @@ func (r *Runner) PerModule() (PerModuleResult, error) {
 			continue
 		}
 		tester, err := core.NewTester(mod,
-			core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
+			core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed),
+			core.WithWorkers(1))
 		if err != nil {
 			return PerModuleResult{}, err
 		}
-		for _, op := range ops {
-			cfg := op.cfg
-			cfg.Banks = r.cfg.Banks
-			cfg.SubarraysPerBank = r.cfg.SubarraysPerBank
-			cfg.GroupsPerSubarray = r.cfg.GroupsPerSubarray
-			res, err := tester.RunSweep(cfg)
-			if err != nil {
-				return PerModuleResult{}, err
-			}
+		cellBase := len(out.Cells)
+		cfgs := make([]core.SweepConfig, len(ops))
+		for i, op := range ops {
+			cfgs[i] = r.boundSweep(op.cfg)
 			out.Cells = append(out.Cells, ModuleCell{
 				Module: mod.Spec().ID, Mfr: profile.Name,
 				DieRev: mod.Spec().DieRev, Op: op.label,
-				Summary: res.Summary(),
 			})
+		}
+		// The sampling bounds are op-independent, so every op
+		// characterizes the same subarrays.
+		for _, s := range tester.SweepSamples(cfgs[0]) {
+			shards = append(shards, shardRef{cellBase: cellBase, tester: tester, cfgs: cfgs, sample: s})
+		}
+	}
+	tasks := make([]engine.Task[[][]core.GroupOutcome], len(shards))
+	for i, sh := range shards {
+		sh := sh
+		tasks[i] = func(context.Context) ([][]core.GroupOutcome, error) {
+			perOp := make([][]core.GroupOutcome, len(sh.cfgs))
+			for oi, cfg := range sh.cfgs {
+				res, err := sh.tester.SweepShard(cfg, sh.sample)
+				if err != nil {
+					return nil, fmt.Errorf("charexp: module %s: %w",
+						sh.tester.Module().Spec().ID, err)
+				}
+				r.stats.AddActivations(len(res) * r.cfg.Trials)
+				perOp[oi] = res
+			}
+			return perOp, nil
+		}
+	}
+	outcomes, err := engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+	if err != nil {
+		return PerModuleResult{}, err
+	}
+	rates := make([][]float64, len(out.Cells))
+	for i, sh := range shards {
+		for oi, perOp := range outcomes[i] {
+			for _, o := range perOp {
+				rates[sh.cellBase+oi] = append(rates[sh.cellBase+oi], o.Result.Rate())
+			}
+		}
+	}
+	for ci, rr := range rates {
+		if len(rr) > 0 {
+			out.Cells[ci].Summary = stats.MustSummarize(rr)
 		}
 	}
 	if len(out.Cells) == 0 {

@@ -1,0 +1,97 @@
+package charexp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// sweepShard binds one engine shard to the module tester and subarray
+// sample that execute it.
+type sweepShard struct {
+	shard  engine.Shard
+	tester *core.Tester
+	sample bender.SubarraySample
+}
+
+// boundSweep applies the runner's sampling bounds to a sweep cell.
+func (r *Runner) boundSweep(sc core.SweepConfig) core.SweepConfig {
+	sc.GroupsPerSubarray = r.cfg.GroupsPerSubarray
+	sc.SubarraysPerBank = r.cfg.SubarraysPerBank
+	sc.Banks = r.cfg.Banks
+	return sc
+}
+
+// applies reports whether a module profile can run the sweep
+// configuration (guarded chips and over-wide MAJ are skipped).
+func applies(profile dram.Profile, sc core.SweepConfig) bool {
+	if profile.APAGuarded {
+		return false
+	}
+	if sc.Op == core.OpMAJ && sc.X > profile.MaxMAJ {
+		return false
+	}
+	return true
+}
+
+// sweepShards enumerates the engine shards of one sweep configuration:
+// one per applicable (module, bank, subarray), in fleet order. mfr
+// restricts the fleet to one manufacturer ("" = all). The enumeration is
+// deterministic, so the merged results match a sequential run exactly.
+// applicable counts the modules that can run the configuration, letting
+// callers distinguish "no capable module" from "no sampled subarrays".
+func (r *Runner) sweepShards(sc core.SweepConfig, env analog.Env, mfr string) (shards []sweepShard, applicable int, err error) {
+	for mi, mod := range r.mods {
+		profile := mod.Spec().Profile
+		if mfr != "" && profile.Name != mfr {
+			continue
+		}
+		if !applies(profile, sc) {
+			continue
+		}
+		applicable++
+		// Shards of one module share a tester; the tester's per-group seeds
+		// hash the (bank, subarray, row) coordinates, so a shard's outcome
+		// is independent of scheduling. The tester runs its own sweep
+		// sequentially — parallelism lives at the shard level.
+		tester, err := core.NewTester(mod,
+			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed),
+			core.WithWorkers(1))
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, s := range tester.SweepSamples(sc) {
+			shards = append(shards, sweepShard{
+				shard:  engine.NewShard(r.cfg.Seed, mi, s.Bank, s.Subarray),
+				tester: tester,
+				sample: s,
+			})
+		}
+	}
+	return shards, applicable, nil
+}
+
+// runShards executes the shards on the engine's worker pool and returns
+// the per-shard group outcomes in enumeration order.
+func (r *Runner) runShards(sc core.SweepConfig, shards []sweepShard) ([][]core.GroupOutcome, error) {
+	tasks := make([]engine.Task[[]core.GroupOutcome], len(shards))
+	for i, sh := range shards {
+		sh := sh
+		tasks[i] = func(context.Context) ([]core.GroupOutcome, error) {
+			out, err := sh.tester.SweepShard(sc, sh.sample)
+			if err != nil {
+				return nil, fmt.Errorf("charexp: module %s: %w",
+					sh.tester.Module().Spec().ID, err)
+			}
+			// One APA per trial per characterized group (§3.1).
+			r.stats.AddActivations(len(out) * r.cfg.Trials)
+			return out, nil
+		}
+	}
+	return engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+}

@@ -1,0 +1,216 @@
+package charexp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// runnerWithWorkers builds a small runner with the engine bounded to the
+// given worker count.
+func runnerWithWorkers(t *testing.T, workers int) *Runner {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Engine.Workers = workers
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestEngineDeterminismFigure3 is the engine's determinism property test:
+// for a fixed seed, a sequential run and a heavily parallel run must
+// produce identical structured results and byte-identical rendered
+// tables.
+func TestEngineDeterminismFigure3(t *testing.T) {
+	seq := runnerWithWorkers(t, 1)
+	par := runnerWithWorkers(t, 8)
+
+	got1, err := seq.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got8, err := par.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, got8) {
+		t.Fatal("Figure3 results differ between workers=1 and workers=8")
+	}
+	if got1.Table().Render() != got8.Table().Render() {
+		t.Fatal("Figure3 rendered tables differ between workers=1 and workers=8")
+	}
+	if got1.Table().CSV() != got8.Table().CSV() {
+		t.Fatal("Figure3 CSV tables differ between workers=1 and workers=8")
+	}
+}
+
+// TestEngineDeterminismFigure4 repeats the property on the environmental
+// sweep, including a repeated parallel run (scheduling is fresh each
+// time).
+func TestEngineDeterminismFigure4(t *testing.T) {
+	seq := runnerWithWorkers(t, 1)
+	par := runnerWithWorkers(t, 8)
+
+	got1, err := seq.Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got8, err := par.Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := par.Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, got8) {
+		t.Fatal("Figure4a results differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(got8, again) {
+		t.Fatal("Figure4a results differ between two workers=8 runs")
+	}
+	if got1.Table().Render() != got8.Table().Render() {
+		t.Fatal("Figure4a rendered tables differ between workers=1 and workers=8")
+	}
+}
+
+// TestEngineDeterminismPerModule covers the per-module breakdown, which
+// runs all three headline ops inside each subarray shard.
+func TestEngineDeterminismPerModule(t *testing.T) {
+	seq := runnerWithWorkers(t, 1)
+	par := runnerWithWorkers(t, 8)
+
+	got1, err := seq.PerModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got8, err := par.PerModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, got8) {
+		t.Fatal("PerModule results differ between workers=1 and workers=8")
+	}
+}
+
+// TestPerModuleMatchesDirectSweeps pins the shard decomposition against
+// the obvious sequential implementation: every cell's mean must equal
+// running that op's sweep directly with core.Tester.RunSweep. This is
+// the regression test for shards racing on shared subarray state — ops
+// of one module sample the same subarrays, so they must never run in
+// concurrent shards.
+func TestPerModuleMatchesDirectSweeps(t *testing.T) {
+	r := runnerWithWorkers(t, 8)
+	got, err := r.PerModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []struct {
+		label string
+		cfg   core.SweepConfig
+	}{
+		{"activation32", core.SweepConfig{
+			Op: core.OpManyRowActivation, N: 32,
+			Timings: timing.BestSiMRA(), Pattern: dram.PatternRandom,
+		}},
+		{"maj3x32", core.SweepConfig{
+			Op: core.OpMAJ, X: 3, N: 32,
+			Timings: timing.BestMAJ(), Pattern: dram.PatternRandom,
+		}},
+		{"copy31", core.SweepConfig{
+			Op: core.OpMultiRowCopy, N: 32,
+			Timings: timing.BestCopy(), Pattern: dram.PatternRandom,
+		}},
+	}
+	for _, mod := range r.Modules() {
+		tester, err := core.NewTester(mod,
+			core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			res, err := tester.RunSweep(r.boundSweep(op.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := res.Summary().Mean
+			mean, ok := got.Mean(mod.Spec().ID, op.label)
+			if !ok {
+				t.Fatalf("no %s cell for module %s", op.label, mod.Spec().ID)
+			}
+			if mean != want {
+				t.Errorf("module %s %s: PerModule mean %v, direct sweep %v",
+					mod.Spec().ID, op.label, mean, want)
+			}
+		}
+	}
+}
+
+// TestRunnerStats verifies the progress counters advance with the work.
+func TestRunnerStats(t *testing.T) {
+	r := smallRunner(t)
+	if s := r.Stats(); s.ShardsTotal != 0 || s.Activations != 0 {
+		t.Fatalf("fresh runner already has stats: %+v", s)
+	}
+	if _, err := r.Figure11(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Runs == 0 || s.ShardsTotal == 0 || s.ShardsDone != s.ShardsTotal {
+		t.Fatalf("stats after Figure11: %+v, want completed shards", s)
+	}
+	if s.Activations == 0 {
+		t.Fatalf("stats after Figure11: %+v, want issued activations", s)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("stats after Figure11: wall = %s, want > 0", s.Wall)
+	}
+}
+
+// TestSweepShardsEnumeration checks the shard split: fleet order,
+// stable sub-seeds, and manufacturer filtering.
+func TestSweepShardsEnumeration(t *testing.T) {
+	r := smallRunner(t)
+	sc := r.boundSweep(core.SweepConfig{
+		Op: core.OpManyRowActivation, N: 8,
+		Timings: timing.BestSiMRA(), Pattern: dram.PatternRandom,
+	})
+	all, applicable, err := r.sweepShards(sc, analog.NominalEnv(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no shards enumerated")
+	}
+	if applicable != len(r.Modules()) {
+		t.Fatalf("applicable = %d, want all %d modules", applicable, len(r.Modules()))
+	}
+	seen := make(map[uint64]bool)
+	for _, sh := range all {
+		if seen[sh.shard.Seed] {
+			t.Fatalf("duplicate shard seed %#x", sh.shard.Seed)
+		}
+		seen[sh.shard.Seed] = true
+		if sh.tester == nil {
+			t.Fatal("shard without tester")
+		}
+	}
+	hOnly, _, err := r.sweepShards(sc, analog.NominalEnv(), "H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hOnly) == 0 || len(hOnly) >= len(all) {
+		t.Fatalf("manufacturer filter: %d H shards of %d total", len(hOnly), len(all))
+	}
+	for _, sh := range hOnly {
+		if sh.tester.Module().Spec().Profile.Name != "H" {
+			t.Fatal("manufacturer filter leaked a non-H module")
+		}
+	}
+}

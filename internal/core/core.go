@@ -51,10 +51,11 @@ func (r SuccessResult) Rate() float64 {
 
 // Tester drives PUD characterization on one module.
 type Tester struct {
-	mod    *dram.Module
-	env    analog.Env
-	trials int
-	seed   uint64
+	mod     *dram.Module
+	env     analog.Env
+	trials  int
+	seed    uint64
+	workers int
 
 	// mu guards the module's lazy subarray allocation during parallel
 	// sweeps; distinct subarrays are otherwise independent.
@@ -74,6 +75,10 @@ func WithTrials(n int) Option { return func(t *Tester) { t.trials = n } }
 
 // WithSeed sets the experiment seed feeding data patterns.
 func WithSeed(seed uint64) Option { return func(t *Tester) { t.seed = seed } }
+
+// WithWorkers bounds RunSweep's shard parallelism (0 = GOMAXPROCS,
+// 1 = sequential). Results are identical for every setting.
+func WithWorkers(n int) Option { return func(t *Tester) { t.workers = n } }
 
 // NewTester builds a tester for the module.
 func NewTester(mod *dram.Module, opts ...Option) (*Tester, error) {

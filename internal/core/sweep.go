@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/bender"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/timing"
 )
@@ -105,18 +105,21 @@ func (r SweepResult) BestRate() float64 {
 	return best
 }
 
-// RunSweep measures one configuration across the module's sampled
-// subarrays and row groups. Groups are characterized in parallel across
-// subarrays; results are deterministic regardless of scheduling.
-func (t *Tester) RunSweep(cfg SweepConfig) (SweepResult, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Op == OpMAJ && (cfg.X < 3 || cfg.X%2 == 0) {
-		return SweepResult{}, fmt.Errorf("core: sweep MAJ width %d invalid", cfg.X)
+// validate rejects malformed sweep configurations.
+func (c SweepConfig) validate() error {
+	if c.Op == OpMAJ && (c.X < 3 || c.X%2 == 0) {
+		return fmt.Errorf("core: sweep MAJ width %d invalid", c.X)
 	}
-	if cfg.N < 2 {
-		return SweepResult{}, fmt.Errorf("core: sweep needs N >= 2, got %d", cfg.N)
+	if c.N < 2 {
+		return fmt.Errorf("core: sweep needs N >= 2, got %d", c.N)
 	}
+	return nil
+}
 
+// SweepSamples returns the deterministic (bank, subarray) samples a sweep
+// characterizes on this tester's module: one engine shard each.
+func (t *Tester) SweepSamples(cfg SweepConfig) []bender.SubarraySample {
+	cfg = cfg.withDefaults()
 	samples := bender.SampleSubarrays(t.mod, cfg.SubarraysPerBank, t.seed)
 	if cfg.Banks > 0 {
 		filtered := samples[:0]
@@ -127,44 +130,46 @@ func (t *Tester) RunSweep(cfg SweepConfig) (SweepResult, error) {
 		}
 		samples = filtered
 	}
+	return samples
+}
 
-	type task struct {
-		idx    int
-		sample bender.SubarraySample
+// SweepShard characterizes one sampled subarray — the unit of work the
+// execution engine schedules. Outcomes depend only on the tester's seed
+// and the shard's structural coordinates, never on scheduling.
+func (t *Tester) SweepShard(cfg SweepConfig, s bender.SubarraySample) ([]GroupOutcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	tasks := make(chan task)
-	outcomes := make([][]GroupOutcome, len(samples))
-	errs := make([]error, len(samples))
+	return t.sweepSubarray(cfg, s)
+}
 
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(samples) {
-		workers = len(samples)
+// RunSweep measures one configuration across the module's sampled
+// subarrays and row groups. Subarrays are characterized in parallel on
+// the execution engine (bounded by WithWorkers); results are
+// deterministic regardless of worker count or scheduling.
+func (t *Tester) RunSweep(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return SweepResult{}, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range tasks {
-				outcomes[tk.idx], errs[tk.idx] = t.sweepSubarray(cfg, tk.sample)
-			}
-		}()
-	}
+
+	samples := t.SweepSamples(cfg)
+	tasks := make([]engine.Task[[]GroupOutcome], len(samples))
 	for i, s := range samples {
-		tasks <- task{idx: i, sample: s}
+		s := s
+		tasks[i] = func(context.Context) ([]GroupOutcome, error) {
+			return t.sweepSubarray(cfg, s)
+		}
 	}
-	close(tasks)
-	wg.Wait()
+	outcomes, err := engine.Run(context.Background(), engine.Config{Workers: t.workers}, nil, tasks)
+	if err != nil {
+		return SweepResult{}, err
+	}
 
 	res := SweepResult{Config: cfg, Module: t.mod.Spec().ID}
-	for i := range samples {
-		if errs[i] != nil {
-			return SweepResult{}, errs[i]
-		}
-		res.Outcomes = append(res.Outcomes, outcomes[i]...)
+	for _, out := range outcomes {
+		res.Outcomes = append(res.Outcomes, out...)
 	}
 	return res, nil
 }

@@ -1,0 +1,242 @@
+// Package engine is the parallel execution layer of the characterization
+// harness: it splits embarrassingly parallel experiment sweeps into
+// independent shards and runs them on a bounded worker pool.
+//
+// The engine guarantees determinism: results are collected in submission
+// order, and shard work must derive its randomness purely from structural
+// coordinates hashed with the root experiment seed — as internal/core's
+// per-group seeds do, and as Shard.Seed pre-mixes for consumers that want
+// a single per-shard stream. The same seed therefore produces
+// bit-identical results regardless of worker count or goroutine
+// scheduling (see DESIGN.md §6).
+//
+// Cancellation and failure follow errgroup-style semantics: the first
+// shard error cancels the run's context, in-flight shards finish, queued
+// shards are skipped, and the lowest-indexed error is reported.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Config bounds a run's parallelism.
+type Config struct {
+	// Workers is the maximum number of shards executed concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 executes shards strictly
+	// sequentially in submission order on the calling goroutine.
+	Workers int
+}
+
+// WorkerCount resolves the configured bound to a concrete worker count
+// for n queued shards: at least 1, at most n.
+func (c Config) WorkerCount(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shard identifies one independently executable unit of a sweep: a single
+// (module, bank, subarray) cell of the characterized space. Seed is the
+// shard's stable sub-seed; work keyed on it (or on the coordinates
+// themselves, as internal/core does) is reproducible independent of which
+// worker executes the shard and when.
+type Shard struct {
+	Module   int
+	Bank     int
+	Subarray int
+	Seed     uint64
+}
+
+// NewShard builds the shard for the given structural coordinates with its
+// sub-seed derived from the root experiment seed.
+func NewShard(root uint64, module, bank, subarray int) Shard {
+	return Shard{
+		Module:   module,
+		Bank:     bank,
+		Subarray: subarray,
+		Seed:     ShardSeed(root, module, bank, subarray),
+	}
+}
+
+// ShardSeed derives the stable, well-mixed sub-seed of one shard from the
+// root seed. Distinct coordinates yield independent streams.
+func ShardSeed(root uint64, module, bank, subarray int) uint64 {
+	return xrand.Hash(root, 0xe17e, uint64(module), uint64(bank), uint64(subarray))
+}
+
+// Task is one unit of shard work. The context is cancelled when a sibling
+// task fails or the caller cancels the run.
+type Task[T any] func(ctx context.Context) (T, error)
+
+// Stats accumulates progress counters across the runs of one harness
+// instance. All methods are safe for concurrent use; the zero value is
+// ready to use.
+type Stats struct {
+	runs        atomic.Int64
+	shardsTotal atomic.Int64
+	shardsDone  atomic.Int64
+	activations atomic.Int64
+	wallNanos   atomic.Int64
+}
+
+// AddActivations records n issued APA activations (reported by the shard
+// bodies, which know their trial × group counts).
+func (s *Stats) AddActivations(n int) { s.activations.Add(int64(n)) }
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	// Runs is the number of completed engine runs (one per sweep).
+	Runs int64
+	// ShardsTotal and ShardsDone count submitted and completed shards.
+	ShardsTotal int64
+	ShardsDone  int64
+	// Activations counts APA activations issued by the shard bodies.
+	Activations int64
+	// Wall is the cumulative wall time spent inside engine runs.
+	Wall time.Duration
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Runs:        s.runs.Load(),
+		ShardsTotal: s.shardsTotal.Load(),
+		ShardsDone:  s.shardsDone.Load(),
+		Activations: s.activations.Load(),
+		Wall:        time.Duration(s.wallNanos.Load()),
+	}
+}
+
+// String renders the snapshot for progress lines.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("%d/%d shards in %d runs, %d activations, %s wall",
+		s.ShardsDone, s.ShardsTotal, s.Runs, s.Activations, s.Wall.Round(time.Millisecond))
+}
+
+// Run executes the tasks on a bounded worker pool and returns their
+// results in submission order (results[i] is tasks[i]'s). stats may be
+// nil. On failure the lowest-indexed error among the executed tasks is
+// returned and the remaining queued tasks are skipped; if the caller's
+// context is cancelled first, its error is returned instead.
+func Run[T any](ctx context.Context, cfg Config, stats *Stats, tasks []Task[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if stats != nil {
+		stats.shardsTotal.Add(int64(len(tasks)))
+		defer func() {
+			stats.wallNanos.Add(int64(time.Since(start)))
+			stats.runs.Add(1)
+		}()
+	}
+
+	results := make([]T, len(tasks))
+	if len(tasks) == 0 {
+		return results, ctx.Err()
+	}
+
+	done := func() {
+		if stats != nil {
+			stats.shardsDone.Add(1)
+		}
+	}
+
+	if cfg.WorkerCount(len(tasks)) == 1 {
+		// Sequential fast path: no goroutines, strictly submission order.
+		for i, task := range tasks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := task(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+			results[i] = r
+			done()
+		}
+		return results, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		next      atomic.Int64
+		completed atomic.Int64
+		errs      = make([]error, len(tasks))
+	)
+	workers := cfg.WorkerCount(len(tasks))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) || ctx.Err() != nil {
+					return
+				}
+				r, err := tasks[i](ctx)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = r
+				completed.Add(1)
+				done()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every task completed: the run is whole, return the results even if
+	// the caller's context was cancelled in the meantime (the sequential
+	// path behaves the same way — its last ctx check precedes the last
+	// task).
+	if int(completed.Load()) == len(tasks) {
+		return results, nil
+	}
+
+	// Prefer the lowest-indexed root-cause error: a sibling that honours
+	// the cancelled context and returns ctx.Err() must not mask the task
+	// failure that triggered the cancellation.
+	cancelIdx := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelIdx == -1 {
+				cancelIdx = i
+			}
+			continue
+		}
+		return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if cancelIdx >= 0 {
+		return nil, fmt.Errorf("engine: shard %d: %w", cancelIdx, errs[cancelIdx])
+	}
+	return results, nil
+}

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		t.Run(fmt.Sprint("workers=", workers), func(t *testing.T) {
+			const n = 64
+			tasks := make([]Task[int], n)
+			for i := range tasks {
+				i := i
+				tasks[i] = func(context.Context) (int, error) { return i * i, nil }
+			}
+			got, err := Run(context.Background(), Config{Workers: workers}, nil, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("got %d results, want %d", len(got), n)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](context.Background(), Config{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d results, want 0", len(got))
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	tasks := make([]Task[struct{}], 24)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (struct{}, error) {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, err := Run(context.Background(), Config{Workers: workers}, nil, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, configured bound %d", p, workers)
+	}
+}
+
+func TestRunPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprint("workers=", workers), func(t *testing.T) {
+			var ran atomic.Int64
+			tasks := make([]Task[int], 32)
+			for i := range tasks {
+				i := i
+				tasks[i] = func(context.Context) (int, error) {
+					ran.Add(1)
+					if i == 5 {
+						return 0, boom
+					}
+					return i, nil
+				}
+			}
+			_, err := Run(context.Background(), Config{Workers: workers}, nil, tasks)
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want wrapped %v", err, boom)
+			}
+			if workers == 1 && ran.Load() != 6 {
+				t.Fatalf("sequential run executed %d tasks after error at index 5", ran.Load())
+			}
+		})
+	}
+}
+
+func TestRunErrorCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Int64
+	tasks := make([]Task[int], 16)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(ctx context.Context) (int, error) {
+			if i == 0 {
+				return 0, boom
+			}
+			select {
+			case <-ctx.Done():
+				cancelled.Add(1)
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return i, nil
+			}
+		}
+	}
+	start := time.Now()
+	_, err := Run(context.Background(), Config{Workers: 4}, nil, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %s; the first error should cancel in-flight siblings", elapsed)
+	}
+}
+
+// TestRunRootCauseNotMasked pins the error-selection rule: a low-indexed
+// sibling that honours the cancelled context and returns ctx.Err() must
+// not mask the higher-indexed task failure that caused the cancellation.
+func TestRunRootCauseNotMasked(t *testing.T) {
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	tasks := make([]Task[int], 3)
+	tasks[0] = func(ctx context.Context) (int, error) {
+		close(release) // task 0 is in flight; let the failer go
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	tasks[1] = func(context.Context) (int, error) {
+		<-release
+		return 0, boom
+	}
+	tasks[2] = func(context.Context) (int, error) { return 2, nil }
+	_, err := Run(context.Background(), Config{Workers: 3}, nil, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the root-cause error, not a sibling's cancellation", err)
+	}
+}
+
+func TestRunHonoursCallerCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprint("workers=", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var ran atomic.Int64
+			tasks := make([]Task[int], 64)
+			for i := range tasks {
+				tasks[i] = func(context.Context) (int, error) {
+					if ran.Add(1) == 3 {
+						cancel()
+					}
+					return 0, nil
+				}
+			}
+			_, err := Run(ctx, Config{Workers: workers}, nil, tasks)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if r := ran.Load(); r >= 64 {
+				t.Fatalf("all %d tasks ran despite mid-run cancellation", r)
+			}
+		})
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var stats Stats
+	tasks := make([]Task[int], 10)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (int, error) {
+			stats.AddActivations(7)
+			return 0, nil
+		}
+	}
+	if _, err := Run(context.Background(), Config{Workers: 2}, &stats, tasks); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.Runs != 1 || snap.ShardsTotal != 10 || snap.ShardsDone != 10 {
+		t.Fatalf("snapshot = %+v, want 1 run with 10/10 shards", snap)
+	}
+	if snap.Activations != 70 {
+		t.Fatalf("activations = %d, want 70", snap.Activations)
+	}
+	if snap.Wall <= 0 {
+		t.Fatalf("wall time = %s, want > 0", snap.Wall)
+	}
+	if s := snap.String(); s == "" {
+		t.Fatal("empty snapshot string")
+	}
+}
+
+func TestShardSeedStableAndDistinct(t *testing.T) {
+	const root = 0xd5a
+	a := NewShard(root, 1, 2, 3)
+	if a.Seed != ShardSeed(root, 1, 2, 3) {
+		t.Fatal("NewShard seed disagrees with ShardSeed")
+	}
+	if a.Module != 1 || a.Bank != 2 || a.Subarray != 3 {
+		t.Fatalf("coordinates not preserved: %+v", a)
+	}
+	seen := make(map[uint64]Shard)
+	for m := 0; m < 8; m++ {
+		for b := 0; b < 8; b++ {
+			for sub := 0; sub < 8; sub++ {
+				sh := NewShard(root, m, b, sub)
+				if prev, dup := seen[sh.Seed]; dup {
+					t.Fatalf("seed collision between %+v and %+v", prev, sh)
+				}
+				seen[sh.Seed] = sh
+			}
+		}
+	}
+	if ShardSeed(root, 0, 0, 0) == ShardSeed(root+1, 0, 0, 0) {
+		t.Fatal("sub-seed must depend on the root seed")
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct {
+		workers, tasks, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{-3, 1, 1},
+	}
+	for _, c := range cases {
+		if got := (Config{Workers: c.workers}).WorkerCount(c.tasks); got != c.want {
+			t.Errorf("Config{%d}.WorkerCount(%d) = %d, want %d", c.workers, c.tasks, got, c.want)
+		}
+	}
+	if got := (Config{}).WorkerCount(1000); got < 1 {
+		t.Errorf("default WorkerCount = %d, want >= 1", got)
+	}
+}

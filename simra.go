@@ -13,7 +13,10 @@
 //     (internal/core, internal/bender).
 //   - The experiment harness regenerating every table and figure of the
 //     paper's evaluation (internal/charexp, internal/fleet, internal/
-//     power, internal/spice).
+//     power, internal/spice), executed on a deterministic parallel
+//     sharded engine (internal/engine, ExperimentConfig.Engine): sweeps
+//     split into per-(module, bank, subarray) shards with stable
+//     sub-seeds, so results are bit-identical for every worker count.
 //   - The case studies: majority-based bit-serial computation, in-DRAM
 //     modular-redundancy voting, cold-boot content destruction, and the
 //     TRNG extension (internal/bitserial, internal/tmr, internal/coldboot,
