@@ -186,3 +186,42 @@ func TestFacadeVerifyDestroyed(t *testing.T) {
 		t.Fatalf("destroyed secret should not correlate, got %v", leak)
 	}
 }
+
+// TestFacadeBitVecAdapters verifies the packed row I/O path agrees with
+// the []bool adapters kept on the facade: a row written packed reads back
+// identically through both APIs.
+func TestFacadeBitVecAdapters(t *testing.T) {
+	spec := simra.NewSpec("facade-bitvec", simra.ProfileH, 5)
+	spec.Columns = 200 // non-multiple of 64 exercises the tail word
+	mod, err := simra.NewModule(spec, simra.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := simra.PatternRandom.FillRow(11, 0, sa.Cols())
+	v := simra.BitVecFromBools(data)
+	if err := sa.WriteRowVec(3, v); err != nil {
+		t.Fatal(err)
+	}
+	packed, err := sa.ReadRowVec(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bools, err := sa.ReadRow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range bools {
+		if bools[c] != data[c] || packed.Get(c) != data[c] {
+			t.Fatalf("column %d: adapter/packed mismatch", c)
+		}
+	}
+	maj := simra.NewBitVec(sa.Cols())
+	simra.BitMajority(maj, []simra.BitVec{v, v, packed})
+	if !maj.Equal(v) {
+		t.Fatal("majority of identical vectors must be the vector")
+	}
+}

@@ -22,11 +22,15 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/timing"
 )
 
 // Computer executes majority-based bit-serial computation on one subarray.
+// Register rows move through the machine as packed bit vectors: gates,
+// copies and the construction-time reliability probe all run 64 SIMD
+// lanes per word.
 type Computer struct {
 	sa    *dram.Subarray
 	mod   *dram.Module
@@ -34,7 +38,7 @@ type Computer struct {
 	group bender.Group // the many-row activation group used for MAJ ops
 	maxX  int          // widest usable majority operation
 
-	reliable []bool // per-column mask probed at construction
+	reliable bitvec.Vec // per-column mask probed at construction
 	regs     map[int]bool
 	freeRegs []int
 	nextReg  int
@@ -100,7 +104,10 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 		if err != nil {
 			return nil, err
 		}
-		count := countTrue(mask)
+		count := 0
+		if width > 0 {
+			count = mask.PopCount()
+		}
 		if width > bestWidth || width == bestWidth && count > bestCount {
 			bestWidth, bestCount = width, count
 			c.group = g
@@ -121,11 +128,13 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 	if err != nil {
 		return nil, err
 	}
-	zero := make([]bool, sa.Cols())
-	if err := sa.WriteRow(c.zeroReg, zero); err != nil {
+	zero := bitvec.New(sa.Cols())
+	ones := bitvec.New(sa.Cols())
+	ones.Fill(true)
+	if err := sa.WriteRowVec(c.zeroReg, zero); err != nil {
 		return nil, err
 	}
-	if err := sa.WriteRow(c.oneReg, dram.Invert(zero)); err != nil {
+	if err := sa.WriteRowVec(c.oneReg, ones); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -134,21 +143,19 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 // scoreGroup probes a candidate group at widths 3, 5, ... up to the
 // computer's bound, intersecting per-width reliability masks, and returns
 // the widest usable majority (0 if even MAJ3 is unusable) with its mask.
-func (c *Computer) scoreGroup(g bender.Group) (int, []bool, error) {
+func (c *Computer) scoreGroup(g bender.Group) (int, bitvec.Vec, error) {
 	threshold := c.sa.Cols() / 3
 	width := 0
-	var reliable []bool
+	var reliable bitvec.Vec
 	for x := 3; x <= c.maxX; x += 2 {
 		mask, err := c.probeGroup(g, x)
 		if err != nil {
-			return 0, nil, err
+			return 0, bitvec.Vec{}, err
 		}
-		if reliable != nil {
-			for i := range mask {
-				mask[i] = mask[i] && reliable[i]
-			}
+		if width > 0 {
+			mask.And(mask, reliable)
 		}
-		if countTrue(mask) <= threshold {
+		if mask.PopCount() <= threshold {
 			break
 		}
 		width = x
@@ -163,16 +170,14 @@ func (c *Computer) scoreGroup(g bender.Group) (int, []bool, error) {
 // correctly: margins only grow with higher vote differences, and all
 // per-column variation (sense threshold, coupling, cell capacitance,
 // group viability) is static.
-func (c *Computer) probeGroup(g bender.Group, x int) ([]bool, error) {
+func (c *Computer) probeGroup(g bender.Group, x int) (bitvec.Vec, error) {
 	saved := c.group
 	c.group = g
 	defer func() { c.group = saved }()
 
 	cols := c.sa.Cols()
-	mask := make([]bool, cols)
-	for i := range mask {
-		mask[i] = true
-	}
+	mask := bitvec.New(cols)
+	mask.Fill(true)
 	// Every operand bitmask with a one-vote majority, in both directions:
 	// C(x, (x+1)/2) · 2 compositions (6 for MAJ3, 252 for MAJ9). Each
 	// composition is additionally probed in a *weakened* form with one
@@ -187,17 +192,15 @@ func (c *Computer) probeGroup(g bender.Group, x int) ([]bool, error) {
 			continue
 		}
 		expectOne := pop == winners
-		operands := make([][]bool, x)
+		operands := make([]bitvec.Vec, x)
 		winnerSlot := -1
 		for j := range operands {
 			bit := m>>j&1 == 1
 			if bit == expectOne && winnerSlot < 0 {
 				winnerSlot = j
 			}
-			row := make([]bool, cols)
-			for k := range row {
-				row[k] = bit
-			}
+			row := bitvec.New(cols)
+			row.Fill(bit)
 			operands[j] = row
 		}
 		// With replication available, probe two weakened variants (the
@@ -215,12 +218,14 @@ func (c *Computer) probeGroup(g bender.Group, x int) ([]bool, error) {
 			for rep := 0; rep < probeRepeats; rep++ {
 				got, _, err := c.execMAJWeakened(operands, weakenRow)
 				if err != nil {
-					return nil, err
+					return bitvec.Vec{}, err
 				}
-				for col := range mask {
-					if got[col] != expectOne {
-						mask[col] = false
-					}
+				// Columns that missed the expected constant drop out of
+				// the mask, one word-parallel step.
+				if expectOne {
+					mask.And(mask, got)
+				} else {
+					mask.AndNot(mask, got)
 				}
 			}
 		}
@@ -237,32 +242,11 @@ func popcount(m int) int {
 	return n
 }
 
-// countTrue counts set entries.
-func countTrue(mask []bool) int {
-	n := 0
-	for _, ok := range mask {
-		if ok {
-			n++
-		}
-	}
-	return n
-}
-
 // Reliable returns the number of columns the compute group can use.
-func (c *Computer) Reliable() int {
-	n := 0
-	for _, ok := range c.reliable {
-		if ok {
-			n++
-		}
-	}
-	return n
-}
+func (c *Computer) Reliable() int { return c.reliable.PopCount() }
 
 // ReliableMask returns a copy of the per-column reliability mask.
-func (c *Computer) ReliableMask() []bool {
-	return append([]bool(nil), c.reliable...)
-}
+func (c *Computer) ReliableMask() []bool { return c.reliable.Bools() }
 
 // Counts returns the operation tallies so far.
 func (c *Computer) Counts() OpCounts {
@@ -333,7 +317,7 @@ func (c *Computer) FreeReg(r int) {
 
 // execMAJ stages the operand rows into the compute group with replication
 // and neutral fill, fires the APA, and returns the sensed result.
-func (c *Computer) execMAJ(operands [][]bool) ([]bool, bool, error) {
+func (c *Computer) execMAJ(operands []bitvec.Vec) (bitvec.Vec, bool, error) {
 	return c.execMAJWeakened(operands, -1)
 }
 
@@ -348,7 +332,7 @@ func weakenRowIndex(copy, x, slot int) int { return copy*x + slot }
 // execMAJWeakened is execMAJ with an optional handicap used by the
 // reliability probe: the staged row at index `weakenRow` is written with
 // complemented data, reducing its side's vote margin by two.
-func (c *Computer) execMAJWeakened(operands [][]bool, weakenRow int) ([]bool, bool, error) {
+func (c *Computer) execMAJWeakened(operands []bitvec.Vec, weakenRow int) (bitvec.Vec, bool, error) {
 	x := len(operands)
 	n := c.group.N()
 	copies := n / x
@@ -357,29 +341,26 @@ func (c *Computer) execMAJWeakened(operands [][]bool, weakenRow int) ([]bool, bo
 	if weakenRow >= copies*x {
 		weakenRow = -1
 	}
+	scratch := bitvec.New(cols)
 	for i, r := range c.group.Rows {
 		switch {
 		case i == weakenRow:
-			if err := c.sa.WriteRow(r, dram.Invert(operands[i%x])); err != nil {
-				return nil, false, err
+			scratch.Not(operands[i%x])
+			if err := c.sa.WriteRowVec(r, scratch); err != nil {
+				return bitvec.Vec{}, false, err
 			}
 		case i < copies*x:
-			if err := c.sa.WriteRow(r, operands[i%x]); err != nil {
-				return nil, false, err
+			if err := c.sa.WriteRowVec(r, operands[i%x]); err != nil {
+				return bitvec.Vec{}, false, err
 			}
 		case fracOK:
 			if err := c.sa.SetFracRow(r); err != nil {
-				return nil, false, err
+				return bitvec.Vec{}, false, err
 			}
 		default:
-			bits := make([]bool, cols)
-			if (i-copies*x)%2 == 1 {
-				for k := range bits {
-					bits[k] = true
-				}
-			}
-			if err := c.sa.WriteRow(r, bits); err != nil {
-				return nil, false, err
+			scratch.Fill((i-copies*x)%2 == 1)
+			if err := c.sa.WriteRowVec(r, scratch); err != nil {
+				return bitvec.Vec{}, false, err
 			}
 		}
 	}
@@ -394,12 +375,12 @@ func (c *Computer) execMAJWeakened(operands [][]bool, weakenRow int) ([]bool, bo
 		MAJ:             &dram.MAJSpec{X: x, Copies: copies},
 	})
 	if err != nil {
-		return nil, false, err
+		return bitvec.Vec{}, false, err
 	}
 	c.sa.Precharge()
-	got, err := c.sa.ReadRow(c.group.RF)
+	got, err := c.sa.ReadRowVec(c.group.RF)
 	if err != nil {
-		return nil, false, err
+		return bitvec.Vec{}, false, err
 	}
 	return got, res.Viable, nil
 }
@@ -411,9 +392,9 @@ func (c *Computer) MAJ(dst int, srcs ...int) error {
 	if x < 3 || x%2 == 0 || x > c.maxX {
 		return fmt.Errorf("bitserial: MAJ%d unsupported (max %d)", x, c.maxX)
 	}
-	operands := make([][]bool, x)
+	operands := make([]bitvec.Vec, x)
 	for j, s := range srcs {
-		row, err := c.sa.ReadRow(s)
+		row, err := c.sa.ReadRowVec(s)
 		if err != nil {
 			return err
 		}
@@ -425,18 +406,19 @@ func (c *Computer) MAJ(dst int, srcs ...int) error {
 		return err
 	}
 	c.counts.add(x)
-	return c.sa.WriteRow(dst, got)
+	return c.sa.WriteRowVec(dst, got)
 }
 
 // NOT computes dst = ¬src (an inverted row copy, as Ambit's dual-contact
 // rows provide; costed as one RowClone).
 func (c *Computer) NOT(dst, src int) error {
-	row, err := c.sa.ReadRow(src)
+	row, err := c.sa.ReadRowVec(src)
 	if err != nil {
 		return err
 	}
+	row.Not(row)
 	c.counts.NOT++
-	return c.sa.WriteRow(dst, dram.Invert(row))
+	return c.sa.WriteRowVec(dst, row)
 }
 
 // AND computes dst = a ∧ b = MAJ3(a, b, 0).
@@ -462,12 +444,12 @@ func (c *Computer) reduceWide(dst, fill int, srcs []int) error {
 		return fmt.Errorf("bitserial: empty reduction")
 	}
 	if len(srcs) == 1 {
-		row, err := c.sa.ReadRow(srcs[0])
+		row, err := c.sa.ReadRowVec(srcs[0])
 		if err != nil {
 			return err
 		}
 		c.counts.Stage++
-		return c.sa.WriteRow(dst, row)
+		return c.sa.WriteRowVec(dst, row)
 	}
 	fanIn := (c.maxX + 1) / 2
 	pending := append([]int(nil), srcs...)
@@ -562,10 +544,10 @@ func (c *Computer) FullAdder(sum, carry, a, b, cin int) error {
 	}
 	// Publish the carry after the sum consumed the operands (sum may alias
 	// a, b or cin; carry must not be clobbered early).
-	row, err := c.sa.ReadRow(tmpCarry)
+	row, err := c.sa.ReadRowVec(tmpCarry)
 	if err != nil {
 		return err
 	}
 	c.counts.Stage++
-	return c.sa.WriteRow(carry, row)
+	return c.sa.WriteRowVec(carry, row)
 }

@@ -1,6 +1,10 @@
 package bitserial
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
 
 // Vec is a bit-sliced vector of W-bit unsigned integers: bit i of every
 // element lives in DRAM row Regs[i] (least-significant bit first). One Vec
@@ -43,12 +47,15 @@ func (c *Computer) Store(v Vec, values []uint64) error {
 	if len(values) > cols {
 		return fmt.Errorf("bitserial: %d values exceed %d columns", len(values), cols)
 	}
+	row := bitvec.New(cols)
 	for bit := 0; bit < v.width; bit++ {
-		row := make([]bool, cols)
+		row.Fill(false)
 		for e, val := range values {
-			row[e] = (val>>uint(bit))&1 == 1
+			if (val>>uint(bit))&1 == 1 {
+				row.Set(e, true)
+			}
 		}
-		if err := c.sa.WriteRow(v.Regs[bit], row); err != nil {
+		if err := c.sa.WriteRowVec(v.Regs[bit], row); err != nil {
 			return err
 		}
 	}
@@ -61,13 +68,13 @@ func (c *Computer) Load(v Vec, n int) ([]uint64, error) {
 		n = c.sa.Cols()
 	}
 	out := make([]uint64, n)
+	row := bitvec.New(c.sa.Cols())
 	for bit := 0; bit < v.width; bit++ {
-		row, err := c.sa.ReadRow(v.Regs[bit])
-		if err != nil {
+		if err := c.sa.ReadRowInto(row, v.Regs[bit]); err != nil {
 			return nil, err
 		}
 		for e := 0; e < n; e++ {
-			if row[e] {
+			if row.Get(e) {
 				out[e] |= 1 << uint(bit)
 			}
 		}
@@ -344,10 +351,10 @@ func (c *Computer) copyReg(dst, src int) error {
 	if dst == src {
 		return nil
 	}
-	row, err := c.sa.ReadRow(src)
+	row, err := c.sa.ReadRowVec(src)
 	if err != nil {
 		return err
 	}
 	c.counts.Stage++
-	return c.sa.WriteRow(dst, row)
+	return c.sa.WriteRowVec(dst, row)
 }

@@ -1,0 +1,294 @@
+// Package bitvec provides uint64-packed bit vectors: the word-parallel
+// cell representation behind the simulator's hot paths. A Vec holds one
+// bit per DRAM column; bulk operations (And, Or, Xor, Not, Majority,
+// PopCount, Equal) process 64 columns per machine word instead of one
+// bool at a time.
+//
+// Vectors have a fixed length set at creation. All binary operations
+// require operands of identical length and panic otherwise — length
+// mismatches are programming errors, not runtime conditions. The unused
+// high bits of the last word are kept zero as an invariant, so PopCount
+// and Equal never need per-call masking.
+package bitvec
+
+import "math/bits"
+
+// wordBits is the width of one storage word.
+const wordBits = 64
+
+// Vec is a packed bit vector of fixed length. The zero value is an empty
+// vector; use New or FromBools to create a sized one. Vec is a slice
+// header over shared backing storage: copying the struct aliases the same
+// bits, Clone makes an independent copy.
+type Vec struct {
+	n int
+	w []uint64
+}
+
+// WordsFor returns the number of uint64 words needed for n bits.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// New returns an all-zero vector of n bits.
+func New(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return Vec{n: n, w: make([]uint64, WordsFor(n))}
+}
+
+// FromBools packs a []bool into a vector of the same length.
+func FromBools(bits []bool) Vec {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b {
+			v.w[i/wordBits] |= 1 << uint(i%wordBits)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v Vec) Len() int { return v.n }
+
+// Words exposes the backing words (least-significant bit = lowest index).
+// Kernels may read and write them directly; writers must preserve the
+// zero-tail invariant (see MaskTail).
+func (v Vec) Words() []uint64 { return v.w }
+
+// tailMask returns the valid-bit mask of the last word, or ^0 when the
+// length is a multiple of the word size.
+func (v Vec) tailMask() uint64 {
+	if r := v.n % wordBits; r != 0 {
+		return 1<<uint(r) - 1
+	}
+	return ^uint64(0)
+}
+
+// MaskTail clears the unused high bits of the last word, restoring the
+// invariant after direct word writes.
+func (v Vec) MaskTail() {
+	if len(v.w) > 0 {
+		v.w[len(v.w)-1] &= v.tailMask()
+	}
+}
+
+// Get returns bit i.
+func (v Vec) Get(i int) bool {
+	return v.w[i/wordBits]>>uint(i%wordBits)&1 == 1
+}
+
+// Set assigns bit i.
+func (v Vec) Set(i int, b bool) {
+	if b {
+		v.w[i/wordBits] |= 1 << uint(i%wordBits)
+	} else {
+		v.w[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Fill sets every bit to b.
+func (v Vec) Fill(b bool) {
+	var word uint64
+	if b {
+		word = ^uint64(0)
+	}
+	for i := range v.w {
+		v.w[i] = word
+	}
+	v.MaskTail()
+}
+
+// FillWordPattern fills the vector with a 64-bit repeating word: bit i
+// takes bit (i mod 64) of word. Used for periodic data patterns whose
+// period divides 64 (repeating bytes, checkerboards).
+func (v Vec) FillWordPattern(word uint64) {
+	for i := range v.w {
+		v.w[i] = word
+	}
+	v.MaskTail()
+}
+
+// FillByteMSB fills the vector with a repeating byte laid out MSB-first:
+// bit i takes bit (7 - i mod 8) of b, matching the DRAM fill convention
+// where column c of a 0xAA row reads bit (7 - c mod 8).
+func (v Vec) FillByteMSB(b byte) {
+	v.FillWordPattern(0x0101010101010101 * uint64(bits.Reverse8(b)))
+}
+
+// FillPattern sets every bit from the generator function.
+func (v Vec) FillPattern(f func(i int) bool) {
+	for wi := range v.w {
+		var word uint64
+		base := wi * wordBits
+		nb := v.n - base
+		if nb > wordBits {
+			nb = wordBits
+		}
+		for b := 0; b < nb; b++ {
+			if f(base + b) {
+				word |= 1 << uint(b)
+			}
+		}
+		v.w[wi] = word
+	}
+}
+
+// Bools unpacks the vector into a fresh []bool.
+func (v Vec) Bools() []bool {
+	out := make([]bool, v.n)
+	for i := range out {
+		out[i] = v.Get(i)
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (v Vec) Clone() Vec {
+	out := Vec{n: v.n, w: make([]uint64, len(v.w))}
+	copy(out.w, v.w)
+	return out
+}
+
+// CopyFrom overwrites v with src's bits.
+func (v Vec) CopyFrom(src Vec) {
+	v.check(src)
+	copy(v.w, src.w)
+}
+
+// check panics on operand length mismatch.
+func (v Vec) check(o Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+}
+
+// And sets v = a & b.
+func (v Vec) And(a, b Vec) {
+	v.check(a)
+	v.check(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] & b.w[i]
+	}
+}
+
+// Or sets v = a | b.
+func (v Vec) Or(a, b Vec) {
+	v.check(a)
+	v.check(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] | b.w[i]
+	}
+}
+
+// Xor sets v = a ^ b.
+func (v Vec) Xor(a, b Vec) {
+	v.check(a)
+	v.check(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] ^ b.w[i]
+	}
+}
+
+// AndNot sets v = a &^ b.
+func (v Vec) AndNot(a, b Vec) {
+	v.check(a)
+	v.check(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] &^ b.w[i]
+	}
+}
+
+// Not sets v = ^a (within the vector length).
+func (v Vec) Not(a Vec) {
+	v.check(a)
+	for i := range v.w {
+		v.w[i] = ^a.w[i]
+	}
+	v.MaskTail()
+}
+
+// Select sets v = (a & mask) | (b &^ mask): bit-wise mux between a and b.
+func (v Vec) Select(mask, a, b Vec) {
+	v.check(mask)
+	v.check(a)
+	v.check(b)
+	for i := range v.w {
+		v.w[i] = a.w[i]&mask.w[i] | b.w[i]&^mask.w[i]
+	}
+}
+
+// PopCount returns the number of set bits.
+func (v Vec) PopCount() int {
+	n := 0
+	for _, w := range v.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether two vectors hold identical bits.
+func (v Vec) Equal(o Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether any bit is set.
+func (v Vec) Any() bool {
+	for _, w := range v.w {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Majority sets dst to the bitwise majority of the operands: dst bit i is
+// 1 iff more than half of the vs have bit i set. The operand count must be
+// odd so no ties exist. The per-column vote counts are accumulated in
+// bit-sliced binary counters (one carry-save addition per operand), then
+// thresholded with a word-parallel borrow chain — a popcount-style
+// majority that never unpacks a column.
+func Majority(dst Vec, vs []Vec) {
+	x := len(vs)
+	if x == 0 || x%2 == 0 {
+		panic("bitvec: majority needs an odd operand count")
+	}
+	for _, v := range vs {
+		dst.check(v)
+	}
+	need := uint64(x/2 + 1)
+	planes := bits.Len(uint(x))
+	counter := make([]uint64, planes)
+	for wi := range dst.w {
+		for i := range counter {
+			counter[i] = 0
+		}
+		for _, v := range vs {
+			carry := v.w[wi]
+			for pi := 0; carry != 0; pi++ {
+				counter[pi], carry = counter[pi]^carry, counter[pi]&carry
+			}
+		}
+		// count >= need, per column: propagate the borrow of
+		// (count - need); columns without a final borrow meet the
+		// threshold.
+		var borrow uint64
+		for pi := 0; pi < planes; pi++ {
+			c := counter[pi]
+			var nbit uint64
+			if need>>uint(pi)&1 == 1 {
+				nbit = ^uint64(0)
+			}
+			borrow = ^c&(nbit|borrow) | nbit&borrow
+		}
+		dst.w[wi] = ^borrow
+	}
+	dst.MaskTail()
+}

@@ -1,0 +1,258 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refBools generates a deterministic random []bool of length n.
+func refBools(seed uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = xrand.Hash(seed, uint64(i))&1 == 1
+	}
+	return out
+}
+
+// testWidths exercises word-boundary edge cases: empty, sub-word,
+// word-aligned, and straddling widths, plus random ones.
+func testWidths(seed uint64) []int {
+	widths := []int{0, 1, 7, 63, 64, 65, 127, 128, 129, 192, 1000}
+	src := xrand.NewSource(seed, 0x71d7)
+	for i := 0; i < 8; i++ {
+		widths = append(widths, 1+src.Intn(517))
+	}
+	return widths
+}
+
+func TestPackRoundtrip(t *testing.T) {
+	for _, n := range testWidths(1) {
+		ref := refBools(uint64(n), n)
+		v := FromBools(ref)
+		if v.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, v.Len())
+		}
+		got := v.Bools()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("n=%d: bit %d roundtrip mismatch", n, i)
+			}
+			if v.Get(i) != ref[i] {
+				t.Fatalf("n=%d: Get(%d) mismatch", n, i)
+			}
+		}
+	}
+}
+
+// TestBinaryOpsMatchReference property-checks every packed binary op
+// against the naive []bool implementation across random widths, including
+// non-multiple-of-64 lengths.
+func TestBinaryOpsMatchReference(t *testing.T) {
+	ops := []struct {
+		name string
+		vec  func(dst, a, b Vec)
+		ref  func(a, b bool) bool
+	}{
+		{"And", func(d, a, b Vec) { d.And(a, b) }, func(a, b bool) bool { return a && b }},
+		{"Or", func(d, a, b Vec) { d.Or(a, b) }, func(a, b bool) bool { return a || b }},
+		{"Xor", func(d, a, b Vec) { d.Xor(a, b) }, func(a, b bool) bool { return a != b }},
+		{"AndNot", func(d, a, b Vec) { d.AndNot(a, b) }, func(a, b bool) bool { return a && !b }},
+	}
+	for _, n := range testWidths(2) {
+		ra := refBools(uint64(n)*3+1, n)
+		rb := refBools(uint64(n)*3+2, n)
+		a, b := FromBools(ra), FromBools(rb)
+		for _, op := range ops {
+			dst := New(n)
+			op.vec(dst, a, b)
+			for i := 0; i < n; i++ {
+				if want := op.ref(ra[i], rb[i]); dst.Get(i) != want {
+					t.Fatalf("%s n=%d bit %d: got %v want %v", op.name, n, i, dst.Get(i), want)
+				}
+			}
+			checkTail(t, op.name, dst)
+		}
+	}
+}
+
+func TestNotAndFill(t *testing.T) {
+	for _, n := range testWidths(3) {
+		ra := refBools(uint64(n)+11, n)
+		a := FromBools(ra)
+		dst := New(n)
+		dst.Not(a)
+		for i := 0; i < n; i++ {
+			if dst.Get(i) == ra[i] {
+				t.Fatalf("Not n=%d bit %d unchanged", n, i)
+			}
+		}
+		checkTail(t, "Not", dst)
+		if got := dst.PopCount() + a.PopCount(); got != n {
+			t.Fatalf("Not n=%d: popcounts sum to %d", n, got)
+		}
+		dst.Fill(true)
+		if dst.PopCount() != n {
+			t.Fatalf("Fill(true) n=%d: popcount %d", n, dst.PopCount())
+		}
+		checkTail(t, "Fill", dst)
+		dst.Fill(false)
+		if dst.Any() {
+			t.Fatalf("Fill(false) n=%d: bits left", n)
+		}
+	}
+}
+
+func TestPopCountEqualSelect(t *testing.T) {
+	for _, n := range testWidths(4) {
+		ra := refBools(uint64(n)+21, n)
+		rb := refBools(uint64(n)+22, n)
+		rm := refBools(uint64(n)+23, n)
+		a, b, m := FromBools(ra), FromBools(rb), FromBools(rm)
+
+		want := 0
+		for _, x := range ra {
+			if x {
+				want++
+			}
+		}
+		if got := a.PopCount(); got != want {
+			t.Fatalf("PopCount n=%d: got %d want %d", n, got, want)
+		}
+
+		if !a.Equal(a.Clone()) {
+			t.Fatalf("Equal n=%d: clone differs", n)
+		}
+		if n > 0 {
+			c := a.Clone()
+			c.Set(n-1, !c.Get(n-1))
+			if a.Equal(c) {
+				t.Fatalf("Equal n=%d: flipped last bit not detected", n)
+			}
+		}
+
+		dst := New(n)
+		dst.Select(m, a, b)
+		for i := 0; i < n; i++ {
+			want := rb[i]
+			if rm[i] {
+				want = ra[i]
+			}
+			if dst.Get(i) != want {
+				t.Fatalf("Select n=%d bit %d", n, i)
+			}
+		}
+	}
+}
+
+// TestMajorityMatchesReference checks the bit-sliced counter majority
+// against a naive per-column vote count for every odd operand count the
+// simulator uses (3..9) and beyond, across random widths.
+func TestMajorityMatchesReference(t *testing.T) {
+	for _, x := range []int{1, 3, 5, 7, 9, 15} {
+		for _, n := range testWidths(uint64(x)) {
+			refs := make([][]bool, x)
+			vs := make([]Vec, x)
+			for j := range vs {
+				refs[j] = refBools(uint64(x*1000+j)+uint64(n), n)
+				vs[j] = FromBools(refs[j])
+			}
+			dst := New(n)
+			Majority(dst, vs)
+			for c := 0; c < n; c++ {
+				ones := 0
+				for j := range refs {
+					if refs[j][c] {
+						ones++
+					}
+				}
+				if want := ones > x/2; dst.Get(c) != want {
+					t.Fatalf("Majority x=%d n=%d col %d: got %v want %v (ones=%d)",
+						x, n, c, dst.Get(c), want, ones)
+				}
+			}
+			checkTail(t, "Majority", dst)
+		}
+	}
+}
+
+func TestMajorityRejectsEvenCounts(t *testing.T) {
+	for _, x := range []int{0, 2, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Majority with %d operands did not panic", x)
+				}
+			}()
+			vs := make([]Vec, x)
+			for i := range vs {
+				vs[i] = New(8)
+			}
+			Majority(New(8), vs)
+		}()
+	}
+}
+
+func TestFillByteMSB(t *testing.T) {
+	for _, b := range []byte{0x00, 0xFF, 0xAA, 0x55, 0xCC, 0x66, 0x99, 0x01, 0x80} {
+		for _, n := range []int{8, 13, 64, 100, 256} {
+			v := New(n)
+			v.FillByteMSB(b)
+			for c := 0; c < n; c++ {
+				want := b>>(7-uint(c%8))&1 == 1
+				if v.Get(c) != want {
+					t.Fatalf("FillByteMSB(%#02x) n=%d col %d: got %v want %v", b, n, c, v.Get(c), want)
+				}
+			}
+			checkTail(t, "FillByteMSB", v)
+		}
+	}
+}
+
+func TestFillPattern(t *testing.T) {
+	for _, n := range testWidths(6) {
+		v := New(n)
+		v.FillPattern(func(i int) bool { return i%3 == 0 })
+		for i := 0; i < n; i++ {
+			if v.Get(i) != (i%3 == 0) {
+				t.Fatalf("FillPattern n=%d bit %d", n, i)
+			}
+		}
+		checkTail(t, "FillPattern", v)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	New(64).And(New(64), New(65))
+}
+
+// checkTail verifies the zero-tail invariant after an operation.
+func checkTail(t *testing.T, op string, v Vec) {
+	t.Helper()
+	if v.n%64 == 0 || len(v.w) == 0 {
+		return
+	}
+	if extra := v.w[len(v.w)-1] &^ (1<<uint(v.n%64) - 1); extra != 0 {
+		t.Fatalf("%s: tail bits dirty: %#x (len %d)", op, extra, v.n)
+	}
+}
+
+func BenchmarkMajority9(b *testing.B) {
+	const n = 1024
+	vs := make([]Vec, 9)
+	for j := range vs {
+		vs[j] = FromBools(refBools(uint64(j), n))
+	}
+	dst := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Majority(dst, vs)
+	}
+	_ = bits.OnesCount64(dst.w[0])
+}

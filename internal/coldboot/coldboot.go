@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/timing"
 )
@@ -254,19 +255,12 @@ func (d *Destroyer) destroyMRC(sa *dram.Subarray, n int) (OpCounts, error) {
 	}
 
 	// Mop up any rows a clipped group left behind (640-row subarrays).
+	scan := bitvec.New(sa.Cols())
 	for u := 0; u < rows; u++ {
-		got, err := sa.ReadRow(u)
-		if err != nil {
+		if err := sa.ReadRowInto(scan, u); err != nil {
 			return OpCounts{}, err
 		}
-		clean := true
-		for c := range got {
-			if got[c] {
-				clean = false
-				break
-			}
-		}
-		if clean {
+		if !scan.Any() {
 			continue
 		}
 		src := repOf(u)
@@ -287,24 +281,20 @@ func (d *Destroyer) destroyMRC(sa *dram.Subarray, n int) (OpCounts, error) {
 // VDD/2 state (whose readout is uncorrelated amplifier bias) scores ~0.
 func VerifyDestroyed(sa *dram.Subarray, secrets map[int][]bool) (float64, error) {
 	var ones1, total1, ones0, total0 int
+	got := bitvec.New(sa.Cols())
+	match := bitvec.New(sa.Cols())
 	for row, secret := range secrets {
-		got, err := sa.ReadRow(row)
-		if err != nil {
+		if err := sa.ReadRowInto(got, row); err != nil {
 			return 0, err
 		}
-		for c := range got {
-			if secret[c] {
-				total1++
-				if got[c] {
-					ones1++
-				}
-			} else {
-				total0++
-				if got[c] {
-					ones0++
-				}
-			}
-		}
+		sv := bitvec.FromBools(secret)
+		n1 := sv.PopCount()
+		total1 += n1
+		total0 += sv.Len() - n1
+		match.And(got, sv)
+		ones1 += match.PopCount()
+		match.AndNot(got, sv)
+		ones0 += match.PopCount()
 	}
 	if total1 == 0 || total0 == 0 {
 		return 0, nil

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/timing"
 	"repro/internal/xrand"
@@ -120,13 +121,15 @@ func (t *Tester) ManyRowActivation(sa *dram.Subarray, g bender.Group,
 	// and the WR carries a different one — the complement, so that a cell
 	// that misses the overdrive is always detected as a failure.
 	seed := t.groupSeed(sa, g)
-	initData := p.FillRow(seed, 0, cols)
-	wrData := dram.Invert(initData)
-	stable := newStableSet(len(g.Rows) * cols)
+	initData := p.FillRowVec(seed, 0, cols)
+	wrData := bitvec.New(cols)
+	wrData.Not(initData)
+	failed := newFailSet(len(g.Rows), cols)
+	got := bitvec.New(cols)
 
 	for trial := 0; trial < t.trials; trial++ {
 		for _, r := range g.Rows {
-			if err := sa.WriteRow(r, initData); err != nil {
+			if err := sa.WriteRowVec(r, initData); err != nil {
 				return SuccessResult{}, err
 			}
 		}
@@ -138,24 +141,18 @@ func (t *Tester) ManyRowActivation(sa *dram.Subarray, g bender.Group,
 		}); err != nil {
 			return SuccessResult{}, err
 		}
-		if err := sa.WriteOpenRows(wrData); err != nil {
+		if err := sa.WriteOpenRowsVec(wrData); err != nil {
 			return SuccessResult{}, err
 		}
 		sa.Precharge()
 		for i, r := range g.Rows {
-			got, err := sa.ReadRow(r)
-			if err != nil {
+			if err := sa.ReadRowInto(got, r); err != nil {
 				return SuccessResult{}, err
 			}
-			base := i * cols
-			for c := range got {
-				if got[c] != wrData[c] {
-					stable.fail(base + c)
-				}
-			}
+			failed.accumulate(i, got, wrData)
 		}
 	}
-	return SuccessResult{Cells: len(g.Rows) * cols, Stable: stable.count(), Viable: true}, nil
+	return SuccessResult{Cells: len(g.Rows) * cols, Stable: failed.stable(), Viable: true}, nil
 }
 
 // MAJ characterizes an X-input majority with the group's N-row activation
@@ -177,24 +174,22 @@ func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
 	cols := sa.Cols()
 	seed := t.groupSeed(sa, g)
 
-	// Operand data and the expected bitwise majority.
-	operands := make([][]bool, x)
+	// Operand data and the expected bitwise majority, computed with the
+	// packed popcount-threshold kernel (64 columns per word).
+	operands := make([]bitvec.Vec, x)
 	for j := range operands {
-		operands[j] = p.FillRow(seed, j, cols)
+		operands[j] = p.FillRowVec(seed, j, cols)
 	}
-	expected := make([]bool, cols)
-	for c := range expected {
-		ones := 0
-		for j := range operands {
-			if operands[j][c] {
-				ones++
-			}
-		}
-		expected[c] = ones > x/2
-	}
+	expected := bitvec.New(cols)
+	bitvec.Majority(expected, operands)
+
+	solid0 := bitvec.New(cols)
+	solid1 := bitvec.New(cols)
+	solid1.Fill(true)
 
 	fracOK := t.mod.Spec().Profile.FracSupported
-	stable := newStableSet(cols)
+	failed := newFailSet(1, cols)
+	got := bitvec.New(cols)
 	viable := true
 
 	for trial := 0; trial < t.trials; trial++ {
@@ -203,7 +198,7 @@ func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
 		for i, r := range g.Rows {
 			switch {
 			case i < copies*x:
-				if err := sa.WriteRow(r, operands[i%x]); err != nil {
+				if err := sa.WriteRowVec(r, operands[i%x]); err != nil {
 					return SuccessResult{}, err
 				}
 			case fracOK:
@@ -213,13 +208,11 @@ func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
 			default:
 				// Mfr. M fallback (footnote 5): balanced solid rows that
 				// the biased sense amplifiers cancel out.
-				bits := make([]bool, cols)
+				bits := solid0
 				if (i-copies*x)%2 == 1 {
-					for c := range bits {
-						bits[c] = true
-					}
+					bits = solid1
 				}
-				if err := sa.WriteRow(r, bits); err != nil {
+				if err := sa.WriteRowVec(r, bits); err != nil {
 					return SuccessResult{}, err
 				}
 			}
@@ -236,17 +229,12 @@ func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
 		}
 		viable = viable && res.Viable
 		sa.Precharge()
-		got, err := sa.ReadRow(g.RF)
-		if err != nil {
+		if err := sa.ReadRowInto(got, g.RF); err != nil {
 			return SuccessResult{}, err
 		}
-		for c := range got {
-			if got[c] != expected[c] {
-				stable.fail(c)
-			}
-		}
+		failed.accumulate(0, got, expected)
 	}
-	return SuccessResult{Cells: cols, Stable: stable.count(), Viable: viable}, nil
+	return SuccessResult{Cells: cols, Stable: failed.stable(), Viable: viable}, nil
 }
 
 // MultiRowCopy characterizes copying the group's RF row into the group's
@@ -265,13 +253,9 @@ func (t *Tester) MultiRowCopy(sa *dram.Subarray, g bender.Group,
 	// patterns that is the complement, so a cell the copy misses is always
 	// detected; for Random, each destination gets its own random row (the
 	// §3.1 random methodology).
-	src := p.FillRow(seed, 0, cols)
-	destInit := func(i int) []bool {
-		if p == dram.PatternRandom {
-			return p.FillRow(seed, i+1, cols)
-		}
-		return dram.Invert(src)
-	}
+	src := p.FillRowVec(seed, 0, cols)
+	srcInv := bitvec.New(cols)
+	srcInv.Not(src)
 
 	dests := make([]int, 0, len(g.Rows)-1)
 	for _, r := range g.Rows {
@@ -279,15 +263,24 @@ func (t *Tester) MultiRowCopy(sa *dram.Subarray, g bender.Group,
 			dests = append(dests, r)
 		}
 	}
-	stable := newStableSet(len(dests) * cols)
+	destInit := make([]bitvec.Vec, len(dests))
+	for i := range destInit {
+		if p == dram.PatternRandom {
+			destInit[i] = p.FillRowVec(seed, i+1, cols)
+		} else {
+			destInit[i] = srcInv
+		}
+	}
+	failed := newFailSet(len(dests), cols)
+	got := bitvec.New(cols)
 
 	for trial := 0; trial < t.trials; trial++ {
 		for i, r := range dests {
-			if err := sa.WriteRow(r, destInit(i)); err != nil {
+			if err := sa.WriteRowVec(r, destInit[i]); err != nil {
 				return SuccessResult{}, err
 			}
 		}
-		if err := sa.WriteRow(g.RF, src); err != nil {
+		if err := sa.WriteRowVec(g.RF, src); err != nil {
 			return SuccessResult{}, err
 		}
 		if _, err := sa.APA(g.RF, g.RS, dram.APAOptions{
@@ -300,19 +293,13 @@ func (t *Tester) MultiRowCopy(sa *dram.Subarray, g bender.Group,
 		}
 		sa.Precharge()
 		for i, r := range dests {
-			got, err := sa.ReadRow(r)
-			if err != nil {
+			if err := sa.ReadRowInto(got, r); err != nil {
 				return SuccessResult{}, err
 			}
-			base := i * cols
-			for c := range got {
-				if got[c] != src[c] {
-					stable.fail(base + c)
-				}
-			}
+			failed.accumulate(i, got, src)
 		}
 	}
-	return SuccessResult{Cells: len(dests) * cols, Stable: stable.count(), Viable: true}, nil
+	return SuccessResult{Cells: len(dests) * cols, Stable: failed.stable(), Viable: true}, nil
 }
 
 // RowClone copies row src to row dst with the best copy timings,
@@ -327,7 +314,7 @@ func (t *Tester) RowClone(sa *dram.Subarray, src, dst int) (float64, error) {
 		return 0, fmt.Errorf("core: rows %d and %d activate %d rows; RowClone needs exactly 2",
 			src, dst, len(rows))
 	}
-	want, err := sa.ReadRow(src)
+	want, err := sa.ReadRowVec(src)
 	if err != nil {
 		return 0, err
 	}
@@ -338,17 +325,14 @@ func (t *Tester) RowClone(sa *dram.Subarray, src, dst int) (float64, error) {
 		return 0, err
 	}
 	sa.Precharge()
-	got, err := sa.ReadRow(dst)
+	got, err := sa.ReadRowVec(dst)
 	if err != nil {
 		return 0, err
 	}
-	match := 0
-	for c := range got {
-		if got[c] == want[c] {
-			match++
-		}
-	}
-	return float64(match) / float64(len(got)), nil
+	diff := bitvec.New(got.Len())
+	diff.Xor(got, want)
+	match := got.Len() - diff.PopCount()
+	return float64(match) / float64(got.Len()), nil
 }
 
 // groupSeed derives the data seed for one row group: the paper
@@ -359,19 +343,33 @@ func (t *Tester) groupSeed(sa *dram.Subarray, g bender.Group) uint64 {
 		uint64(g.RF), uint64(g.RS))
 }
 
-// stableSet tracks which cells have remained correct through all trials.
-type stableSet struct {
-	failed []bool
-	fails  int
+// failSet tracks which cells have failed any trial, as one packed failure
+// vector per characterized row: accumulating a trial is one Xor+Or pass
+// over the packed words rather than a per-cell comparison loop.
+type failSet struct {
+	rows []bitvec.Vec
+	diff bitvec.Vec
 }
 
-func newStableSet(n int) *stableSet { return &stableSet{failed: make([]bool, n)} }
-
-func (s *stableSet) fail(i int) {
-	if !s.failed[i] {
-		s.failed[i] = true
-		s.fails++
+func newFailSet(rows, cols int) *failSet {
+	s := &failSet{rows: make([]bitvec.Vec, rows), diff: bitvec.New(cols)}
+	for i := range s.rows {
+		s.rows[i] = bitvec.New(cols)
 	}
+	return s
 }
 
-func (s *stableSet) count() int { return len(s.failed) - s.fails }
+// accumulate marks every cell of row i where got differs from want.
+func (s *failSet) accumulate(i int, got, want bitvec.Vec) {
+	s.diff.Xor(got, want)
+	s.rows[i].Or(s.rows[i], s.diff)
+}
+
+// stable returns the number of cells that were correct in every trial.
+func (s *failSet) stable() int {
+	n := 0
+	for _, r := range s.rows {
+		n += r.Len() - r.PopCount()
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/xrand"
 )
 
@@ -100,13 +101,41 @@ func (p Pattern) Bit(seed uint64, rowOrdinal, col int) bool {
 	return xrand.Hash(seed, uint64(rowOrdinal), uint64(col), 0x9a7)&1 == 1
 }
 
+// FillRowVec materializes the pattern for one row as a packed vector.
+// Fixed byte-pair patterns and the split checkerboard are periodic, so
+// they fill whole 64-column words at a time; only Random hashes per
+// column (each of its bits is an independent draw). Bit-for-bit equal to
+// Bit over every column.
+func (p Pattern) FillRowVec(seed uint64, rowOrdinal, cols int) bitvec.Vec {
+	out := bitvec.New(cols)
+	if p == PatternSplit {
+		// Column checkerboard: even rows store 1s on even columns, odd
+		// rows the complement.
+		if rowOrdinal%2 == 0 {
+			out.FillWordPattern(0x5555555555555555)
+		} else {
+			out.FillWordPattern(0xaaaaaaaaaaaaaaaa)
+		}
+		return out
+	}
+	if b0, b1, ok := p.bytePair(); ok {
+		b := b0
+		if b0 != b1 && xrand.Hash(seed, uint64(rowOrdinal), 0x77c)&1 == 1 {
+			b = b1
+		}
+		out.FillByteMSB(b)
+		return out
+	}
+	// Random: a distinct uniform pattern per row.
+	out.FillPattern(func(c int) bool {
+		return xrand.Hash(seed, uint64(rowOrdinal), uint64(c), 0x9a7)&1 == 1
+	})
+	return out
+}
+
 // FillRow materializes the pattern for one row across cols columns.
 func (p Pattern) FillRow(seed uint64, rowOrdinal, cols int) []bool {
-	out := make([]bool, cols)
-	for c := range out {
-		out[c] = p.Bit(seed, rowOrdinal, c)
-	}
-	return out
+	return p.FillRowVec(seed, rowOrdinal, cols).Bools()
 }
 
 // CouplingFactor returns the relative bitline-to-bitline coupling noise the

@@ -2,8 +2,10 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/analog"
+	"repro/internal/bitvec"
 	"repro/internal/timing"
 	"repro/internal/xrand"
 )
@@ -29,31 +31,92 @@ const (
 // chargeFrac is the stored level of a Frac (VDD/2) cell.
 const chargeFrac = 0.5
 
+// couplingCacheMax bounds the per-group coupling-noise cache; beyond it
+// the cache resets (entries are recomputable at any time).
+const couplingCacheMax = 1 << 12
+
 // Subarray is one DRAM subarray: a rows×columns array of cells sharing
 // bitlines and sense amplifiers, addressed by a local row decoder. All PUD
 // operations take place within a single subarray.
+//
+// Cell state is packed: every stored charge level is one of {0 V, VDD,
+// VDD/2}, so a row is two uint64-packed bit planes — `val` holds the
+// solid level and `frac` marks VDD/2 cells (a frac bit implies a zero val
+// bit). Row I/O, copy, write-overdrive and sense-amplifier resolution all
+// operate 64 columns per word; only the charge-sharing arithmetic of
+// share mode is per-column, and it reads its static process-variation
+// draws from precomputed tables instead of re-hashing every trial.
 type Subarray struct {
 	mod      *Module
 	bankIdx  int
 	saIdx    int
 	rows     int
 	cols     int
-	charge   []float32 // rows*cols stored levels: 0, 1, or chargeFrac
-	asserted []int     // rows left open by the last APA (until precharge)
-	copyMode bool      // whether the last APA latched the sense amps
+	words    int // uint64 words per row
+	val      []uint64
+	frac     []uint64
+	asserted []int // rows left open by the last APA (until precharge)
+	copyMode bool  // whether the last APA latched the sense amps
+
+	// Static draws hoisted out of the trial loops. Per-column and per-row
+	// tables are built eagerly (they are O(rows+cols)); per-cell tables
+	// are built lazily one row at a time and per-group coupling rows are
+	// cached by group key. All entries are pure functions of structural
+	// coordinates, so caching never changes a result.
+	theta     []float64  // per-column reliable sensing threshold
+	saBias    bitvec.Vec // per-column sense-amp bias sign (Frac readout)
+	latchNorm []float64  // per-row predecoder latch draw
+	wlNorm    []float64  // per-row wordline settle draw
+
+	gammaRows     [][]float64 // per-cell capacitance draws, by row
+	fracRows      [][]float64 // per-cell Frac residual draws, by row
+	weakWRRows    [][]float64 // per-cell weak-write uniforms, by row
+	weakCopyRows  [][]float64 // per-cell weak-copy uniforms, by row
+	couplingNorms map[uint64][]float64
+
+	// Scratch reused by the kernels (a subarray is driven by one
+	// goroutine at a time; the engine shards per subarray).
+	numBuf, denBuf []float64
+	rowBuf         bitvec.Vec
+	failBuf        bitvec.Vec
 }
 
 func newSubarray(m *Module, bankIdx, saIdx int) *Subarray {
 	rows := m.dec.Rows()
 	cols := m.spec.Columns
-	return &Subarray{
-		mod:     m,
-		bankIdx: bankIdx,
-		saIdx:   saIdx,
-		rows:    rows,
-		cols:    cols,
-		charge:  make([]float32, rows*cols),
+	words := bitvec.WordsFor(cols)
+	s := &Subarray{
+		mod:           m,
+		bankIdx:       bankIdx,
+		saIdx:         saIdx,
+		rows:          rows,
+		cols:          cols,
+		words:         words,
+		val:           make([]uint64, rows*words),
+		frac:          make([]uint64, rows*words),
+		theta:         make([]float64, cols),
+		saBias:        bitvec.New(cols),
+		latchNorm:     make([]float64, rows),
+		wlNorm:        make([]float64, rows),
+		gammaRows:     make([][]float64, rows),
+		fracRows:      make([][]float64, rows),
+		weakWRRows:    make([][]float64, rows),
+		weakCopyRows:  make([][]float64, rows),
+		couplingNorms: make(map[uint64][]float64),
+		numBuf:        make([]float64, cols),
+		denBuf:        make([]float64, cols),
+		rowBuf:        bitvec.New(cols),
+		failBuf:       bitvec.New(cols),
 	}
+	for c := 0; c < cols; c++ {
+		s.theta[c] = m.params.SenseThreshold(s.colNorm(c, tagTheta))
+		s.saBias.Set(c, s.colNorm(c, tagSABias) > 0)
+	}
+	for r := 0; r < rows; r++ {
+		s.latchNorm[r] = s.rowNorm(r, tagLatch)
+		s.wlNorm[r] = s.rowNorm(r, tagWL)
+	}
+	return s
 }
 
 // Rows returns the subarray height.
@@ -75,7 +138,15 @@ func (s *Subarray) checkRow(row int) error {
 	return nil
 }
 
-func (s *Subarray) idx(row, col int) int { return row*s.cols + col }
+// rowVal returns the packed solid-level plane of one row.
+func (s *Subarray) rowVal(row int) []uint64 {
+	return s.val[row*s.words : (row+1)*s.words]
+}
+
+// rowFrac returns the packed Frac-marker plane of one row.
+func (s *Subarray) rowFrac(row int) []uint64 {
+	return s.frac[row*s.words : (row+1)*s.words]
+}
 
 // key hashes a structural coordinate with the module seed.
 func (s *Subarray) key(parts ...uint64) uint64 {
@@ -101,8 +172,70 @@ func (s *Subarray) rowNorm(row int, tag uint64) float64 {
 		uint64(row), 0xfffe, tag)
 }
 
-// WriteRow performs a nominal-timing activate + write + precharge of one
-// row: cells take solid charge levels.
+// cellRow lazily materializes one row of a per-cell static table.
+func (s *Subarray) cellRow(table [][]float64, row int, tag uint64, uniform bool) []float64 {
+	if t := table[row]; t != nil {
+		return t
+	}
+	t := make([]float64, s.cols)
+	for c := range t {
+		if uniform {
+			t[c] = xrand.Uniform(s.key(uint64(row), uint64(c), tag))
+		} else {
+			t[c] = s.cellNorm(row, c, tag)
+		}
+	}
+	table[row] = t
+	return t
+}
+
+func (s *Subarray) gammaRow(row int) []float64 {
+	return s.cellRow(s.gammaRows, row, tagGamma, false)
+}
+
+func (s *Subarray) fracRow(row int) []float64 {
+	return s.cellRow(s.fracRows, row, tagFrac, false)
+}
+
+func (s *Subarray) weakWRRow(row int) []float64 {
+	return s.cellRow(s.weakWRRows, row, tagWeakWR, true)
+}
+
+func (s *Subarray) weakCopyRow(row int) []float64 {
+	return s.cellRow(s.weakCopyRows, row, tagWeakCopy, true)
+}
+
+// couplingRow returns the per-column coupling-noise draws of one group.
+func (s *Subarray) couplingRow(groupKey uint64) []float64 {
+	if t, ok := s.couplingNorms[groupKey]; ok {
+		return t
+	}
+	if len(s.couplingNorms) >= couplingCacheMax {
+		s.couplingNorms = make(map[uint64][]float64)
+	}
+	t := make([]float64, s.cols)
+	for c := range t {
+		t[c] = xrand.Norm(groupKey, uint64(c), tagCoupling)
+	}
+	s.couplingNorms[groupKey] = t
+	return t
+}
+
+// WriteRowVec performs a nominal-timing activate + write + precharge of
+// one row from a packed vector: cells take solid charge levels.
+func (s *Subarray) WriteRowVec(row int, v bitvec.Vec) error {
+	if err := s.checkRow(row); err != nil {
+		return err
+	}
+	if v.Len() != s.cols {
+		return fmt.Errorf("dram: row data has %d bits, want %d", v.Len(), s.cols)
+	}
+	copy(s.rowVal(row), v.Words())
+	clearWords(s.rowFrac(row))
+	return nil
+}
+
+// WriteRow is the []bool adapter over WriteRowVec.
 func (s *Subarray) WriteRow(row int, bits []bool) error {
 	if err := s.checkRow(row); err != nil {
 		return err
@@ -110,20 +243,12 @@ func (s *Subarray) WriteRow(row int, bits []bool) error {
 	if len(bits) != s.cols {
 		return fmt.Errorf("dram: row data has %d bits, want %d", len(bits), s.cols)
 	}
-	base := s.idx(row, 0)
-	for c, b := range bits {
-		if b {
-			s.charge[base+c] = 1
-		} else {
-			s.charge[base+c] = 0
-		}
-	}
-	return nil
+	return s.WriteRowVec(row, bitvec.FromBools(bits))
 }
 
 // FillRow writes a pattern row (see Pattern.Bit) with nominal timing.
 func (s *Subarray) FillRow(row int, p Pattern, seed uint64, rowOrdinal int) error {
-	return s.WriteRow(row, p.FillRow(seed, rowOrdinal, s.cols))
+	return s.WriteRowVec(row, p.FillRowVec(seed, rowOrdinal, s.cols))
 }
 
 // SetFracRow performs the Frac operation of FracDRAM on a row: every cell
@@ -138,34 +263,62 @@ func (s *Subarray) SetFracRow(row int) error {
 	if err := s.checkRow(row); err != nil {
 		return err
 	}
-	base := s.idx(row, 0)
-	for c := 0; c < s.cols; c++ {
-		s.charge[base+c] = chargeFrac
+	clearWords(s.rowVal(row))
+	frac := s.rowFrac(row)
+	for i := range frac {
+		frac[i] = ^uint64(0)
 	}
+	s.maskRowTail(frac)
 	return nil
 }
 
-// ReadRow performs a nominal-timing read. Frac cells resolve to the
-// column's static sense-amplifier bias (the paper observes Mfr. M's
-// amplifiers are "always biased to one or zero").
-func (s *Subarray) ReadRow(row int) ([]bool, error) {
-	if err := s.checkRow(row); err != nil {
-		return nil, err
+// maskRowTail clears the unused high bits of a row's last word.
+func (s *Subarray) maskRowTail(w []uint64) {
+	if r := s.cols % 64; r != 0 {
+		w[len(w)-1] &= 1<<uint(r) - 1
 	}
-	out := make([]bool, s.cols)
-	base := s.idx(row, 0)
-	for c := range out {
-		ch := s.charge[base+c]
-		switch {
-		case ch > 0.5+1e-6:
-			out[c] = true
-		case ch < 0.5-1e-6:
-			out[c] = false
-		default:
-			out[c] = s.colNorm(c, tagSABias) > 0
-		}
+}
+
+// resolveRow writes the sensed value of a stored row into dst words:
+// solid cells read their level, Frac cells resolve to the column's static
+// sense-amplifier bias (the paper observes Mfr. M's amplifiers are
+// "always biased to one or zero").
+func (s *Subarray) resolveRow(dst []uint64, row int) {
+	val, frac := s.rowVal(row), s.rowFrac(row)
+	bias := s.saBias.Words()
+	for i := range dst {
+		dst[i] = val[i]&^frac[i] | frac[i]&bias[i]
+	}
+}
+
+// ReadRowInto performs a nominal-timing read into a caller-owned vector.
+func (s *Subarray) ReadRowInto(dst bitvec.Vec, row int) error {
+	if err := s.checkRow(row); err != nil {
+		return err
+	}
+	if dst.Len() != s.cols {
+		return fmt.Errorf("dram: read buffer has %d bits, want %d", dst.Len(), s.cols)
+	}
+	s.resolveRow(dst.Words(), row)
+	return nil
+}
+
+// ReadRowVec performs a nominal-timing read, returning a packed vector.
+func (s *Subarray) ReadRowVec(row int) (bitvec.Vec, error) {
+	out := bitvec.New(s.cols)
+	if err := s.ReadRowInto(out, row); err != nil {
+		return bitvec.Vec{}, err
 	}
 	return out, nil
+}
+
+// ReadRow is the []bool adapter over ReadRowVec.
+func (s *Subarray) ReadRow(row int) ([]bool, error) {
+	v, err := s.ReadRowVec(row)
+	if err != nil {
+		return nil, err
+	}
+	return v.Bools(), nil
 }
 
 // RawLevel exposes a cell's stored charge level for tests and the TRNG
@@ -177,7 +330,11 @@ func (s *Subarray) RawLevel(row, col int) (float64, error) {
 	if col < 0 || col >= s.cols {
 		return 0, fmt.Errorf("dram: column %d outside subarray of %d columns", col, s.cols)
 	}
-	return float64(s.charge[s.idx(row, col)]), nil
+	wi, b := col/64, uint(col%64)
+	if s.rowFrac(row)[wi]>>b&1 == 1 {
+		return chargeFrac, nil
+	}
+	return float64(s.rowVal(row)[wi] >> b & 1), nil
 }
 
 // MAJSpec tells the APA engine that the charge-share operation implements
@@ -286,8 +443,8 @@ func (s *Subarray) APA(rf, rs int, opts APAOptions) (APAResult, error) {
 			asserted = append(asserted, r)
 			continue
 		}
-		latchThresh := params.LatchThreshold(s.rowNorm(r, tagLatch), n, opts.Env)
-		wlThresh := params.WLThreshold(s.rowNorm(r, tagWL))
+		latchThresh := params.LatchThreshold(s.latchNorm[r], n, opts.Env)
+		wlThresh := params.WLThreshold(s.wlNorm[r])
 		jit := params.AssertTransientSigma *
 			xrand.Norm(s.key(uint64(r), uint64(opts.Trial), tagJitter))
 		if t.T2+jit >= latchThresh && t.Total()+jit >= wlThresh {
@@ -315,43 +472,59 @@ func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts A
 	params := s.mod.params
 	jedec := timing.DDR4()
 	nAct := len(asserted)
-	srcBase := s.idx(rf, 0)
-	// Collective pull-up droop depends on the fraction of 1s driven
-	// across the amplifier stripe.
+
+	// Collective pull-up droop counts the source cells at solid VDD;
+	// Frac cells sit at the midpoint and do not load the pull-ups, even
+	// though their readout resolves to the amplifier bias below.
 	ones := 0
-	for c := 0; c < s.cols; c++ {
-		if s.charge[srcBase+c] > 0.5 {
-			ones++
-		}
+	for _, w := range s.rowVal(rf) {
+		ones += bits.OnesCount64(w)
 	}
 	onesFrac := float64(ones) / float64(s.cols)
-	for c := 0; c < s.cols; c++ {
-		ch := s.charge[srcBase+c]
-		var bit bool
-		switch {
-		case ch > 0.5+1e-6:
-			bit = true
-		case ch < 0.5-1e-6:
-			bit = false
-		default:
-			bit = s.colNorm(c, tagSABias) > 0
+
+	// Snapshot the resolved source bits (Frac cells take the amplifier
+	// bias) before any destination write lands.
+	src := s.rowBuf.Words()
+	s.resolveRow(src, rf)
+
+	// The failure probability is constant per driven bit value.
+	pTrue := params.CopyFailProb(true, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
+	pFalse := params.CopyFailProb(false, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
+
+	fail := s.failBuf.Words()
+	for _, r := range asserted {
+		val, frac := s.rowVal(r), s.rowFrac(r)
+		if r == rf {
+			copy(val, src)
+			clearWords(frac)
+			continue
 		}
-		pFail := params.CopyFailProb(bit, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
-		var level float32
-		if bit {
-			level = 1
-		}
-		for _, r := range asserted {
-			if r != rf {
-				// Static weak-cell draw: a weak destination never takes
-				// the copy, so it fails every trial (matching the
-				// all-trials success metric).
-				u := xrand.Uniform(s.key(uint64(r), uint64(c), tagWeakCopy))
-				if u < pFail {
-					continue
+		// Static weak-cell draws: a weak destination never takes the
+		// copy, so it fails every trial (matching the all-trials success
+		// metric).
+		u := s.weakCopyRow(r)
+		for wi := range fail {
+			var m uint64
+			sw := src[wi]
+			base := wi * 64
+			nb := s.cols - base
+			if nb > 64 {
+				nb = 64
+			}
+			for b := 0; b < nb; b++ {
+				p := pFalse
+				if sw>>uint(b)&1 == 1 {
+					p = pTrue
+				}
+				if u[base+b] < p {
+					m |= 1 << uint(b)
 				}
 			}
-			s.charge[s.idx(r, c)] = level
+			fail[wi] = m
+		}
+		for wi := range val {
+			val[wi] = src[wi]&^fail[wi] | val[wi]&fail[wi]
+			frac[wi] &= fail[wi]
 		}
 	}
 }
@@ -360,6 +533,11 @@ func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts A
 // and writes the sensed value back into all asserted cells. It returns
 // whether the group was viable (see analog.Params.ViabilityZ); non-viable
 // groups resolve metastably, differently on every trial.
+//
+// The kernel accumulates the per-column perturbation numerator and
+// denominator row by row from the packed planes (reading the hoisted
+// gamma/Frac tables instead of hashing), then resolves sense amplifiers
+// one 64-column word block at a time, packing result bits directly.
 func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, opts APAOptions) bool {
 	params := s.mod.params
 	drive := params.DriveFactor(opts.Env)
@@ -387,87 +565,146 @@ func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, o
 	}
 
 	groupKey := s.key(uint64(rf), uint64(rs))
-	terms := make([]analog.CellTerm, 0, len(asserted))
-	for c := 0; c < s.cols; c++ {
-		var bit bool
-		if !viable {
-			// Metastable group: the amplifier race resolves arbitrarily,
-			// differently every trial.
-			bit = xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta)&1 == 1
-		} else {
-			terms = terms[:0]
-			for _, r := range asserted {
-				ch := float64(s.charge[s.idx(r, c)])
-				var level float64
-				switch {
-				case ch > 0.5+1e-6:
-					level = 1
-				case ch < 0.5-1e-6:
-					level = -1
-				default:
-					level = params.FracSigma * s.cellNorm(r, c, tagFrac)
-				}
-				w := drive
-				if r == rf {
-					w = rfWeight
-				}
-				terms = append(terms, analog.CellTerm{
-					Level:     level,
-					CapFactor: 1 + params.CellCapSigma*s.cellNorm(r, c, tagGamma),
-					Weight:    w,
-				})
+	out := s.rowBuf.Words()
+
+	if !viable {
+		// Metastable group: the amplifier race resolves arbitrarily,
+		// differently every trial.
+		for wi := range out {
+			var word uint64
+			base := wi * 64
+			nb := s.cols - base
+			if nb > 64 {
+				nb = 64
 			}
-			delta := params.Perturbation(terms)
-			coupling := params.CouplingNoise(
-				xrand.Norm(groupKey, uint64(c), tagCoupling), opts.PatternCoupling)
-			theta := params.SenseThreshold(s.colNorm(c, tagTheta))
-			v := delta + coupling
-			if v > theta {
-				bit = true
-			} else if v < -theta {
-				bit = false
-			} else {
-				// Below the reliable sensing margin: metastable per trial.
-				bit = xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta, 1)&1 == 1
+			for b := 0; b < nb; b++ {
+				if xrand.Hash(groupKey, uint64(base+b), uint64(opts.Trial), tagMeta)&1 == 1 {
+					word |= 1 << uint(b)
+				}
 			}
+			out[wi] = word
 		}
-		var level float32
-		if bit {
-			level = 1
+	} else {
+		num, den := s.numBuf, s.denBuf
+		for c := 0; c < s.cols; c++ {
+			num[c] = 0
+			den[c] = params.BitlineCapRatio
 		}
 		for _, r := range asserted {
-			s.charge[s.idx(r, c)] = level
+			w := drive
+			if r == rf {
+				w = rfWeight
+			}
+			gamma := s.gammaRow(r)
+			val, frac := s.rowVal(r), s.rowFrac(r)
+			var fracTab []float64
+			if anyWord(frac) {
+				fracTab = s.fracRow(r)
+			}
+			for wi := 0; wi < s.words; wi++ {
+				vw, fw := val[wi], frac[wi]
+				base := wi * 64
+				nb := s.cols - base
+				if nb > 64 {
+					nb = 64
+				}
+				for b := 0; b < nb; b++ {
+					c := base + b
+					var level float64
+					switch {
+					case fw>>uint(b)&1 == 1:
+						level = params.FracSigma * fracTab[c]
+					case vw>>uint(b)&1 == 1:
+						level = 1
+					default:
+						level = -1
+					}
+					wc := w * (1 + params.CellCapSigma*gamma[c])
+					num[c] += wc * level
+					den[c] += wc
+				}
+			}
 		}
+		coup := s.couplingRow(groupKey)
+		for wi := 0; wi < s.words; wi++ {
+			var word uint64
+			base := wi * 64
+			nb := s.cols - base
+			if nb > 64 {
+				nb = 64
+			}
+			for b := 0; b < nb; b++ {
+				c := base + b
+				delta := 0.0
+				if den[c] > 0 {
+					delta = params.VDD / 2 * num[c] / den[c]
+				}
+				coupling := params.CouplingNoise(coup[c], opts.PatternCoupling)
+				theta := s.theta[c]
+				v := delta + coupling
+				switch {
+				case v > theta:
+					word |= 1 << uint(b)
+				case v < -theta:
+					// resolves to 0
+				case xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta, 1)&1 == 1:
+					// Below the reliable sensing margin: metastable per
+					// trial.
+					word |= 1 << uint(b)
+				}
+			}
+			out[wi] = word
+		}
+	}
+	for _, r := range asserted {
+		copy(s.rowVal(r), out)
+		clearWords(s.rowFrac(r))
 	}
 	return viable
 }
 
-// WriteOpenRows models the WR command of the §3.2 methodology: the write
-// drivers overdrive the bitlines, updating the cells of every row still
-// asserted from the preceding APA. Weak cells (static, rare) miss the
-// update. It returns an error if no rows are open.
-func (s *Subarray) WriteOpenRows(bits []bool) error {
+// WriteOpenRowsVec models the WR command of the §3.2 methodology: the
+// write drivers overdrive the bitlines, updating the cells of every row
+// still asserted from the preceding APA. Weak cells (static, rare) miss
+// the update. It returns an error if no rows are open.
+func (s *Subarray) WriteOpenRowsVec(v bitvec.Vec) error {
 	if len(s.asserted) == 0 {
 		return fmt.Errorf("dram: WR with no open rows (issue APA first)")
 	}
-	if len(bits) != s.cols {
-		return fmt.Errorf("dram: WR data has %d bits, want %d", len(bits), s.cols)
+	if v.Len() != s.cols {
+		return fmt.Errorf("dram: WR data has %d bits, want %d", v.Len(), s.cols)
 	}
 	pFail := s.mod.params.WriteFailProb(len(s.asserted))
+	data := v.Words()
+	fail := s.failBuf.Words()
 	for _, r := range s.asserted {
-		base := s.idx(r, 0)
-		for c, b := range bits {
-			if xrand.Uniform(s.key(uint64(r), uint64(c), tagWeakWR)) < pFail {
-				continue
+		u := s.weakWRRow(r)
+		for wi := range fail {
+			var m uint64
+			base := wi * 64
+			nb := s.cols - base
+			if nb > 64 {
+				nb = 64
 			}
-			if b {
-				s.charge[base+c] = 1
-			} else {
-				s.charge[base+c] = 0
+			for b := 0; b < nb; b++ {
+				if u[base+b] < pFail {
+					m |= 1 << uint(b)
+				}
 			}
+			fail[wi] = m
+		}
+		val, frac := s.rowVal(r), s.rowFrac(r)
+		for wi := range val {
+			val[wi] = data[wi]&^fail[wi] | val[wi]&fail[wi]
+			frac[wi] &= fail[wi]
 		}
 	}
 	return nil
+}
+
+// WriteOpenRows is the []bool adapter over WriteOpenRowsVec.
+func (s *Subarray) WriteOpenRows(bits []bool) error {
+	return s.WriteOpenRowsVec(bitvec.FromBools(bits))
 }
 
 // OpenRows returns the rows currently asserted (open) after an APA.
@@ -479,4 +716,21 @@ func (s *Subarray) OpenRows() []int { return append([]int(nil), s.asserted...) }
 func (s *Subarray) Precharge() {
 	s.asserted = nil
 	s.copyMode = false
+}
+
+// clearWords zeroes a word slice.
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// anyWord reports whether any bit is set in the word slice.
+func anyWord(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/timing"
 )
@@ -46,19 +47,27 @@ func NewGenerator(mod *dram.Module, sa *dram.Subarray, n int) (*Generator, error
 // (process variation biases them to a fixed value) carry no entropy and
 // are filtered by Bits, as QUAC-TRNG's post-processing does.
 func (g *Generator) Draw() ([]bool, error) {
-	cols := g.sa.Cols()
-	half := make([]bool, cols)
-	for i := range half {
-		half[i] = true
+	v, err := g.DrawVec()
+	if err != nil {
+		return nil, err
 	}
+	return v.Bools(), nil
+}
+
+// DrawVec is Draw returning the sensed bits packed.
+func (g *Generator) DrawVec() (bitvec.Vec, error) {
+	cols := g.sa.Cols()
+	ones := bitvec.New(cols)
+	ones.Fill(true)
+	zeros := bitvec.New(cols)
 	// Balanced fill: alternating charged/discharged rows.
 	for i, r := range g.group.Rows {
-		bits := half
+		bits := ones
 		if i%2 == 1 {
-			bits = make([]bool, cols)
+			bits = zeros
 		}
-		if err := g.sa.WriteRow(r, bits); err != nil {
-			return nil, err
+		if err := g.sa.WriteRowVec(r, bits); err != nil {
+			return bitvec.Vec{}, err
 		}
 	}
 	g.trial++
@@ -67,10 +76,10 @@ func (g *Generator) Draw() ([]bool, error) {
 		Env:     g.env,
 		Trial:   g.trial,
 	}); err != nil {
-		return nil, err
+		return bitvec.Vec{}, err
 	}
 	g.sa.Precharge()
-	return g.sa.ReadRow(g.group.RF)
+	return g.sa.ReadRowVec(g.group.RF)
 }
 
 // Bits draws `draws` times and returns the concatenated entropy bits of
@@ -81,27 +90,25 @@ func (g *Generator) Bits(draws int) ([]bool, error) {
 		return nil, fmt.Errorf("trng: need at least 3 draws, got %d", draws)
 	}
 	cols := g.sa.Cols()
-	first, err := g.Draw()
+	first, err := g.DrawVec()
 	if err != nil {
 		return nil, err
 	}
-	toggled := make([]bool, cols)
-	second, err := g.Draw()
+	second, err := g.DrawVec()
 	if err != nil {
 		return nil, err
 	}
-	for c := range toggled {
-		toggled[c] = first[c] != second[c]
-	}
+	toggled := bitvec.New(cols)
+	toggled.Xor(first, second)
 	var out []bool
 	for i := 2; i < draws; i++ {
-		bits, err := g.Draw()
+		bits, err := g.DrawVec()
 		if err != nil {
 			return nil, err
 		}
-		for c := range bits {
-			if toggled[c] {
-				out = append(out, bits[c])
+		for c := 0; c < cols; c++ {
+			if toggled.Get(c) {
+				out = append(out, bits.Get(c))
 			}
 		}
 	}

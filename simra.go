@@ -40,6 +40,7 @@ package simra
 import (
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/bitvec"
 	"repro/internal/decoder"
 	"repro/internal/dram"
 	"repro/internal/fleet"
@@ -78,7 +79,23 @@ type (
 	FleetConfig = fleet.Config
 	// LatencyModel accounts DRAM command latencies.
 	LatencyModel = bender.LatencyModel
+	// BitVec is a uint64-packed bit vector: the word-parallel row
+	// representation of the simulator's hot paths (see DESIGN.md §7).
+	// Subarray methods come in pairs — WriteRowVec/ReadRowVec operate on
+	// BitVec directly; WriteRow/ReadRow are thin []bool adapters kept for
+	// compatibility.
+	BitVec = bitvec.Vec
 )
+
+// NewBitVec returns an all-zero packed bit vector of n bits.
+func NewBitVec(n int) BitVec { return bitvec.New(n) }
+
+// BitVecFromBools packs a []bool into a BitVec.
+func BitVecFromBools(bits []bool) BitVec { return bitvec.FromBools(bits) }
+
+// BitMajority sets dst to the bitwise majority of the operands (odd
+// count), 64 columns per word.
+func BitMajority(dst BitVec, vs []BitVec) { bitvec.Majority(dst, vs) }
 
 // Manufacturer profiles from the paper's Table 1 / §9.
 var (
