@@ -1,0 +1,131 @@
+// Command simra-work runs the end-to-end in-DRAM application workloads
+// across the simulated module fleet and prints one result row per
+// (module, workload) cell: success rate vs. the software reference,
+// output digest, and modeled time/energy/throughput.
+//
+// Usage:
+//
+//	simra-work                                  # all workloads, representative fleet
+//	simra-work -workload bitmap-scan -workers 8 # one workload, 8 shard workers
+//	simra-work -modules full -format csv        # full Table-2 fleet, CSV output
+//	simra-work -modules all                     # Table-2 fleet + Samsung controls
+//
+// Output is deterministic for a given configuration and bit-identical for
+// every -workers value (verified by the golden-file test).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	simra "repro"
+)
+
+// options carries the parsed flags.
+type options struct {
+	workload string
+	modules  string
+	workers  int
+	maxX     int
+	cols     int
+	seed     uint64
+	format   string
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.workload, "workload", "all",
+		"workload to run: all or a registered name (comma-separated for several)")
+	flag.StringVar(&opts.modules, "modules", "representative",
+		"module population: representative, full, samsung, or all")
+	flag.IntVar(&opts.workers, "workers", 0,
+		"parallel module shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	flag.IntVar(&opts.maxX, "maxx", 0, "majority-width cap (0 = default)")
+	flag.IntVar(&opts.cols, "cols", 512, "simulated columns (SIMD lanes) per subarray")
+	flag.Uint64Var(&opts.seed, "seed", 0, "experiment seed (0 = default)")
+	flag.StringVar(&opts.format, "format", "text", "output format: text or csv")
+	flag.Parse()
+
+	start := time.Now()
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "simra-work:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "(%s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// run executes the selected workloads and writes the report. All output
+// on w is deterministic; timing goes to stderr in main.
+func run(w io.Writer, opts options) error {
+	cfg := simra.DefaultWorkloadConfig()
+
+	fleetCfg := simra.DefaultFleetConfig()
+	if opts.cols > 0 {
+		fleetCfg.Columns = opts.cols
+	}
+	switch opts.modules {
+	case "representative":
+		cfg.Entries = simra.FleetRepresentative(fleetCfg)
+	case "full":
+		cfg.Entries = simra.FleetModules(fleetCfg)
+	case "samsung":
+		cfg.Entries = simra.FleetSamsung(fleetCfg)
+	case "all":
+		cfg.Entries = append(simra.FleetModules(fleetCfg), simra.FleetSamsung(fleetCfg)...)
+	default:
+		return fmt.Errorf("unknown -modules %q; valid: representative, full, samsung, all", opts.modules)
+	}
+
+	if opts.workload != "all" && opts.workload != "" {
+		cfg.Workloads = cfg.Workloads[:0]
+		for _, name := range strings.Split(opts.workload, ",") {
+			wl, err := simra.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Workloads = append(cfg.Workloads, wl)
+		}
+	}
+	if opts.maxX > 0 {
+		cfg.MaxX = opts.maxX
+	}
+	if opts.seed != 0 {
+		cfg.Seed = opts.seed
+	}
+	cfg.Engine = simra.EngineConfig{Workers: opts.workers}
+
+	if opts.format != "text" && opts.format != "csv" {
+		return fmt.Errorf("unknown -format %q; valid: text, csv", opts.format)
+	}
+
+	results, err := simra.RunWorkloads(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	table := simra.WorkloadReport(results)
+	if opts.format == "csv" {
+		_, err = io.WriteString(w, table.CSV())
+		return err
+	}
+	if _, err := io.WriteString(w, table.Render()); err != nil {
+		return err
+	}
+	viable, matched := 0, 0
+	for _, r := range results {
+		if !r.Viable {
+			continue
+		}
+		viable++
+		if r.RefMatch() {
+			matched++
+		}
+	}
+	_, err = fmt.Fprintf(w, "\n%d results (%d viable, %d bit-exact vs software reference)\n",
+		len(results), viable, matched)
+	return err
+}

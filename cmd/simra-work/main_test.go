@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/goldenfile"
+)
+
+// goldenOpts is the fixed CLI configuration behind the committed golden:
+// all registered workloads across the representative Table-2 fleet plus
+// the Samsung controls, on 256-column slices.
+func goldenOpts(workers int) options {
+	return options{
+		workload: "all",
+		modules:  "all",
+		workers:  workers,
+		cols:     256,
+		format:   "text",
+	}
+}
+
+// TestGoldenOutputWorkerInvariant is the acceptance test: simra-work runs
+// every registered workload across the Table-2 fleet, its stdout is
+// bit-identical for -workers=1 and -workers=8, and matches the committed
+// golden file.
+func TestGoldenOutputWorkerInvariant(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := run(&buf, goldenOpts(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	out8 := render(8)
+	if out1 != out8 {
+		t.Fatal("simra-work output differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "simra-work.golden", out1)
+}
+
+// TestWorkloadSelection exercises the -workload and -format flags.
+func TestWorkloadSelection(t *testing.T) {
+	opts := goldenOpts(0)
+	opts.modules = "representative"
+	opts.workload = "bitmap-scan"
+	opts.format = "csv"
+	opts.cols = 128
+	var buf bytes.Buffer
+	if err := run(&buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bitmap-scan") {
+		t.Fatalf("CSV output missing selected workload:\n%s", out)
+	}
+	if strings.Contains(out, "image-filter") {
+		t.Fatalf("CSV output contains unselected workload:\n%s", out)
+	}
+
+	opts.workload = "no-such"
+	if err := run(&bytes.Buffer{}, opts); err == nil {
+		t.Fatal("unknown workload must fail")
+	}
+	opts.workload = "all"
+	opts.modules = "bogus"
+	if err := run(&bytes.Buffer{}, opts); err == nil {
+		t.Fatal("unknown module population must fail")
+	}
+	opts.modules = "representative"
+	opts.format = "json"
+	if err := run(&bytes.Buffer{}, opts); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+}

@@ -1,6 +1,7 @@
 package simra_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -223,5 +224,115 @@ func TestFacadeBitVecAdapters(t *testing.T) {
 	simra.BitMajority(maj, []simra.BitVec{v, v, packed})
 	if !maj.Equal(v) {
 		t.Fatal("majority of identical vectors must be the vector")
+	}
+}
+
+// TestFacadeBoolRoundTripWidths pins the BitVec ↔ []bool adapters at the
+// boundary widths where off-by-ones live: single bit, one under/at/over a
+// word boundary, and the default column slice.
+func TestFacadeBoolRoundTripWidths(t *testing.T) {
+	widths := []int{1, 63, 64, 65, simra.DefaultColumns}
+	for _, width := range widths {
+		// Alternating pattern with both endpoints set: the first and last
+		// bit are exactly where a tail-mask bug clips.
+		data := make([]bool, width)
+		for i := range data {
+			data[i] = i%3 != 1
+		}
+		data[0] = true
+		data[width-1] = true
+
+		v := simra.BitVecFromBools(data)
+		if v.Len() != width {
+			t.Fatalf("width %d: packed length %d", width, v.Len())
+		}
+		round := v.Bools()
+		if len(round) != width {
+			t.Fatalf("width %d: unpacked length %d", width, len(round))
+		}
+		for i := range data {
+			if round[i] != data[i] {
+				t.Fatalf("width %d: bit %d flipped in BitVec round trip", width, i)
+			}
+		}
+		if !simra.BitVecFromBools(round).Equal(v) {
+			t.Fatalf("width %d: repacked vector diverged", width)
+		}
+
+		// The same round trip through a DRAM row (WriteRow/ReadRow are the
+		// []bool adapters over the packed row kernels).
+		spec := simra.NewSpec("facade-roundtrip", simra.ProfileH, uint64(width))
+		spec.Columns = width
+		mod, err := simra.NewModule(spec, simra.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := mod.Subarray(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.WriteRow(7, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sa.ReadRow(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("width %d: bit %d flipped in DRAM row round trip", width, i)
+			}
+		}
+		// Length mismatches must be rejected, not truncated.
+		if err := sa.WriteRow(7, make([]bool, width+1)); err == nil {
+			t.Fatalf("width %d: oversized row write must fail", width)
+		}
+		if width > 1 {
+			if err := sa.WriteRow(7, make([]bool, width-1)); err == nil {
+				t.Fatalf("width %d: undersized row write must fail", width)
+			}
+		}
+	}
+}
+
+// TestFacadeWorkloads covers the workload subsystem's public surface.
+func TestFacadeWorkloads(t *testing.T) {
+	all := simra.Workloads()
+	if len(all) < 3 {
+		t.Fatalf("want at least 3 workloads, have %d", len(all))
+	}
+	w, err := simra.WorkloadByName(all[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != all[0].Name() {
+		t.Fatalf("WorkloadByName returned %q", w.Name())
+	}
+	if _, err := simra.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload must fail")
+	}
+
+	fleetCfg := simra.DefaultFleetConfig()
+	fleetCfg.Columns = 128
+	cfg := simra.DefaultWorkloadConfig()
+	cfg.Entries = simra.FleetRepresentative(fleetCfg)[:1]
+	cfg.Workloads = []simra.Workload{w}
+	results, err := simra.RunWorkloads(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	r := results[0]
+	if !r.Viable || !r.RefMatch() || r.SuccessRate() != 1 {
+		t.Fatalf("facade workload run not bit-exact: %+v", r)
+	}
+	table := simra.WorkloadReport(results)
+	if !strings.Contains(table.Render(), r.Workload) {
+		t.Fatal("report missing workload row")
+	}
+	if simra.WorkloadDigest([]uint64{1}) == simra.WorkloadDigest([]uint64{2}) {
+		t.Fatal("digest must distinguish values")
 	}
 }

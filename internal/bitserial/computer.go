@@ -261,6 +261,9 @@ func (c *Computer) Counts() OpCounts {
 // Group returns the compute group's rows.
 func (c *Computer) Group() bender.Group { return c.group }
 
+// Module returns the module the computer executes on.
+func (c *Computer) Module() *dram.Module { return c.mod }
+
 // Cols returns the number of SIMD lanes (subarray columns).
 func (c *Computer) Cols() int { return c.sa.Cols() }
 
@@ -273,6 +276,17 @@ func (c *Computer) WriteRowDirect(reg int, bits []bool) error {
 // ReadRowDirect reads a register row over the memory channel.
 func (c *Computer) ReadRowDirect(reg int) ([]bool, error) {
 	return c.sa.ReadRow(reg)
+}
+
+// WriteRowVecDirect is the packed form of WriteRowDirect: no []bool
+// round trip on the fast path.
+func (c *Computer) WriteRowVecDirect(reg int, v bitvec.Vec) error {
+	return c.sa.WriteRowVec(reg, v)
+}
+
+// ReadRowVecDirect is the packed form of ReadRowDirect.
+func (c *Computer) ReadRowVecDirect(reg int) (bitvec.Vec, error) {
+	return c.sa.ReadRowVec(reg)
 }
 
 // MaxX returns the widest majority operation in use.

@@ -1,0 +1,178 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// The fuzz targets check every packed operation against a naive []bool
+// reference at arbitrary widths — in particular non-multiples of 64,
+// where the zero-tail invariant of the last word is easiest to break.
+// Widths are derived from a fuzzed uint16 to cover 0..wordBits*3+2, which
+// includes 1, 63, 64, 65 and both sides of every word boundary.
+
+// fuzzWidth maps a fuzzed value onto the interesting width range.
+func fuzzWidth(n uint16) int { return int(n) % (3*wordBits + 3) }
+
+// boolsFrom expands a byte stream into n bits, cycling the stream so
+// short fuzz inputs still fill wide vectors.
+func boolsFrom(data []byte, n int) []bool {
+	out := make([]bool, n)
+	if len(data) == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = data[(i/8)%len(data)]>>(uint(i)%8)&1 == 1
+	}
+	return out
+}
+
+// checkBits compares a packed vector against the expected bools bit by
+// bit and validates the tail invariant (checkTail from bitvec_test.go).
+func checkBits(t *testing.T, v Vec, want []bool, label string) {
+	t.Helper()
+	if v.Len() != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, v.Len(), len(want))
+	}
+	for i, w := range want {
+		if v.Get(i) != w {
+			t.Fatalf("%s: bit %d is %v, want %v (width %d)", label, i, v.Get(i), w, len(want))
+		}
+	}
+	checkTail(t, label, v)
+}
+
+// fuzzBinary drives one two-operand gate against its naive reference.
+func fuzzBinary(f *testing.F, op func(dst, a, b Vec), ref func(a, b bool) bool, label string) {
+	f.Add([]byte{0xff}, []byte{0x0f}, uint16(65))
+	f.Add([]byte{0xaa, 0x55}, []byte{0xcc, 0x33}, uint16(63))
+	f.Add([]byte{0x01}, []byte{0x80}, uint16(64))
+	f.Add([]byte{}, []byte{0xff}, uint16(1))
+	f.Add([]byte{0xde, 0xad}, []byte{0xbe, 0xef}, uint16(150))
+	f.Fuzz(func(t *testing.T, a, b []byte, n uint16) {
+		width := fuzzWidth(n)
+		ab, bb := boolsFrom(a, width), boolsFrom(b, width)
+		va, vb := FromBools(ab), FromBools(bb)
+		dst := New(width)
+		op(dst, va, vb)
+		want := make([]bool, width)
+		for i := range want {
+			want[i] = ref(ab[i], bb[i])
+		}
+		checkBits(t, dst, want, label)
+		// Operands must be untouched.
+		checkBits(t, va, ab, label+" operand a")
+		checkBits(t, vb, bb, label+" operand b")
+		// In-place aliasing (dst == a) must produce the same bits.
+		op(va, va, vb)
+		checkBits(t, va, want, label+" aliased")
+	})
+}
+
+func FuzzAnd(f *testing.F) {
+	fuzzBinary(f, func(d, a, b Vec) { d.And(a, b) }, func(a, b bool) bool { return a && b }, "And")
+}
+
+func FuzzOr(f *testing.F) {
+	fuzzBinary(f, func(d, a, b Vec) { d.Or(a, b) }, func(a, b bool) bool { return a || b }, "Or")
+}
+
+func FuzzXor(f *testing.F) {
+	fuzzBinary(f, func(d, a, b Vec) { d.Xor(a, b) }, func(a, b bool) bool { return a != b }, "Xor")
+}
+
+func FuzzAndNot(f *testing.F) {
+	fuzzBinary(f, func(d, a, b Vec) { d.AndNot(a, b) }, func(a, b bool) bool { return a && !b }, "AndNot")
+}
+
+func FuzzSelect(f *testing.F) {
+	f.Add([]byte{0xf0}, []byte{0xff}, []byte{0x00}, uint16(65))
+	f.Add([]byte{0x55}, []byte{0xaa}, []byte{0xcc}, uint16(63))
+	f.Add([]byte{}, []byte{0x01}, []byte{0x02}, uint16(130))
+	f.Fuzz(func(t *testing.T, m, a, b []byte, n uint16) {
+		width := fuzzWidth(n)
+		mb, ab, bb := boolsFrom(m, width), boolsFrom(a, width), boolsFrom(b, width)
+		vm, va, vb := FromBools(mb), FromBools(ab), FromBools(bb)
+		dst := New(width)
+		dst.Select(vm, va, vb)
+		want := make([]bool, width)
+		for i := range want {
+			if mb[i] {
+				want[i] = ab[i]
+			} else {
+				want[i] = bb[i]
+			}
+		}
+		checkBits(t, dst, want, "Select")
+	})
+}
+
+func FuzzMajority(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xf0}, uint16(65), byte(1))
+	f.Add([]byte{0xaa, 0x55, 0xcc}, uint16(63), byte(2))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78}, uint16(64), byte(3))
+	f.Add([]byte{0x01}, uint16(1), byte(4))
+	f.Add([]byte{0xde, 0xad, 0xbe}, uint16(129), byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16, xsel byte) {
+		width := fuzzWidth(n)
+		x := 1 + 2*(int(xsel)%5) // odd operand counts 1..9
+		operands := make([][]bool, x)
+		vs := make([]Vec, x)
+		for j := range vs {
+			// Offset each operand into the shared stream so they differ.
+			off := j
+			if off > len(data) {
+				off = len(data)
+			}
+			operands[j] = boolsFrom(data[off:], width)
+			vs[j] = FromBools(operands[j])
+		}
+		dst := New(width)
+		Majority(dst, vs)
+		want := make([]bool, width)
+		for i := range want {
+			votes := 0
+			for j := range operands {
+				if operands[j][i] {
+					votes++
+				}
+			}
+			want[i] = votes > x/2
+		}
+		checkBits(t, dst, want, "Majority")
+	})
+}
+
+func FuzzPopCount(f *testing.F) {
+	f.Add([]byte{0xff}, uint16(65))
+	f.Add([]byte{0xaa, 0x55}, uint16(63))
+	f.Add([]byte{0x80, 0x01}, uint16(64))
+	f.Add([]byte{}, uint16(7))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		width := fuzzWidth(n)
+		bs := boolsFrom(data, width)
+		v := FromBools(bs)
+		want := 0
+		for _, b := range bs {
+			if b {
+				want++
+			}
+		}
+		if got := v.PopCount(); got != want {
+			t.Fatalf("PopCount(width %d) = %d, want %d", width, got, want)
+		}
+		// Cross-check against the word-level counts and the []bool
+		// round trip.
+		total := 0
+		for _, w := range v.Words() {
+			total += bits.OnesCount64(w)
+		}
+		if total != want {
+			t.Fatalf("dirty tail inflates word counts: %d vs %d", total, want)
+		}
+		round := FromBools(v.Bools())
+		if !round.Equal(v) {
+			t.Fatalf("Bools round trip diverged at width %d", width)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package charexp
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/goldenfile"
+)
+
+// TestGoldenFigure3Sweep pins one full characterization sweep: the Fig. 3
+// timing sweep over the representative fleet, rendered as the paper-style
+// table. The run must be byte-identical for 1 and 8 workers (the engine's
+// determinism contract) and byte-identical to the committed golden (the
+// cross-session regression anchor the unit tests cannot provide).
+func TestGoldenFigure3Sweep(t *testing.T) {
+	render := func(workers int) string {
+		fc := fleet.DefaultConfig()
+		fc.Columns = 512
+		cfg := Config{
+			Fleet:             fleet.Representative(fc),
+			Params:            analog.DefaultParams(),
+			Trials:            4,
+			GroupsPerSubarray: 6,
+			SubarraysPerBank:  1,
+			Banks:             2,
+			Seed:              0xd5a,
+			Engine:            engine.Config{Workers: workers},
+		}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Figure3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table().Render()
+	}
+	r1 := render(1)
+	r8 := render(8)
+	if r1 != r8 {
+		t.Fatal("Figure 3 table differs between 1 and 8 workers")
+	}
+	goldenfile.Check(t, "testdata", "figure3.golden", r1)
+}

@@ -1,0 +1,40 @@
+// Package goldenfile is the golden-file comparison harness shared by the
+// regression tests: rendered output is compared byte for byte against a
+// committed file, and rewritten when the test binary runs with -update.
+package goldenfile
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Update selects rewrite mode. The flag registers once in every test
+// binary whose tests import this package.
+var Update = flag.Bool("update", false, "rewrite golden files")
+
+// Check compares got against the golden file dir/name, rewriting it under
+// -update. The failure message names the -update invocation that
+// regenerates the file.
+func Check(t *testing.T, dir, name, got string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if *Update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with go test -run Golden -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden (regenerate intended changes with -update).\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"repro/internal/bitserial"
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// PopCountChecksum is the analytics workload: four 16-bit data columns are
+// folded in-DRAM into a per-lane checksum,
+//
+//	chk = (d0 + d1) ⊕ (d2 + d3)   (mod 2^16)
+//
+// with majority ripple adders and majority-built XOR gates, and the
+// result's bit-planes are population-counted on the memory-controller
+// side — the aggregate a scan-and-summarize analytics query returns. The
+// output is the per-lane checksum plus one popcount per bit-plane, all of
+// which must match the software reference bit for bit.
+type PopCountChecksum struct{}
+
+// checksumBits is the element width of the data columns.
+const checksumBits = 16
+
+// Name returns the registry key.
+func (PopCountChecksum) Name() string { return "popcount-checksum" }
+
+// Description summarizes the workload for tables and docs.
+func (PopCountChecksum) Description() string {
+	return "16-bit add/xor checksum folding + per-bit-plane population counts"
+}
+
+// Run executes the checksum fold on the computer and in software.
+func (PopCountChecksum) Run(c *bitserial.Computer, seed uint64) (Outcome, error) {
+	cols := c.Cols()
+	src := xrand.NewSource(seed, 0xc45c)
+	mask := uint64(1)<<checksumBits - 1
+
+	data := make([][]uint64, 4)
+	for k := range data {
+		col := make([]uint64, cols)
+		for i := range col {
+			col[i] = src.Uint64() & mask
+		}
+		data[k] = col
+	}
+
+	vecs := make([]bitserial.Vec, 4)
+	for k := range vecs {
+		v, err := c.NewVec(checksumBits)
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer c.FreeVec(v)
+		if err := c.Store(v, data[k]); err != nil {
+			return Outcome{}, err
+		}
+		vecs[k] = v
+	}
+	sum0, err := c.NewVec(checksumBits)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(sum0)
+	sum1, err := c.NewVec(checksumBits)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(sum1)
+	chk, err := c.NewVec(checksumBits)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(chk)
+
+	if err := c.VecADD(sum0, vecs[0], vecs[1]); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.VecADD(sum1, vecs[2], vecs[3]); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.VecXOR(chk, sum0, sum1); err != nil {
+		return Outcome{}, err
+	}
+
+	// Read the checksum bit-planes once; lanes and popcounts both come
+	// from them. The popcount is restricted to reliable lanes with one
+	// packed AND per plane — the memory-controller side of the query.
+	reliable := bitvec.FromBools(c.ReliableMask())
+	planePop := make([]uint64, checksumBits)
+	got := make([]uint64, cols)
+	plane := bitvec.New(cols)
+	for bit := 0; bit < checksumBits; bit++ {
+		v, err := c.ReadRowVecDirect(chk.Regs[bit])
+		if err != nil {
+			return Outcome{}, err
+		}
+		plane.And(v, reliable)
+		planePop[bit] = uint64(plane.PopCount())
+		for i := 0; i < cols; i++ {
+			if v.Get(i) {
+				got[i] |= 1 << uint(bit)
+			}
+		}
+	}
+
+	// Software reference.
+	want := make([]uint64, cols)
+	refPop := make([]uint64, checksumBits)
+	laneMask := c.ReliableMask()
+	for i := 0; i < cols; i++ {
+		want[i] = ((data[0][i] + data[1][i]) ^ (data[2][i] + data[3][i])) & mask
+		if i < len(laneMask) && !laneMask[i] {
+			continue
+		}
+		for bit := 0; bit < checksumBits; bit++ {
+			if want[i]>>uint(bit)&1 == 1 {
+				refPop[bit]++
+			}
+		}
+	}
+
+	out := Outcome{InputBits: 4 * checksumBits * cols}
+	for i := 0; i < cols; i++ {
+		if i < len(laneMask) && !laneMask[i] {
+			continue
+		}
+		out.Lanes++
+		out.Got = append(out.Got, got[i])
+		out.Want = append(out.Want, want[i])
+	}
+	out.Got = append(out.Got, planePop...)
+	out.Want = append(out.Want, refPop...)
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"repro/internal/bitserial"
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// BitmapScan is the bitmap-index query workload: the motivating
+// application of the paper's bulk bitwise case study (§8.1). Eight packed
+// column bitmaps (one bit per record, one record per SIMD lane) are
+// combined with a fixed multi-predicate query,
+//
+//	hits = (p0 ∧ p1 ∧ ¬p2) ∨ (p3 ∧ ¬p4) ∨ (p5 ∧ p6 ∧ p7)
+//
+// executed in-DRAM with inverted row copies (NOT) and fused wide
+// majority reductions (ANDWide/ORWide). The output is one hit bit per
+// record plus the query cardinality (the popcount the index returns).
+type BitmapScan struct{}
+
+// predicates is the number of column bitmaps the query touches.
+const bitmapPredicates = 8
+
+// Name returns the registry key.
+func (BitmapScan) Name() string { return "bitmap-scan" }
+
+// Description summarizes the workload for tables and docs.
+func (BitmapScan) Description() string {
+	return "multi-predicate bitmap-index query (AND/OR/NOT over packed column bitmaps)"
+}
+
+// Run executes the query on the computer and in software.
+func (BitmapScan) Run(c *bitserial.Computer, seed uint64) (Outcome, error) {
+	cols := c.Cols()
+	src := xrand.NewSource(seed, 0xb17a)
+
+	// Deterministic predicate bitmaps with varied selectivity: predicate k
+	// matches with probability (k+2)/12, so products and unions exercise
+	// both sparse and dense rows.
+	maps := make([]bitvec.Vec, bitmapPredicates)
+	for k := range maps {
+		m := bitvec.New(cols)
+		density := float64(k+2) / 12
+		for i := 0; i < cols; i++ {
+			if src.Float64() < density {
+				m.Set(i, true)
+			}
+		}
+		maps[k] = m
+	}
+
+	// Stage the bitmaps into register rows.
+	regs := make([]int, bitmapPredicates)
+	for k, m := range maps {
+		r, err := c.AllocReg()
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer c.FreeReg(r)
+		regs[k] = r
+		if err := c.WriteRowVecDirect(r, m); err != nil {
+			return Outcome{}, err
+		}
+	}
+	n2, err := c.AllocReg()
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeReg(n2)
+	n4, err := c.AllocReg()
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeReg(n4)
+	if err := c.NOT(n2, regs[2]); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.NOT(n4, regs[4]); err != nil {
+		return Outcome{}, err
+	}
+
+	terms := make([]int, 3)
+	for i := range terms {
+		r, err := c.AllocReg()
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer c.FreeReg(r)
+		terms[i] = r
+	}
+	if err := c.ANDWide(terms[0], regs[0], regs[1], n2); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.ANDWide(terms[1], regs[3], n4); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.ANDWide(terms[2], regs[5], regs[6], regs[7]); err != nil {
+		return Outcome{}, err
+	}
+	hits, err := c.AllocReg()
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeReg(hits)
+	if err := c.ORWide(hits, terms[0], terms[1], terms[2]); err != nil {
+		return Outcome{}, err
+	}
+	gotRow, err := c.ReadRowVecDirect(hits)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	// Software reference over the same bitmaps.
+	ref := bitvec.New(cols)
+	t0 := bitvec.New(cols)
+	t1 := bitvec.New(cols)
+	t0.And(maps[0], maps[1])
+	t0.AndNot(t0, maps[2])
+	t1.AndNot(maps[3], maps[4])
+	ref.Or(t0, t1)
+	t0.And(maps[5], maps[6])
+	t0.And(t0, maps[7])
+	ref.Or(ref, t0)
+
+	// Per reliable record: the hit bit. The final element on both sides is
+	// the query cardinality over those records — the answer a bitmap index
+	// returns to the query engine.
+	mask := c.ReliableMask()
+	out := Outcome{InputBits: bitmapPredicates * cols}
+	var gotCard, wantCard uint64
+	for i := 0; i < cols; i++ {
+		if i < len(mask) && !mask[i] {
+			continue
+		}
+		out.Lanes++
+		var g, w uint64
+		if gotRow.Get(i) {
+			g, gotCard = 1, gotCard+1
+		}
+		if ref.Get(i) {
+			w, wantCard = 1, wantCard+1
+		}
+		out.Got = append(out.Got, g)
+		out.Want = append(out.Want, w)
+	}
+	out.Got = append(out.Got, gotCard)
+	out.Want = append(out.Want, wantCard)
+	return out, nil
+}

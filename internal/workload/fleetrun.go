@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/bitserial"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/xrand"
+)
+
+// DefaultSeed feeds workload input generation when FleetConfig.Seed is 0.
+const DefaultSeed = 0x307cad
+
+// DefaultMaxX is the default majority-width cap. MAJ5 keeps the fused
+// full-adder constructions available everywhere (both H and M profiles
+// support it) while avoiding the reliability cliff of MAJ7/9 (Obs. 8).
+const DefaultMaxX = 5
+
+// FleetConfig scopes a fleet-wide workload run. Zero-value fields take the
+// defaults documented per field.
+type FleetConfig struct {
+	// Entries is the module population (default: fleet.Representative over
+	// 512-column subarray slices; use fleet.Modules for the full Table-2
+	// run).
+	Entries []fleet.Entry
+	// Params is the electrical model (default: analog.DefaultParams).
+	Params analog.Params
+	// Workloads selects what runs on each module (default: All()).
+	Workloads []Workload
+	// MaxX bounds the majority width (default: DefaultMaxX; profiles may
+	// bound it further).
+	MaxX int
+	// Seed is the root experiment seed (default: DefaultSeed). Per-module
+	// sub-seeds hash the module's spec ID (not its fleet position),
+	// per-workload streams additionally the workload name — so a result
+	// is invariant to the worker count, to fleet composition (the same
+	// module reports the same digest under -modules representative and
+	// full), and to which other workloads were selected.
+	Seed uint64
+	// Engine bounds the shard parallelism; the zero value uses GOMAXPROCS
+	// workers. Results are bit-identical for every worker count.
+	Engine engine.Config
+}
+
+// DefaultFleetConfig returns the standard reduced-scale configuration: the
+// representative fleet (one module per die group) on 512-column slices.
+func DefaultFleetConfig() FleetConfig {
+	fc := fleet.DefaultConfig()
+	fc.Columns = 512
+	return FleetConfig{
+		Entries:   fleet.Representative(fc),
+		Params:    analog.DefaultParams(),
+		Workloads: All(),
+		MaxX:      DefaultMaxX,
+		Seed:      DefaultSeed,
+	}
+}
+
+// withDefaults resolves zero-value fields.
+func (cfg FleetConfig) withDefaults() FleetConfig {
+	def := DefaultFleetConfig()
+	if len(cfg.Entries) == 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.Params == (analog.Params{}) {
+		cfg.Params = def.Params
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = def.Workloads
+	}
+	if cfg.MaxX == 0 {
+		cfg.MaxX = def.MaxX
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	return cfg
+}
+
+// nameSeed hashes an identity string (workload name, module ID) into a
+// seed coordinate (FNV-1a).
+func nameSeed(name string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// RunFleet executes every configured workload on every module of the
+// fleet. Modules are independent engine shards on the worker pool; within
+// a shard, workloads execute in registry order, each on a freshly probed
+// compute group. The shard sub-seed hashes the module's identity rather
+// than its fleet index, so a result depends only on (module spec, root
+// seed, workload) — not on worker count, sibling modules, or which other
+// workloads were selected. Results are returned in (fleet order ×
+// workload order).
+func RunFleet(ctx context.Context, cfg FleetConfig) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxX < 3 || cfg.MaxX%2 == 0 {
+		return nil, fmt.Errorf("workload: MaxX %d must be odd and >= 3", cfg.MaxX)
+	}
+	tasks := make([]engine.Task[[]Result], len(cfg.Entries))
+	for mi, e := range cfg.Entries {
+		seed := xrand.Hash(cfg.Seed, nameSeed(e.Spec.ID))
+		e := e
+		tasks[mi] = func(context.Context) ([]Result, error) {
+			return runModule(e, cfg, seed)
+		}
+	}
+	perModule, err := engine.Run(ctx, cfg.Engine, nil, tasks)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, rs := range perModule {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// runModule executes the configured workloads on one module (the compute
+// subarray is bank 0, subarray 0). shardSeed is the module's
+// identity-keyed sub-seed.
+func runModule(e fleet.Entry, cfg FleetConfig, shardSeed uint64) ([]Result, error) {
+	profile := e.Spec.Profile
+	if profile.APAGuarded || profile.MaxMAJ < 3 {
+		reason := "profile supports no usable majority width"
+		if profile.APAGuarded {
+			reason = "control circuitry guards against timing-violating APA (§9)"
+		}
+		out := make([]Result, 0, len(cfg.Workloads))
+		for _, w := range cfg.Workloads {
+			out = append(out, Result{
+				Workload: w.Name(),
+				Module:   e.Spec.ID,
+				Profile:  profile.Name,
+				DieRev:   e.Spec.DieRev,
+				Viable:   false,
+				Reason:   reason,
+			})
+		}
+		return out, nil
+	}
+	mod, err := dram.NewModule(e.Spec, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)
+	}
+	sa, err := mod.Subarray(0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)
+	}
+	out := make([]Result, 0, len(cfg.Workloads))
+	for _, w := range cfg.Workloads {
+		// A fresh computer per workload: the probe re-selects the compute
+		// group deterministically, so each result is independent of which
+		// other workloads ran before it.
+		c, err := bitserial.NewComputer(mod, sa, cfg.MaxX)
+		if err != nil {
+			return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)
+		}
+		before := c.Counts()
+		res, err := w.Run(c, xrand.Hash(shardSeed, nameSeed(w.Name())))
+		if err != nil {
+			return nil, fmt.Errorf("workload: module %s: %s: %w", e.Spec.ID, w.Name(), err)
+		}
+		res.Counts = countsDelta(before, c.Counts())
+		out = append(out, newResult(w, e.Spec.ID, profile.Name, e.Spec.DieRev, c, res))
+	}
+	return out, nil
+}
+
+// countsDelta subtracts two op-count snapshots.
+func countsDelta(before, after bitserial.OpCounts) bitserial.OpCounts {
+	d := bitserial.OpCounts{
+		NOT:   after.NOT - before.NOT,
+		Stage: after.Stage - before.Stage,
+		MAJ:   make(map[int]int),
+	}
+	for x, n := range after.MAJ {
+		if delta := n - before.MAJ[x]; delta > 0 {
+			d.MAJ[x] = delta
+		}
+	}
+	return d
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"repro/internal/bitserial"
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// ImageFilter is the bit-serial image-processing workload: an 8-bit
+// grayscale image (one pixel column per SIMD lane, imageRows scanlines)
+// is binarized against a fixed threshold with a borrow-chain comparison
+// (pixel − T computed by a majority ripple subtractor; the sign bit is the
+// comparator output), then denoised with a vertical 3-tap median filter —
+// the textbook MAJ3 application: the median of three binary samples is
+// their bitwise majority.
+type ImageFilter struct{}
+
+const (
+	// imageRows is the number of scanlines processed per lane.
+	imageRows = 8
+	// imageBits is the pixel depth.
+	imageBits = 8
+	// imageThreshold is the binarization threshold (pixel >= T → 1).
+	imageThreshold = 128
+)
+
+// Name returns the registry key.
+func (ImageFilter) Name() string { return "image-filter" }
+
+// Description summarizes the workload for tables and docs.
+func (ImageFilter) Description() string {
+	return "8-bit image thresholding + vertical 3-tap median filtering via MAJ3"
+}
+
+// Run executes the filter pipeline on the computer and in software.
+func (ImageFilter) Run(c *bitserial.Computer, seed uint64) (Outcome, error) {
+	cols := c.Cols()
+	src := xrand.NewSource(seed, 0x17a9e)
+
+	// Deterministic pixel data: smooth vertical gradient plus per-pixel
+	// noise, so threshold crossings cluster the way real scanlines do.
+	pixels := make([][]uint64, imageRows)
+	for r := range pixels {
+		row := make([]uint64, cols)
+		base := 64 + 16*r
+		for i := range row {
+			row[i] = uint64((base + src.Intn(128)) % 256)
+		}
+		pixels[r] = row
+	}
+
+	// Bit-serial vectors: one headroom bit catches the subtraction borrow.
+	hw := imageBits + 1
+	pix, err := c.NewVec(hw)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(pix)
+	thr, err := c.NewVec(hw)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(thr)
+	diff, err := c.NewVec(hw)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer c.FreeVec(diff)
+	thrVals := make([]uint64, cols)
+	for i := range thrVals {
+		thrVals[i] = imageThreshold
+	}
+	if err := c.Store(thr, thrVals); err != nil {
+		return Outcome{}, err
+	}
+
+	bin := make([]int, imageRows)
+	med := make([]int, imageRows)
+	for r := range bin {
+		b, err := c.AllocReg()
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer c.FreeReg(b)
+		bin[r] = b
+		m, err := c.AllocReg()
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer c.FreeReg(m)
+		med[r] = m
+	}
+
+	// Threshold each scanline: bin[r] = ¬sign(pixel − T).
+	for r := 0; r < imageRows; r++ {
+		if err := c.Store(pix, pixels[r]); err != nil {
+			return Outcome{}, err
+		}
+		if err := c.VecSUB(diff, pix, thr); err != nil {
+			return Outcome{}, err
+		}
+		if err := c.NOT(bin[r], diff.Regs[imageBits]); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	// Vertical 3-tap median with edge clamping: med[r] = MAJ3 of the
+	// binary scanline and its two vertical neighbours.
+	clamp := func(r int) int {
+		if r < 0 {
+			return 0
+		}
+		if r >= imageRows {
+			return imageRows - 1
+		}
+		return r
+	}
+	for r := 0; r < imageRows; r++ {
+		if err := c.MAJ(med[r], bin[clamp(r-1)], bin[r], bin[clamp(r+1)]); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	// Read the filtered image back and pack each lane's column of output
+	// bits into one element.
+	gotRows := make([]bitvec.Vec, imageRows)
+	for r := range gotRows {
+		row, err := c.ReadRowVecDirect(med[r])
+		if err != nil {
+			return Outcome{}, err
+		}
+		gotRows[r] = row
+	}
+
+	// Software reference: same threshold and clamped median.
+	refBin := make([][]bool, imageRows)
+	for r := range refBin {
+		row := make([]bool, cols)
+		for i := range row {
+			row[i] = pixels[r][i] >= imageThreshold
+		}
+		refBin[r] = row
+	}
+	refMed := func(r, i int) bool {
+		a, b, d := refBin[clamp(r-1)][i], refBin[r][i], refBin[clamp(r+1)][i]
+		return a && b || a && d || b && d
+	}
+
+	mask := c.ReliableMask()
+	out := Outcome{InputBits: imageRows * imageBits * cols}
+	for i := 0; i < cols; i++ {
+		if i < len(mask) && !mask[i] {
+			continue
+		}
+		out.Lanes++
+		var g, w uint64
+		for r := 0; r < imageRows; r++ {
+			if gotRows[r].Get(i) {
+				g |= 1 << uint(r)
+			}
+			if refMed(r, i) {
+				w |= 1 << uint(r)
+			}
+		}
+		out.Got = append(out.Got, g)
+		out.Want = append(out.Want, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/charexp"
+)
+
+// Report renders fleet-run results as a charexp-style table (one row per
+// (module, workload) cell), printable as text or CSV by cmd/simra-work.
+// Every cell is deterministic for a given configuration; the golden tests
+// assert the rendering byte for byte.
+func Report(results []Result) charexp.Table {
+	t := charexp.Table{
+		ID:    "workloads",
+		Title: "end-to-end in-DRAM workloads (bit-serial MAJX execution, reliable lanes)",
+		Columns: []string{
+			"workload", "module", "mfr", "die", "majx", "lanes", "elems",
+			"success", "match", "digest", "maj-ops", "copies", "time-us",
+			"energy-uj", "tput-mbps",
+		},
+	}
+	for _, r := range results {
+		if !r.Viable {
+			t.Rows = append(t.Rows, []string{
+				r.Workload, r.Module, r.Profile, r.DieRev, "-", "-", "-",
+				"-", "guarded", "-", "-", "-", "-", "-", "-",
+			})
+			continue
+		}
+		majOps := 0
+		for _, n := range r.Counts.MAJ {
+			majOps += n
+		}
+		match := "ok"
+		if !r.RefMatch() {
+			match = "DIVERGED"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			r.Module,
+			r.Profile,
+			r.DieRev,
+			fmt.Sprintf("%d", r.MaxX),
+			fmt.Sprintf("%d", r.Lanes),
+			fmt.Sprintf("%d", r.Elements),
+			fmt.Sprintf("%.2f%%", r.SuccessRate()*100),
+			match,
+			fmt.Sprintf("%016x", r.Digest),
+			fmt.Sprintf("%d", majOps),
+			fmt.Sprintf("%d", r.Counts.NOT+r.Counts.Stage),
+			fmt.Sprintf("%.2f", r.TimeNS/1e3),
+			fmt.Sprintf("%.3f", r.EnergyNJ/1e3),
+			fmt.Sprintf("%.2f", r.ThroughputMbps),
+		})
+	}
+	return t
+}

@@ -1,0 +1,228 @@
+// Package workload composes the paper's in-DRAM computation primitives
+// (§8.1 majority-based bit-serial logic on simultaneous many-row
+// activation) into end-to-end application workloads, and runs them across
+// the Table-2 module fleet on the parallel execution engine.
+//
+// A Workload is one application: it derives its input data
+// deterministically from a seed, executes in-DRAM on a bitserial.Computer
+// (real MAJX operations on the simulated device), computes the same answer
+// with a pure-software reference, and reports both restricted to the
+// computer's reliable SIMD lanes. The surrounding harness turns the raw
+// Outcome into a Result with success-rate, modeled execution-time, energy
+// and throughput accounting (internal/power + bitserial costs), and
+// RunFleet executes every workload on every fleet module through
+// internal/engine shards with stable sub-seeds — results are bit-identical
+// for any worker count.
+//
+// See DESIGN.md §8 for the architecture and how to add a workload.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bender"
+	"repro/internal/bitserial"
+	"repro/internal/power"
+)
+
+// Workload is one end-to-end in-DRAM application.
+type Workload interface {
+	// Name is the stable registry key (used by the -workload CLI flag and
+	// in reports).
+	Name() string
+	// Description is a one-line summary for tables and docs.
+	Description() string
+	// Run executes the workload on the computer. All input data must be
+	// derived deterministically from seed, so the same (module, seed) pair
+	// always produces the same Outcome regardless of scheduling.
+	Run(c *bitserial.Computer, seed uint64) (Outcome, error)
+}
+
+// Outcome is the raw result of one workload execution on one module: the
+// per-element in-DRAM and software-reference outputs, index-aligned and
+// restricted to the computer's reliable lanes (unreliable columns carry no
+// contract and are excluded from both sides).
+type Outcome struct {
+	// Got and Want are the in-DRAM and reference outputs. Element i of
+	// both describes the same unit of work; at 100%-success operating
+	// points they match bit for bit.
+	Got, Want []uint64
+	// Lanes is the number of reliable SIMD lanes the run used.
+	Lanes int
+	// InputBits is the number of input payload bits the workload
+	// processed (sizes the throughput metric).
+	InputBits int
+	// Counts tallies the in-DRAM operations the run issued. Workload
+	// implementations leave it zero; the harness fills it with the
+	// computer's count delta around Run.
+	Counts bitserial.OpCounts
+}
+
+// builtin lists the registered workloads in their stable execution order.
+// Add new workloads here (and a golden file, see DESIGN.md §8).
+var builtin = []Workload{
+	BitmapScan{},
+	ImageFilter{},
+	PopCountChecksum{},
+}
+
+// All returns the registered workloads in stable order.
+func All() []Workload {
+	return append([]Workload(nil), builtin...)
+}
+
+// Get returns the workload registered under name.
+func Get(name string) (Workload, error) {
+	for _, w := range builtin {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q (have %s)", name, Names())
+}
+
+// Names returns the registered workload names, comma-separated.
+func Names() string {
+	s := ""
+	for i, w := range builtin {
+		if i > 0 {
+			s += ", "
+		}
+		s += w.Name()
+	}
+	return s
+}
+
+// FNV-1a parameters shared by Digest and nameSeed.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// Digest folds values into a 64-bit FNV-1a digest: the compact
+// bit-exactness fingerprint reported by tables and asserted by the golden
+// tests.
+func Digest(values []uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range values {
+		for b := 0; b < 8; b++ {
+			h ^= v >> uint(8*b) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// costModels bundles the latency and power models the accounting uses.
+type costModels struct {
+	lat bender.LatencyModel
+	pow power.Model
+}
+
+// defaultCostModels returns the calibrated DDR4 models.
+func defaultCostModels() costModels {
+	return costModels{lat: bender.NewLatencyModel(), pow: power.Default()}
+}
+
+// price converts issued operation counts into modeled execution time (ns)
+// and energy (nJ) for a computer using an n-row activation group. Each
+// MAJX pays its setup (RowClone placement, Multi-RowCopy replication, Frac
+// or solid-fill neutralization) at standard ACT+PRE power and the APA
+// itself at the n-row SiMRA draw (Fig. 5); NOTs and staging copies each
+// pay one RowClone at ACT+PRE power.
+func (m costModels) price(counts bitserial.OpCounts, n int, fracOK bool) (ns, nj float64) {
+	simraMW, err := m.pow.SiMRA(n)
+	if err != nil {
+		// Group sizes outside the decoder's reach fall back to the
+		// standard activation draw.
+		simraMW = m.pow.ActPreMW
+	}
+	// mW × ns = pJ; ×1e-3 → nJ.
+	for x, ops := range counts.MAJ {
+		setup := m.lat.MAJSetup(x, n, fracOK)
+		apa := m.lat.MAJ()
+		ns += float64(ops) * (setup + apa)
+		nj += float64(ops) * (setup*m.pow.ActPreMW + apa*simraMW) * 1e-3
+	}
+	clone := m.lat.RowClone()
+	copies := float64(counts.NOT + counts.Stage)
+	ns += copies * clone
+	nj += copies * clone * m.pow.ActPreMW * 1e-3
+	return ns, nj
+}
+
+// Result is one (module, workload) cell of a fleet run.
+type Result struct {
+	// Workload and module identity.
+	Workload string
+	Module   string
+	Profile  string
+	DieRev   string
+
+	// Viable is false on modules that cannot execute PUD workloads
+	// (APA-guarded chips, profiles without MAJ support); Reason says why.
+	Viable bool
+	Reason string
+
+	// MaxX is the widest majority operation the compute group supports.
+	MaxX int
+	// Lanes is the number of reliable SIMD lanes used.
+	Lanes int
+	// Elements and Correct count output elements and how many match the
+	// software reference.
+	Elements int
+	Correct  int
+	// Digest and RefDigest fingerprint the in-DRAM and reference outputs.
+	Digest    uint64
+	RefDigest uint64
+
+	// Modeled execution time, energy and input throughput.
+	TimeNS         float64
+	EnergyNJ       float64
+	ThroughputMbps float64
+
+	// Counts tallies the issued in-DRAM operations.
+	Counts bitserial.OpCounts
+}
+
+// SuccessRate is the fraction of output elements matching the reference.
+func (r Result) SuccessRate() float64 {
+	if r.Elements == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Elements)
+}
+
+// RefMatch reports whether the in-DRAM output equals the software
+// reference bit for bit.
+func (r Result) RefMatch() bool { return r.Viable && r.Digest == r.RefDigest }
+
+// newResult scores an outcome into a result with full accounting.
+func newResult(w Workload, module, profile, dieRev string, c *bitserial.Computer, out Outcome) Result {
+	r := Result{
+		Workload:  w.Name(),
+		Module:    module,
+		Profile:   profile,
+		DieRev:    dieRev,
+		Viable:    true,
+		MaxX:      c.MaxX(),
+		Lanes:     out.Lanes,
+		Elements:  len(out.Got),
+		Digest:    Digest(out.Got),
+		RefDigest: Digest(out.Want),
+		Counts:    out.Counts,
+	}
+	for i := range out.Got {
+		if out.Got[i] == out.Want[i] {
+			r.Correct++
+		}
+	}
+	models := defaultCostModels()
+	fracOK := c.Module().Spec().Profile.FracSupported
+	r.TimeNS, r.EnergyNJ = models.price(out.Counts, c.Group().N(), fracOK)
+	if r.TimeNS > 0 {
+		// bits / ns = Gbit/s; ×1000 → Mbit/s.
+		r.ThroughputMbps = float64(out.InputBits) / r.TimeNS * 1000
+	}
+	return r
+}

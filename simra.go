@@ -87,6 +87,10 @@ type (
 	BitVec = bitvec.Vec
 )
 
+// DefaultColumns is the default simulated subarray slice width (bits per
+// row, i.e. SIMD lanes per workload).
+const DefaultColumns = dram.DefaultColumns
+
 // NewBitVec returns an all-zero packed bit vector of n bits.
 func NewBitVec(n int) BitVec { return bitvec.New(n) }
 
