@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -34,19 +35,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*fig, *full, *trials, *groups, *banks, *cols, *seed, *sets, *format, *workers); err != nil {
+	if err := run(os.Stdout, *fig, *full, *trials, *groups, *banks, *cols, *seed, *sets, *format, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "simra-char:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, sets int, format string, workers int) error {
-	render := func(t simra.ExperimentTable) string {
-		if format == "csv" {
-			return t.CSV()
-		}
-		return t.Render()
-	}
+// needsSimulation reports whether a figure id executes sweeps (and so
+// deserves a timing line), as opposed to the static tables.
+func needsSimulation(id string) bool {
+	return id != "table1" && id != "13" && id != "14"
+}
+
+// run renders the selected figures to w through the shared
+// charexp rendering path (simra.Experiments.RunFigure), the same one the
+// serving layer uses — so for a fixed configuration the table bytes here
+// and in a simra-serve response are identical. Timing lines are printed
+// only in text format; CSV output is fully deterministic.
+func run(w io.Writer, fig string, full bool, trials, groups, banks, cols int, seed uint64, sets int, format string, workers int) error {
 	cfg := simra.DefaultExperimentConfig()
 	fleetCfg := simra.DefaultFleetConfig()
 	if cols > 0 {
@@ -72,74 +78,71 @@ func run(fig string, full bool, trials, groups, banks, cols int, seed uint64, se
 		cfg.Seed = seed
 	}
 	cfg.Engine = simra.EngineConfig{Workers: workers}
-
-	want := func(id string) bool { return fig == "all" || fig == id }
-
-	if want("table1") {
-		entries := cfg.Fleet
-		fmt.Println(render(simra.PopulationTable(entries)))
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q; valid: text, csv", format)
 	}
-	if want("14") || want("13") {
-		tab, err := simra.DecoderWalkthrough(simra.DecoderHynix512())
-		if err != nil {
-			return err
+
+	// The fleet is only instantiated when a figure actually simulates:
+	// the static tables (table1, the decoder walkthrough) render from the
+	// entry metadata alone.
+	var runner *simra.Experiments
+	getRunner := func() (*simra.Experiments, error) {
+		if runner != nil {
+			return runner, nil
 		}
-		fmt.Println(render(tab))
+		r, err := simra.NewExperiments(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runner = r
+		return runner, nil
 	}
-	if fig == "table1" || fig == "14" || fig == "13" {
-		return nil
-	}
-
-	runner, err := simra.NewExperiments(cfg)
-	if err != nil {
-		return err
-	}
-
-	type job struct {
-		id  string
-		run func() (interface{ Table() simra.ExperimentTable }, error)
-	}
-	jobs := []job{
-		{"3", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure3() }},
-		{"4a", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure4a() }},
-		{"4b", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure4b() }},
-		{"5", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure5() }},
-		{"6", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure6() }},
-		{"7", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure7() }},
-		{"8", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure8() }},
-		{"9", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure9() }},
-		{"10", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure10() }},
-		{"11", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure11() }},
-		{"12a", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure12a() }},
-		{"12b", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure12b() }},
-		{"15", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure15(sets) }},
-		{"modules", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.PerModule() }},
-		{"16", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure16() }},
-		{"17", func() (interface{ Table() simra.ExperimentTable }, error) { return runner.Figure17() }},
+	render := func(t simra.ExperimentTable) string {
+		if format == "csv" {
+			return t.CSV()
+		}
+		return t.Render()
 	}
 
-	matched := fig == "all"
-	for _, j := range jobs {
-		if !want(j.id) {
+	matched := false
+	for _, id := range simra.ExperimentFigureIDs() {
+		if fig != "all" && fig != id && !(fig == "13" && id == "14") {
 			continue
 		}
 		matched = true
+		var out string
 		start := time.Now()
-		res, err := j.run()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", j.id, err)
+		switch id {
+		case "table1":
+			out = render(simra.PopulationTable(cfg.Fleet))
+		case "14":
+			tab, err := simra.DecoderWalkthrough(simra.DecoderHynix512())
+			if err != nil {
+				return err
+			}
+			out = render(tab)
+		default:
+			r, err := getRunner()
+			if err != nil {
+				return err
+			}
+			if out, err = r.RunFigure(id, sets, format); err != nil {
+				return err
+			}
 		}
-		fmt.Println(render(res.Table()))
-		if format == "text" {
-			fmt.Printf("(figure %s: %s)\n\n", j.id, time.Since(start).Round(time.Millisecond))
+		if _, err := fmt.Fprintln(w, out); err != nil {
+			return err
+		}
+		if needsSimulation(id) && format == "text" {
+			fmt.Fprintf(w, "(figure %s: %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q; valid: all, table1, modules, %s, 14",
-			fig, strings.Join([]string{"3", "4a", "4b", "5", "6", "7", "8", "9", "10", "11", "12a", "12b", "15", "16", "17"}, ", "))
+		return fmt.Errorf("unknown figure %q; valid: all, %s",
+			fig, strings.Join(simra.ExperimentFigureIDs(), ", "))
 	}
-	if format == "text" {
-		fmt.Printf("(engine: %s)\n", runner.Stats())
+	if runner != nil && format == "text" {
+		fmt.Fprintf(w, "(engine: %s)\n", runner.Stats())
 	}
 	return nil
 }

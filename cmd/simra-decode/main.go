@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	simra "repro"
@@ -25,13 +26,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*geometry, *rf, *rs); err != nil {
+	if err := run(os.Stdout, *geometry, *rf, *rs); err != nil {
 		fmt.Fprintln(os.Stderr, "simra-decode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(geometry string, rf, rs int) error {
+// run writes the activation analysis to w; all output is deterministic
+// (no simulation is involved), so the CI e2e job asserts it byte for byte.
+func run(w io.Writer, geometry string, rf, rs int) error {
 	var cfg simra.DecoderConfig
 	switch geometry {
 	case "hynix512":
@@ -49,7 +52,7 @@ func run(geometry string, rf, rs int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}
 
@@ -61,10 +64,10 @@ func run(geometry string, rf, rs int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("geometry %s: %d rows, %d predecoder fields\n",
+	fmt.Fprintf(w, "geometry %s: %d rows, %d predecoder fields\n",
 		geometry, dec.Rows(), dec.NumFields())
-	fmt.Printf("ACT %d → PRE → ACT %d (violated tRP)\n", rf, rs)
-	fmt.Printf("differing predecoder fields: %d\n", dec.DifferingFields(rf, rs))
-	fmt.Printf("simultaneously activated rows (%d): %v\n", len(rows), rows)
+	fmt.Fprintf(w, "ACT %d → PRE → ACT %d (violated tRP)\n", rf, rs)
+	fmt.Fprintf(w, "differing predecoder fields: %d\n", dec.DifferingFields(rf, rs))
+	fmt.Fprintf(w, "simultaneously activated rows (%d): %v\n", len(rows), rows)
 	return nil
 }

@@ -1,0 +1,66 @@
+// Command simra-serve exposes the reproduction's experiment pipelines —
+// characterization sweeps, fleet workload runs and TRNG draws — as an
+// HTTP/JSON batch API with content-addressed result caching, request
+// coalescing and bounded in-flight concurrency (DESIGN.md §9).
+//
+// Usage:
+//
+//	simra-serve                          # serve on 127.0.0.1:8077
+//	simra-serve -addr :9000 -inflight 8  # custom bind + concurrency bound
+//
+// Endpoints: POST /v1/sweep, /v1/workload, /v1/trng, /v1/batch;
+// GET /healthz, /metrics. Append ?raw=1 to a POST to receive the rendered
+// output bytes alone — for workload requests byte-identical to
+// simra-work's stdout, for sweeps the rendered figure table (simra-char's
+// output minus its text-mode timing lines):
+//
+//	curl -s -X POST 'localhost:8077/v1/sweep?raw=1' \
+//	     -d '{"figure":"3","format":"text"}'
+//
+// The process shuts down cleanly on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	simra "repro"
+)
+
+func main() {
+	var cfg simra.ServeConfig
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8077", "listen address")
+	flag.Int64Var(&cfg.CacheBytes, "cache-bytes", 0,
+		"result-cache budget in bytes (0 = 64 MiB, negative = unbounded)")
+	flag.IntVar(&cfg.MaxInflight, "inflight", 0,
+		"max concurrently executing engine runs (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.MaxQueue, "queue", 0,
+		"max executions waiting for a slot before shedding with 503 (0 = 64)")
+	flag.IntVar(&cfg.Workers, "workers", 0,
+		"engine shard workers per run (0 = GOMAXPROCS; never affects response bytes)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- simra.Serve(ctx, cfg, ready) }()
+	select {
+	case addr := <-ready:
+		fmt.Fprintf(os.Stderr, "simra-serve: listening on %s\n", addr)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "simra-serve:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil {
+		fmt.Fprintln(os.Stderr, "simra-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "simra-serve: shut down cleanly")
+}

@@ -12,9 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	simra "repro"
 	"repro/internal/trng"
 )
 
@@ -27,64 +27,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*nBytes, *raw, *seed, *rows); err != nil {
+	if err := run(os.Stdout, *nBytes, *raw, *seed, *rows); err != nil {
 		fmt.Fprintln(os.Stderr, "simra-trng:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nBytes int, raw bool, seed uint64, rows int) error {
-	if nBytes <= 0 || nBytes > 1<<20 {
-		return fmt.Errorf("bytes must be in (0, 1Mi]")
-	}
-	spec := simra.NewSpec("trng", simra.ProfileH, seed)
-	mod, err := simra.NewModule(spec, simra.DefaultParams())
+// run emits the bytes through the shared generation loop (trng.Generate),
+// the same path the serving layer's TRNG endpoint uses. Output on w is
+// deterministic for a given (seed, rows) pair.
+func run(w io.Writer, nBytes int, raw bool, seed uint64, rows int) error {
+	out, err := trng.Generate(trng.Options{Bytes: nBytes, Seed: seed, Rows: rows})
 	if err != nil {
 		return err
 	}
-	sa, err := mod.Subarray(0, 0)
-	if err != nil {
-		return err
-	}
-	gen, err := simra.NewTRNG(mod, sa, rows)
-	if err != nil {
-		return err
-	}
-
-	var out []byte
-	draws := 16
-	for len(out) < nBytes {
-		bits, err := gen.Bits(draws)
-		if err != nil {
-			return err
-		}
-		extracted := trng.VonNeumann(bits)
-		if len(extracted) >= 256 {
-			report, err := trng.Analyze(extracted)
-			if err != nil {
-				return err
-			}
-			if !report.Healthy() {
-				return fmt.Errorf("entropy source failed health checks: %+v", report)
-			}
-		}
-		out = append(out, trng.Bytes(extracted)...)
-		if draws < 1024 {
-			draws *= 2
-		}
-	}
-	out = out[:nBytes]
-
 	if raw {
-		_, err := os.Stdout.Write(out)
+		_, err := w.Write(out)
 		return err
 	}
-	for i := 0; i < len(out); i += 16 {
-		end := i + 16
-		if end > len(out) {
-			end = len(out)
-		}
-		fmt.Printf("%04x  % x\n", i, out[i:end])
-	}
-	return nil
+	_, err = io.WriteString(w, trng.FormatHex(out))
+	return err
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/goldenfile"
+)
+
+// TestGoldenHexDump pins the CLI's hex output for a fixed seed: the same
+// bytes the CI e2e job asserts after building the binary, and the same
+// stream the serving layer returns for an identical TRNG request.
+func TestGoldenHexDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 64, false, 2024, 32); err != nil {
+		t.Fatal(err)
+	}
+	goldenfile.Check(t, "testdata", "simra-trng.golden", buf.String())
+}
+
+// TestRawMatchesHex asserts -raw emits the same underlying byte stream.
+func TestRawMatchesHex(t *testing.T) {
+	var raw bytes.Buffer
+	if err := run(&raw, 16, true, 7, 16); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() != 16 {
+		t.Fatalf("raw output is %d bytes; want 16", raw.Len())
+	}
+	var again bytes.Buffer
+	if err := run(&again, 16, true, 7, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw.Bytes(), again.Bytes()) {
+		t.Fatal("TRNG stream is not deterministic for a fixed seed")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if err := run(&bytes.Buffer{}, -1, false, 1, 32); err == nil {
+		t.Fatal("negative byte count accepted")
+	}
+	if err := run(&bytes.Buffer{}, 8, false, 1, 3); err == nil {
+		t.Fatal("non-power-of-two group size accepted")
+	}
+}

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	simra "repro"
@@ -59,73 +58,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "(%s)\n", time.Since(start).Round(time.Millisecond))
 }
 
-// run executes the selected workloads and writes the report. All output
-// on w is deterministic; timing goes to stderr in main.
+// run executes the selected workloads and writes the report through the
+// shared resolution/rendering path (internal/workload.Options), so the
+// output bytes are the same contract simra-serve serves. All output on w
+// is deterministic; timing goes to stderr in main.
 func run(w io.Writer, opts options) error {
-	cfg := simra.DefaultWorkloadConfig()
-
-	fleetCfg := simra.DefaultFleetConfig()
-	if opts.cols > 0 {
-		fleetCfg.Columns = opts.cols
-	}
-	switch opts.modules {
-	case "representative":
-		cfg.Entries = simra.FleetRepresentative(fleetCfg)
-	case "full":
-		cfg.Entries = simra.FleetModules(fleetCfg)
-	case "samsung":
-		cfg.Entries = simra.FleetSamsung(fleetCfg)
-	case "all":
-		cfg.Entries = append(simra.FleetModules(fleetCfg), simra.FleetSamsung(fleetCfg)...)
-	default:
-		return fmt.Errorf("unknown -modules %q; valid: representative, full, samsung, all", opts.modules)
-	}
-
-	if opts.workload != "all" && opts.workload != "" {
-		cfg.Workloads = cfg.Workloads[:0]
-		for _, name := range strings.Split(opts.workload, ",") {
-			wl, err := simra.WorkloadByName(strings.TrimSpace(name))
-			if err != nil {
-				return err
-			}
-			cfg.Workloads = append(cfg.Workloads, wl)
-		}
-	}
-	if opts.maxX > 0 {
-		cfg.MaxX = opts.maxX
-	}
-	if opts.seed != 0 {
-		cfg.Seed = opts.seed
-	}
-	cfg.Engine = simra.EngineConfig{Workers: opts.workers}
-
 	if opts.format != "text" && opts.format != "csv" {
 		return fmt.Errorf("unknown -format %q; valid: text, csv", opts.format)
 	}
-
+	cfg, err := simra.ResolveWorkloads(simra.WorkloadOptions{
+		Workloads: opts.workload,
+		Modules:   opts.modules,
+		Workers:   opts.workers,
+		MaxX:      opts.maxX,
+		Columns:   opts.cols,
+		Seed:      opts.seed,
+	})
+	if err != nil {
+		return err
+	}
 	results, err := simra.RunWorkloads(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
-	table := simra.WorkloadReport(results)
-	if opts.format == "csv" {
-		_, err = io.WriteString(w, table.CSV())
-		return err
-	}
-	if _, err := io.WriteString(w, table.Render()); err != nil {
-		return err
-	}
-	viable, matched := 0, 0
-	for _, r := range results {
-		if !r.Viable {
-			continue
-		}
-		viable++
-		if r.RefMatch() {
-			matched++
-		}
-	}
-	_, err = fmt.Fprintf(w, "\n%d results (%d viable, %d bit-exact vs software reference)\n",
-		len(results), viable, matched)
-	return err
+	return simra.WriteWorkloadReport(w, results, opts.format)
 }

@@ -61,6 +61,10 @@ func NewExperiments(cfg ExperimentConfig) (*Experiments, error) {
 	return charexp.NewRunner(cfg)
 }
 
+// ExperimentFigureIDs lists the figure/table ids Experiments.RunFigure
+// accepts, in cmd/simra-char's print order.
+func ExperimentFigureIDs() []string { return charexp.FigureIDs() }
+
 // PopulationTable renders Table 1/2 for a fleet.
 func PopulationTable(entries []FleetEntry) ExperimentTable {
 	return charexp.TablePopulation(entries)

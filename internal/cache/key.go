@@ -1,0 +1,106 @@
+// Package cache is the result-memoization layer of the serving stack: a
+// content-addressed, byte-bounded LRU store with request coalescing
+// (singleflight) semantics, shared by the HTTP serving layer
+// (internal/server) for whole-request responses and by the execution
+// engine (engine.RunKeyed) for per-shard sweep results.
+//
+// Keys are canonical content hashes of everything a result depends on —
+// module profile and spec, electrical parameters, sweep/workload
+// configuration, environment and seed — built with the tagged Hasher so
+// that distinct inputs can never collide by concatenation ambiguity.
+// Because every simulation result in this repository is bit-identical for
+// any worker count, worker configuration is deliberately excluded from
+// keys: a cached response is byte-identical to an uncached one (see
+// DESIGN.md §9).
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key is a canonical content hash addressing one cached result. The alias
+// (rather than a defined type) keeps the engine's Memo interface free of a
+// dependency on this package.
+type Key = [sha256.Size]byte
+
+// KeyString renders a key as hex for logs, responses and metrics.
+func KeyString(k Key) string { return hex.EncodeToString(k[:]) }
+
+// Hasher builds canonical keys from typed fields. Every write is tagged
+// with a type byte and fixed-width or length-prefixed, so field boundaries
+// are unambiguous: Str("ab").Str("c") and Str("a").Str("bc") yield
+// different keys. The zero value is not usable; start with NewHasher.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher returns an empty canonical hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// tag bytes disambiguate field types in the hashed stream.
+const (
+	tagStr  = 0x01
+	tagU64  = 0x02
+	tagI64  = 0x03
+	tagF64  = 0x04
+	tagBool = 0x05
+)
+
+func (h *Hasher) writeTagged(tag byte, payload []byte) *Hasher {
+	var buf [9]byte
+	buf[0] = tag
+	h.h.Write(buf[:1])
+	h.h.Write(payload)
+	return h
+}
+
+// Str hashes a length-prefixed string field.
+func (h *Hasher) Str(s string) *Hasher {
+	var n [9]byte
+	n[0] = tagStr
+	binary.BigEndian.PutUint64(n[1:], uint64(len(s)))
+	h.h.Write(n[:])
+	h.h.Write([]byte(s))
+	return h
+}
+
+// U64 hashes an unsigned integer field.
+func (h *Hasher) U64(v uint64) *Hasher {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return h.writeTagged(tagU64, b[:])
+}
+
+// Int hashes a signed integer field.
+func (h *Hasher) Int(v int) *Hasher {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(int64(v)))
+	return h.writeTagged(tagI64, b[:])
+}
+
+// F64 hashes a float field by its IEEE-754 bits.
+func (h *Hasher) F64(v float64) *Hasher {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return h.writeTagged(tagF64, b[:])
+}
+
+// Bool hashes a boolean field.
+func (h *Hasher) Bool(v bool) *Hasher {
+	b := []byte{0}
+	if v {
+		b[0] = 1
+	}
+	return h.writeTagged(tagBool, b)
+}
+
+// Sum finalizes the key. The hasher must not be reused afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// internal/engine and DESIGN.md §6). The zero value uses GOMAXPROCS
 	// workers; results are bit-identical for every worker count.
 	Engine engine.Config
+	// ShardMemo optionally memoizes per-(module, bank, subarray) sweep
+	// shard outcomes across runs and runners (internal/cache.NewTyped over
+	// a shared cache satisfies it; see DESIGN.md §9). Keys capture the
+	// module spec, electrical parameters, environment, sweep configuration,
+	// sampling bounds and seed, so a memoized sweep is bit-identical to an
+	// uncached one. nil disables memoization.
+	ShardMemo engine.Memo[[]core.GroupOutcome]
 }
 
 // DefaultConfig returns the standard reduced-scale configuration used by

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/analog"
 	"repro/internal/bender"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -118,12 +119,28 @@ func (r *Runner) PerModule() (PerModuleResult, error) {
 		tasks[i] = func(context.Context) ([][]core.GroupOutcome, error) {
 			perOp := make([][]core.GroupOutcome, len(sh.cfgs))
 			for oi, cfg := range sh.cfgs {
+				// The three ops stay fused in one shard (they share subarray
+				// state), but each op's outcome is memoized under the same
+				// per-op key the single-op sweeps use, so entries are shared
+				// across figures. The testers run at the default environment,
+				// which is NominalEnv.
+				var key engine.ShardKey
+				if r.cfg.ShardMemo != nil {
+					key = r.shardKey(sh.tester.Module().Spec(), cfg, analog.NominalEnv(), sh.sample)
+					if res, ok := r.cfg.ShardMemo.Get(key); ok {
+						perOp[oi] = res
+						continue
+					}
+				}
 				res, err := sh.tester.SweepShard(cfg, sh.sample)
 				if err != nil {
 					return nil, fmt.Errorf("charexp: module %s: %w",
 						sh.tester.Module().Spec().ID, err)
 				}
 				r.stats.AddActivations(len(res) * r.cfg.Trials)
+				if r.cfg.ShardMemo != nil {
+					r.cfg.ShardMemo.Put(key, res)
+				}
 				perOp[oi] = res
 			}
 			return perOp, nil

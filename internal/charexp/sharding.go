@@ -6,17 +6,44 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bender"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/engine"
 )
 
 // sweepShard binds one engine shard to the module tester and subarray
-// sample that execute it.
+// sample that execute it. key is the shard's content hash for the
+// optional ShardMemo.
 type sweepShard struct {
 	shard  engine.Shard
 	tester *core.Tester
 	sample bender.SubarraySample
+	key    cache.Key
+}
+
+// shardKey hashes everything one sweep shard's outcome depends on: the
+// module's identity and geometry, the electrical model, the operating
+// environment, the (bounded) sweep configuration, the runner's trial
+// count and seed, and the shard's (bank, subarray) coordinates. The
+// engine worker count is deliberately absent — results are bit-identical
+// for every worker count, so it must not fragment the cache.
+func (r *Runner) shardKey(spec dram.Spec, sc core.SweepConfig, env analog.Env, s bender.SubarraySample) cache.Key {
+	return cache.NewHasher().
+		Str("charexp/sweep-shard/v1").
+		Str(spec.ID).U64(spec.Seed).Int(spec.Columns).
+		Int(spec.Banks).Int(spec.SubarraysPerBank).
+		Str(spec.Profile.Name).Int(spec.Profile.Decoder.Rows).
+		Bool(spec.Profile.FracSupported).F64(spec.Profile.ViabilityBias).
+		Int(spec.Profile.MaxMAJ).
+		Str(fmt.Sprintf("%v", r.cfg.Params)).
+		F64(env.TempC).F64(env.VPP).
+		Int(int(sc.Op)).Int(sc.X).Int(sc.N).
+		F64(sc.Timings.T1).F64(sc.Timings.T2).Int(int(sc.Pattern)).
+		Int(sc.SubarraysPerBank).Int(sc.GroupsPerSubarray).Int(sc.Banks).
+		Int(r.cfg.Trials).U64(r.cfg.Seed).
+		Int(s.Bank).Int(s.Subarray).
+		Sum()
 }
 
 // boundSweep applies the runner's sampling bounds to a sweep cell.
@@ -66,18 +93,25 @@ func (r *Runner) sweepShards(sc core.SweepConfig, env analog.Env, mfr string) (s
 			return nil, 0, err
 		}
 		for _, s := range tester.SweepSamples(sc) {
-			shards = append(shards, sweepShard{
+			sh := sweepShard{
 				shard:  engine.NewShard(r.cfg.Seed, mi, s.Bank, s.Subarray),
 				tester: tester,
 				sample: s,
-			})
+			}
+			if r.cfg.ShardMemo != nil {
+				sh.key = r.shardKey(mod.Spec(), sc, env, s)
+			}
+			shards = append(shards, sh)
 		}
 	}
 	return shards, applicable, nil
 }
 
 // runShards executes the shards on the engine's worker pool and returns
-// the per-shard group outcomes in enumeration order.
+// the per-shard group outcomes in enumeration order. With a ShardMemo
+// configured, previously computed shards are served from it without
+// re-simulating (engine.RunKeyed); activations are only accounted for
+// shards that actually execute.
 func (r *Runner) runShards(sc core.SweepConfig, shards []sweepShard) ([][]core.GroupOutcome, error) {
 	tasks := make([]engine.Task[[]core.GroupOutcome], len(shards))
 	for i, sh := range shards {
@@ -93,5 +127,12 @@ func (r *Runner) runShards(sc core.SweepConfig, shards []sweepShard) ([][]core.G
 			return out, nil
 		}
 	}
-	return engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+	if r.cfg.ShardMemo == nil {
+		return engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+	}
+	keys := make([]engine.ShardKey, len(shards))
+	for i, sh := range shards {
+		keys[i] = sh.key
+	}
+	return engine.RunKeyed(context.Background(), r.cfg.Engine, &r.stats, r.cfg.ShardMemo, keys, tasks)
 }

@@ -5,8 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/timing"
 )
 
@@ -149,6 +152,123 @@ func TestPerModuleMatchesDirectSweeps(t *testing.T) {
 					mod.Spec().ID, op.label, mean, want)
 			}
 		}
+	}
+}
+
+// shardMemo builds a charexp shard memo over a fresh unbounded cache.
+func shardMemo(c *cache.Cache) *cache.Typed[[]core.GroupOutcome] {
+	return cache.NewTyped[[]core.GroupOutcome](c, nil)
+}
+
+// sampleAt builds a subarray sample for key-sensitivity checks.
+func sampleAt(bank, subarray int) bender.SubarraySample {
+	return bender.SubarraySample{Bank: bank, Subarray: subarray}
+}
+
+// TestShardMemoByteIdentity is the serving layer's core guarantee at the
+// sweep level: a Fig. 3 sweep with the shard cache enabled is
+// bit-identical to one without, both on the first (all-miss) run and on a
+// repeat run served entirely from the cache.
+func TestShardMemoByteIdentity(t *testing.T) {
+	run := func(memo engine.Memo[[]core.GroupOutcome]) (Figure3Result, string, *Runner) {
+		cfg := smallConfig()
+		cfg.Engine.Workers = 4
+		cfg.ShardMemo = memo
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Figure3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Table().Render(), r
+	}
+
+	plainRes, plainTable, _ := run(nil)
+	store := cache.New(0)
+	memo := shardMemo(store)
+	coldRes, coldTable, coldRunner := run(memo)
+	warmRes, warmTable, warmRunner := run(memo)
+
+	if !reflect.DeepEqual(plainRes, coldRes) || plainTable != coldTable {
+		t.Fatal("cache-off and cache-miss Figure3 results differ")
+	}
+	if !reflect.DeepEqual(plainRes, warmRes) || plainTable != warmTable {
+		t.Fatal("cache-off and cache-hit Figure3 results differ")
+	}
+	if s := coldRunner.Stats(); s.ShardsCached != 0 {
+		t.Fatalf("cold run reported %d cached shards; want 0", s.ShardsCached)
+	}
+	ws := warmRunner.Stats()
+	if ws.ShardsCached == 0 || ws.ShardsCached != ws.ShardsTotal {
+		t.Fatalf("warm run stats %+v; want every shard served from the memo", ws)
+	}
+	if ws.Activations != 0 {
+		t.Fatalf("warm run issued %d activations; want 0 (pure cache)", ws.Activations)
+	}
+	if s := store.Stats(); s.Hits == 0 || s.Entries == 0 {
+		t.Fatalf("cache never hit: %+v", s)
+	}
+}
+
+// TestShardMemoKeySensitivity pins the keying scheme: any change to an
+// input that affects a shard's outcome must change its key, while the
+// worker count must not.
+func TestShardMemoKeySensitivity(t *testing.T) {
+	r := smallRunner(t)
+	mod := r.Modules()[0]
+	sc := r.boundSweep(core.SweepConfig{
+		Op: core.OpManyRowActivation, N: 8,
+		Timings: timing.BestSiMRA(), Pattern: dram.PatternRandom,
+	})
+	env := analog.NominalEnv()
+	base := r.shardKey(mod.Spec(), sc, env, sampleAt(0, 0))
+
+	if r.shardKey(mod.Spec(), sc, env, sampleAt(0, 0)) != base {
+		t.Fatal("shard key is not deterministic")
+	}
+	if r.shardKey(mod.Spec(), sc, env, sampleAt(0, 1)) == base {
+		t.Fatal("key ignores the subarray coordinate")
+	}
+	sc2 := sc
+	sc2.N = 16
+	if r.shardKey(mod.Spec(), sc2, env, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the activation row count")
+	}
+	sc3 := sc
+	sc3.Timings.T1 += 0.5
+	if r.shardKey(mod.Spec(), sc3, env, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the APA timings")
+	}
+	env2 := env
+	env2.TempC = 85
+	if r.shardKey(mod.Spec(), sc, env2, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the environment")
+	}
+	spec2 := mod.Spec()
+	spec2.Seed++
+	if r.shardKey(spec2, sc, env, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the module's process-variation seed")
+	}
+	r2cfg := smallConfig()
+	r2cfg.Seed++
+	r2, err := NewRunner(r2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.shardKey(mod.Spec(), sc, env, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the experiment seed")
+	}
+	// Worker count is excluded by design: results are worker-invariant.
+	rw := smallConfig()
+	rw.Engine.Workers = 13
+	rWorkers, err := NewRunner(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWorkers.shardKey(mod.Spec(), sc, env, sampleAt(0, 0)) != base {
+		t.Fatal("key depends on the worker count; it must not")
 	}
 }
 

@@ -84,15 +84,30 @@ func ShardSeed(root uint64, module, bank, subarray int) uint64 {
 // task fails or the caller cancels the run.
 type Task[T any] func(ctx context.Context) (T, error)
 
+// ShardKey is a canonical content hash of everything a shard result
+// depends on (module spec, electrical parameters, sweep configuration,
+// environment, seed, shard coordinates). internal/cache.Hasher builds
+// them; the alias keeps this package free of the dependency.
+type ShardKey = [32]byte
+
+// Memo caches shard results across engine runs, keyed by their content
+// hash. Implementations must be safe for concurrent use;
+// internal/cache.Typed satisfies the interface.
+type Memo[T any] interface {
+	Get(key ShardKey) (T, bool)
+	Put(key ShardKey, v T)
+}
+
 // Stats accumulates progress counters across the runs of one harness
 // instance. All methods are safe for concurrent use; the zero value is
 // ready to use.
 type Stats struct {
-	runs        atomic.Int64
-	shardsTotal atomic.Int64
-	shardsDone  atomic.Int64
-	activations atomic.Int64
-	wallNanos   atomic.Int64
+	runs         atomic.Int64
+	shardsTotal  atomic.Int64
+	shardsDone   atomic.Int64
+	shardsCached atomic.Int64
+	activations  atomic.Int64
+	wallNanos    atomic.Int64
 }
 
 // AddActivations records n issued APA activations (reported by the shard
@@ -106,6 +121,9 @@ type Snapshot struct {
 	// ShardsTotal and ShardsDone count submitted and completed shards.
 	ShardsTotal int64
 	ShardsDone  int64
+	// ShardsCached counts shards served from a Memo without executing
+	// (RunKeyed hits). Cached shards count as done.
+	ShardsCached int64
 	// Activations counts APA activations issued by the shard bodies.
 	Activations int64
 	// Wall is the cumulative wall time spent inside engine runs.
@@ -115,18 +133,19 @@ type Snapshot struct {
 // Snapshot returns the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		Runs:        s.runs.Load(),
-		ShardsTotal: s.shardsTotal.Load(),
-		ShardsDone:  s.shardsDone.Load(),
-		Activations: s.activations.Load(),
-		Wall:        time.Duration(s.wallNanos.Load()),
+		Runs:         s.runs.Load(),
+		ShardsTotal:  s.shardsTotal.Load(),
+		ShardsDone:   s.shardsDone.Load(),
+		ShardsCached: s.shardsCached.Load(),
+		Activations:  s.activations.Load(),
+		Wall:         time.Duration(s.wallNanos.Load()),
 	}
 }
 
 // String renders the snapshot for progress lines.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("%d/%d shards in %d runs, %d activations, %s wall",
-		s.ShardsDone, s.ShardsTotal, s.Runs, s.Activations, s.Wall.Round(time.Millisecond))
+	return fmt.Sprintf("%d/%d shards (%d cached) in %d runs, %d activations, %s wall",
+		s.ShardsDone, s.ShardsTotal, s.ShardsCached, s.Runs, s.Activations, s.Wall.Round(time.Millisecond))
 }
 
 // Run executes the tasks on a bounded worker pool and returns their
@@ -237,6 +256,55 @@ func Run[T any](ctx context.Context, cfg Config, stats *Stats, tasks []Task[T]) 
 	}
 	if cancelIdx >= 0 {
 		return nil, fmt.Errorf("engine: shard %d: %w", cancelIdx, errs[cancelIdx])
+	}
+	return results, nil
+}
+
+// RunKeyed is Run with per-shard memoization: keys[i] is the content hash
+// of tasks[i]'s inputs. Shards whose key is present in memo are served
+// from it without executing (counted in Snapshot.ShardsCached); the
+// remaining shards run on the worker pool exactly as Run schedules them,
+// and each successful result is stored back under its key as soon as the
+// shard finishes. Because keys must capture every input of the shard —
+// and shard work is deterministic by the engine's contract — a memoized
+// run returns results bit-identical to an uncached one. A nil memo makes
+// RunKeyed equivalent to Run.
+func RunKeyed[T any](ctx context.Context, cfg Config, stats *Stats, memo Memo[T], keys []ShardKey, tasks []Task[T]) ([]T, error) {
+	if memo == nil {
+		return Run(ctx, cfg, stats, tasks)
+	}
+	if len(keys) != len(tasks) {
+		return nil, fmt.Errorf("engine: %d keys for %d tasks", len(keys), len(tasks))
+	}
+	results := make([]T, len(tasks))
+	var missIdx []int
+	var missTasks []Task[T]
+	for i, task := range tasks {
+		if v, ok := memo.Get(keys[i]); ok {
+			results[i] = v
+			continue
+		}
+		i, task := i, task
+		missIdx = append(missIdx, i)
+		missTasks = append(missTasks, func(ctx context.Context) (T, error) {
+			r, err := task(ctx)
+			if err == nil {
+				memo.Put(keys[i], r)
+			}
+			return r, err
+		})
+	}
+	if cached := len(tasks) - len(missTasks); cached > 0 && stats != nil {
+		stats.shardsTotal.Add(int64(cached))
+		stats.shardsDone.Add(int64(cached))
+		stats.shardsCached.Add(int64(cached))
+	}
+	missResults, err := Run(ctx, cfg, stats, missTasks)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		results[i] = missResults[j]
 	}
 	return results, nil
 }

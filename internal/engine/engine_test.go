@@ -203,6 +203,148 @@ func TestRunStats(t *testing.T) {
 	}
 }
 
+// mapMemo is a test Memo backed by a plain map (serialized by a mutex).
+type mapMemo struct {
+	mu   sync.Mutex
+	m    map[ShardKey]int
+	puts int
+}
+
+func newMapMemo() *mapMemo { return &mapMemo{m: make(map[ShardKey]int)} }
+
+func (m *mapMemo) Get(k ShardKey) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.m[k]
+	return v, ok
+}
+
+func (m *mapMemo) Put(k ShardKey, v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[k] = v
+	m.puts++
+}
+
+func shardKey(i int) ShardKey {
+	var k ShardKey
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	return k
+}
+
+// TestRunKeyedMemoizes pins the shard-memo contract: a first keyed run
+// executes and stores every shard; a second identical run executes
+// nothing, reports every shard as cached, and returns identical results.
+func TestRunKeyedMemoizes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprint("workers=", workers), func(t *testing.T) {
+			const n = 20
+			memo := newMapMemo()
+			var stats Stats
+			var execs atomic.Int64
+			keys := make([]ShardKey, n)
+			tasks := make([]Task[int], n)
+			for i := range tasks {
+				i := i
+				keys[i] = shardKey(i)
+				tasks[i] = func(context.Context) (int, error) {
+					execs.Add(1)
+					return i * i, nil
+				}
+			}
+			cfg := Config{Workers: workers}
+			first, err := RunKeyed(context.Background(), cfg, &stats, memo, keys, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if execs.Load() != n || memo.puts != n {
+				t.Fatalf("first run: %d execs, %d puts; want %d of each", execs.Load(), memo.puts, n)
+			}
+			second, err := RunKeyed(context.Background(), cfg, &stats, memo, keys, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if execs.Load() != n {
+				t.Fatalf("second run executed %d extra shards; want 0", execs.Load()-n)
+			}
+			for i := range first {
+				if first[i] != i*i || second[i] != first[i] {
+					t.Fatalf("results[%d]: first %d, second %d, want %d", i, first[i], second[i], i*i)
+				}
+			}
+			snap := stats.Snapshot()
+			if snap.ShardsCached != n {
+				t.Fatalf("ShardsCached = %d, want %d", snap.ShardsCached, n)
+			}
+			if snap.ShardsDone != 2*n || snap.ShardsTotal != 2*n {
+				t.Fatalf("shards %d/%d, want %d/%d", snap.ShardsDone, snap.ShardsTotal, 2*n, 2*n)
+			}
+		})
+	}
+}
+
+// TestRunKeyedPartialHits mixes cached and uncached shards in one run.
+func TestRunKeyedPartialHits(t *testing.T) {
+	const n = 10
+	memo := newMapMemo()
+	for i := 0; i < n; i += 2 {
+		memo.Put(shardKey(i), 1000+i)
+	}
+	memo.puts = 0
+	var execs atomic.Int64
+	keys := make([]ShardKey, n)
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		keys[i] = shardKey(i)
+		tasks[i] = func(context.Context) (int, error) {
+			execs.Add(1)
+			return i, nil
+		}
+	}
+	got, err := RunKeyed(context.Background(), Config{Workers: 3}, nil, memo, keys, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != n/2 || memo.puts != n/2 {
+		t.Fatalf("%d execs, %d puts; want %d of each", execs.Load(), memo.puts, n/2)
+	}
+	for i, v := range got {
+		want := i
+		if i%2 == 0 {
+			want = 1000 + i
+		}
+		if v != want {
+			t.Fatalf("results[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestRunKeyedErrorsNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	memo := newMapMemo()
+	keys := []ShardKey{shardKey(1)}
+	tasks := []Task[int]{func(context.Context) (int, error) { return 0, boom }}
+	if _, err := RunKeyed(context.Background(), Config{Workers: 1}, nil, memo, keys, tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if memo.puts != 0 {
+		t.Fatal("failed shard result was stored in the memo")
+	}
+}
+
+func TestRunKeyedNilMemoAndKeyMismatch(t *testing.T) {
+	tasks := []Task[int]{func(context.Context) (int, error) { return 7, nil }}
+	got, err := RunKeyed(context.Background(), Config{}, nil, nil, nil, tasks)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("nil memo: got %v, %v; want [7]", got, err)
+	}
+	if _, err := RunKeyed(context.Background(), Config{}, nil, newMapMemo(), nil, tasks); err == nil {
+		t.Fatal("key/task length mismatch not rejected")
+	}
+}
+
 func TestShardSeedStableAndDistinct(t *testing.T) {
 	const root = 0xd5a
 	a := NewShard(root, 1, 2, 3)

@@ -1,0 +1,512 @@
+// Package server is the serving layer of the reproduction: an HTTP/JSON
+// batch API over the experiment facade, fronted by the content-addressed
+// result cache (internal/cache) at two levels — whole-request responses
+// and per-shard engine results — with singleflight request coalescing and
+// bounded in-flight concurrency with backpressure.
+//
+// Endpoints:
+//
+//	POST /v1/sweep     one characterization figure/table (cmd/simra-char's surface)
+//	POST /v1/workload  a fleet-wide workload run (cmd/simra-work's surface)
+//	POST /v1/trng      health-screened random bytes (cmd/simra-trng's surface)
+//	POST /v1/batch     several of the above in one round trip
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style counters
+//
+// Responses are JSON envelopes (Response); appending ?raw=1 returns the
+// rendered output bytes alone. Workload responses equal cmd/simra-work's
+// stdout byte for byte; sweep responses equal the rendered figure table
+// (what simra-char prints before its text-mode timing/engine lines);
+// TRNG responses equal simra-trng's hex dump — the properties the CI e2e
+// job asserts against the committed goldens. Because every simulation
+// result is bit-identical for any worker count, cached, coalesced and
+// freshly computed responses are all byte-identical too (DESIGN.md §9).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/charexp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trng"
+	"repro/internal/workload"
+)
+
+// DefaultCacheBytes bounds the shared result cache when Config.CacheBytes
+// is zero.
+const DefaultCacheBytes = 64 << 20
+
+// Config parameterizes a serving instance. The zero value is usable.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default
+	// "127.0.0.1:8077").
+	Addr string
+	// CacheBytes bounds the shared result cache (responses + engine
+	// shards; 0 = DefaultCacheBytes, negative = unbounded).
+	CacheBytes int64
+	// MaxInflight bounds concurrently executing engine runs (0 =
+	// GOMAXPROCS). Identical concurrent requests coalesce onto one run
+	// and consume one slot.
+	MaxInflight int
+	// MaxQueue bounds executions waiting for a slot; beyond it requests
+	// are shed with 503 + Retry-After (0 = 64, negative = no queue).
+	MaxQueue int
+	// Workers bounds each engine run's shard parallelism (0 = GOMAXPROCS).
+	// It never affects response bytes.
+	Workers int
+}
+
+// withDefaults resolves zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8077"
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // unbounded for cache.New
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	return c
+}
+
+// errBusy sheds load when the execution queue is full.
+var errBusy = errors.New("server: execution queue full")
+
+// kinds are the request families the counters track.
+var kinds = []string{"sweep", "workload", "trng", "batch"}
+
+// kindCounters tracks one request family.
+type kindCounters struct {
+	requests   atomic.Int64
+	executions atomic.Int64
+	errors     atomic.Int64
+}
+
+// Server serves the experiment facade over HTTP. Create with New.
+type Server struct {
+	cfg   Config
+	store *cache.Cache
+	// sweepMemo and workloadMemo are typed views of store used as engine
+	// shard memos, so shard results are shared across requests that only
+	// partially overlap (e.g. two figures sweeping the same cell).
+	sweepMemo    engine.Memo[[]core.GroupOutcome]
+	workloadMemo engine.Memo[[]workload.Result]
+
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	busy     atomic.Int64
+	counters map[string]*kindCounters
+	start    time.Time
+}
+
+// New builds a serving instance.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	store := cache.New(cfg.CacheBytes)
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		sweepMemo: cache.NewTyped[[]core.GroupOutcome](store, func(outs []core.GroupOutcome) int64 {
+			n := int64(64)
+			for _, o := range outs {
+				n += 96 + int64(8*len(o.Group.Rows))
+			}
+			return n
+		}),
+		workloadMemo: cache.NewTyped[[]workload.Result](store, func(rs []workload.Result) int64 {
+			return 64 + int64(len(rs))*360
+		}),
+		slots:    make(chan struct{}, cfg.MaxInflight),
+		counters: make(map[string]*kindCounters, len(kinds)),
+		start:    time.Now(),
+	}
+	for _, k := range kinds {
+		s.counters[k] = &kindCounters{}
+	}
+	return s
+}
+
+// CacheStats exposes the shared cache's counters.
+func (s *Server) CacheStats() cache.Stats { return s.store.Stats() }
+
+// Executions returns how many engine runs the given request kind has
+// actually executed (coalesced and cached requests excluded): the counter
+// the coalescing tests and the CI e2e job assert.
+func (s *Server) Executions(kind string) int64 {
+	c, ok := s.counters[kind]
+	if !ok {
+		return 0
+	}
+	return c.executions.Load()
+}
+
+// acquire claims an execution slot, queueing up to MaxQueue waiters and
+// shedding load with errBusy beyond that. The returned release function
+// must be called when the execution finishes.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	claim := func() func() {
+		s.inflight.Add(1)
+		return func() {
+			s.inflight.Add(-1)
+			<-s.slots
+		}
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return claim(), nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.busy.Add(1)
+		return nil, errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return claim(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// respond runs one request through the response cache: a hit returns the
+// stored bytes, concurrent identical requests coalesce onto a single
+// execution, and a fresh execution claims an in-flight slot first. The
+// execution runs on a context detached from the initiating request:
+// coalesced waiters share it, so one client's disconnect must not fail
+// the others (or waste the nearly finished result). The returned Cached
+// flag reports whether this call avoided executing.
+func (s *Server) respond(ctx context.Context, kind string, key cache.Key, exec func(ctx context.Context) (string, error)) (Response, error) {
+	s.counters[kind].requests.Add(1)
+	executed := false
+	detached := context.WithoutCancel(ctx)
+	v, err := s.store.Do(key, func() (any, int64, error) {
+		executed = true
+		release, err := s.acquire(detached)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		s.counters[kind].executions.Add(1)
+		out, err := exec(detached)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, int64(len(out)), nil
+	})
+	if err != nil {
+		s.counters[kind].errors.Add(1)
+		return Response{Kind: kind, Key: cache.KeyString(key)}, err
+	}
+	return Response{
+		Kind:   kind,
+		Key:    cache.KeyString(key),
+		Cached: !executed,
+		Output: v.(string),
+	}, nil
+}
+
+// runSweep executes one normalized sweep request.
+func (s *Server) runSweep(ctx context.Context, q SweepRequest) (Response, error) {
+	return s.respond(ctx, "sweep", q.key(), func(context.Context) (string, error) {
+		cfg := q.config()
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.ShardMemo = s.sweepMemo
+		runner, err := charexp.NewRunner(cfg)
+		if err != nil {
+			return "", err
+		}
+		return runner.RunFigure(q.Figure, q.Sets, q.Format)
+	})
+}
+
+// runWorkload executes one normalized workload request.
+func (s *Server) runWorkload(ctx context.Context, q WorkloadRequest) (Response, error) {
+	return s.respond(ctx, "workload", q.key(), func(execCtx context.Context) (string, error) {
+		cfg, err := q.options().Resolve()
+		if err != nil {
+			return "", err
+		}
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.Memo = s.workloadMemo
+		results, err := workload.RunFleet(execCtx, cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := workload.WriteReport(&b, results, q.Format); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	})
+}
+
+// runTRNG executes one normalized TRNG request.
+func (s *Server) runTRNG(ctx context.Context, q TRNGRequest) (Response, error) {
+	return s.respond(ctx, "trng", q.key(), func(context.Context) (string, error) {
+		out, err := trng.Generate(q.options())
+		if err != nil {
+			return "", err
+		}
+		return trng.FormatHex(out), nil
+	})
+}
+
+// decodeJSON strictly parses the request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// writeResponse renders one Response: the JSON envelope, or the raw
+// output bytes under ?raw=1.
+func writeResponse(w http.ResponseWriter, r *http.Request, resp Response) {
+	if raw := r.URL.Query().Get("raw"); raw == "1" || raw == "true" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Simra-Key", resp.Key)
+		w.Header().Set("X-Simra-Cached", fmt.Sprint(resp.Cached))
+		io.WriteString(w, resp.Output)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// writeError maps an execution error onto an HTTP status.
+func writeError(w http.ResponseWriter, err error, status int) {
+	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// post guards the mutation endpoints.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// Handler returns the serving mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sweep", post(func(w http.ResponseWriter, r *http.Request) {
+		var q SweepRequest
+		if err := decodeJSON(r, &q); err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		q, err := q.normalize()
+		if err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		resp, err := s.runSweep(r.Context(), q)
+		if err != nil {
+			writeError(w, err, http.StatusInternalServerError)
+			return
+		}
+		writeResponse(w, r, resp)
+	}))
+	mux.HandleFunc("/v1/workload", post(func(w http.ResponseWriter, r *http.Request) {
+		var q WorkloadRequest
+		if err := decodeJSON(r, &q); err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		q, err := q.normalize()
+		if err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		resp, err := s.runWorkload(r.Context(), q)
+		if err != nil {
+			writeError(w, err, http.StatusInternalServerError)
+			return
+		}
+		writeResponse(w, r, resp)
+	}))
+	mux.HandleFunc("/v1/trng", post(func(w http.ResponseWriter, r *http.Request) {
+		var q TRNGRequest
+		if err := decodeJSON(r, &q); err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		q, err := q.normalize()
+		if err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		resp, err := s.runTRNG(r.Context(), q)
+		if err != nil {
+			writeError(w, err, http.StatusInternalServerError)
+			return
+		}
+		writeResponse(w, r, resp)
+	}))
+	mux.HandleFunc("/v1/batch", post(func(w http.ResponseWriter, r *http.Request) {
+		var batch BatchRequest
+		if err := decodeJSON(r, &batch); err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		s.counters["batch"].requests.Add(1)
+		out := BatchResponse{Responses: make([]Response, 0, len(batch.Requests))}
+		for _, item := range batch.Requests {
+			out.Responses = append(out.Responses, s.runBatchItem(r.Context(), item))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	}))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f}\n", time.Since(s.start).Seconds())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.writeMetrics(w)
+	})
+	return mux
+}
+
+// runBatchItem routes one batch item; failures are reported in-band so
+// sibling items still execute.
+func (s *Server) runBatchItem(ctx context.Context, item BatchItem) Response {
+	fail := func(kind string, err error) Response {
+		return Response{Kind: kind, Error: err.Error()}
+	}
+	switch item.Kind {
+	case "sweep":
+		q := SweepRequest{}
+		if item.Sweep != nil {
+			q = *item.Sweep
+		}
+		q, err := q.normalize()
+		if err != nil {
+			return fail("sweep", err)
+		}
+		resp, err := s.runSweep(ctx, q)
+		if err != nil {
+			return fail("sweep", err)
+		}
+		return resp
+	case "workload":
+		q := WorkloadRequest{}
+		if item.Workload != nil {
+			q = *item.Workload
+		}
+		q, err := q.normalize()
+		if err != nil {
+			return fail("workload", err)
+		}
+		resp, err := s.runWorkload(ctx, q)
+		if err != nil {
+			return fail("workload", err)
+		}
+		return resp
+	case "trng":
+		q := TRNGRequest{}
+		if item.TRNG != nil {
+			q = *item.TRNG
+		}
+		q, err := q.normalize()
+		if err != nil {
+			return fail("trng", err)
+		}
+		resp, err := s.runTRNG(ctx, q)
+		if err != nil {
+			return fail("trng", err)
+		}
+		return resp
+	default:
+		return fail(item.Kind, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng", item.Kind))
+	}
+}
+
+// writeMetrics renders the Prometheus-style counter page.
+func (s *Server) writeMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "simra_serve_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+	for _, k := range kinds {
+		c := s.counters[k]
+		fmt.Fprintf(&b, "simra_serve_requests_total{kind=%q} %d\n", k, c.requests.Load())
+		fmt.Fprintf(&b, "simra_serve_executions_total{kind=%q} %d\n", k, c.executions.Load())
+		fmt.Fprintf(&b, "simra_serve_errors_total{kind=%q} %d\n", k, c.errors.Load())
+	}
+	fmt.Fprintf(&b, "simra_serve_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(&b, "simra_serve_queued %d\n", s.queued.Load())
+	fmt.Fprintf(&b, "simra_serve_shed_total %d\n", s.busy.Load())
+	cs := s.store.Stats()
+	fmt.Fprintf(&b, "simra_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "simra_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "simra_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(&b, "simra_cache_executions_total %d\n", cs.Executions)
+	fmt.Fprintf(&b, "simra_cache_errors_total %d\n", cs.Errors)
+	fmt.Fprintf(&b, "simra_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(&b, "simra_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(&b, "simra_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(&b, "simra_cache_capacity_bytes %d\n", cs.Capacity)
+	io.WriteString(w, b.String())
+}
+
+// ListenAndServe serves on cfg.Addr until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 10 s to finish). ready,
+// if non-nil, receives the bound address once listening — tests and
+// scripts use it instead of polling.
+func (s *Server) ListenAndServe(ctx context.Context, ready chan<- string) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-done // http.ErrServerClosed
+		return nil
+	case err := <-done:
+		return err
+	}
+}

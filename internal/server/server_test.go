@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testServer spins a serving instance over httptest.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// smallSweep is a deliberately tiny sweep request for concurrency tests.
+func smallSweep() string {
+	return `{"figure":"3","trials":1,"groups":1,"banks":1,"cols":64,"format":"csv"}`
+}
+
+func postJSON(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestCoalescingExecutesOnce is the acceptance criterion: N concurrent
+// identical requests execute exactly one engine run, and every response —
+// coalesced, cached or computed — carries byte-identical output.
+func TestCoalescingExecutesOnce(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	const n = 12
+	outputs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postJSON(t, ts.URL+"/v1/sweep", smallSweep())
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, status, body)
+				return
+			}
+			var r Response
+			if err := json.Unmarshal([]byte(body), &r); err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			outputs[i] = r.Output
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Executions("sweep"); got != 1 {
+		t.Fatalf("%d concurrent identical requests executed %d engine runs; want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	if outputs[0] == "" {
+		t.Fatal("empty sweep output")
+	}
+	// A later identical request is a pure cache hit.
+	_, body := postJSON(t, ts.URL+"/v1/sweep", smallSweep())
+	var r Response
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cached || r.Output != outputs[0] {
+		t.Fatalf("follow-up request: cached=%v, identical=%v; want true, true", r.Cached, r.Output == outputs[0])
+	}
+	if got := s.Executions("sweep"); got != 1 {
+		t.Fatalf("cache hit triggered another execution (%d total)", got)
+	}
+}
+
+// TestSweepMatchesCharexpGolden pins the serving layer's byte contract:
+// the raw response for the default Fig. 3 sweep equals the committed
+// charexp golden — the same bytes an uncached direct run renders.
+func TestSweepMatchesCharexpGolden(t *testing.T) {
+	golden, err := os.ReadFile("../charexp/testdata/figure3.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{})
+	for i, label := range []string{"computed", "cached"} {
+		status, body := postJSON(t, ts.URL+"/v1/sweep?raw=1", `{"figure":"3","format":"text"}`)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, status, body)
+		}
+		if body != string(golden) {
+			t.Fatalf("%s (pass %d): served sweep bytes differ from charexp golden", label, i)
+		}
+	}
+}
+
+// TestWorkloadMatchesCLIGolden asserts a served workload response is
+// byte-identical to cmd/simra-work's stdout for the same parameters (the
+// committed CLI golden), cached and uncached.
+func TestWorkloadMatchesCLIGolden(t *testing.T) {
+	golden, err := os.ReadFile("../../cmd/simra-work/testdata/simra-work.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{})
+	req := `{"workloads":"all","modules":"all","cols":256,"format":"text"}`
+	for i, label := range []string{"computed", "cached"} {
+		status, body := postJSON(t, ts.URL+"/v1/workload?raw=1", req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, status, body)
+		}
+		if body != string(golden) {
+			t.Fatalf("%s (pass %d): served workload bytes differ from the simra-work golden", label, i)
+		}
+	}
+}
+
+// TestTRNGMatchesCLIGolden asserts the TRNG endpoint serves the same
+// deterministic hex dump the CLI prints for the same seed.
+func TestTRNGMatchesCLIGolden(t *testing.T) {
+	golden, err := os.ReadFile("../../cmd/simra-trng/testdata/simra-trng.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{})
+	status, body := postJSON(t, ts.URL+"/v1/trng?raw=1", `{"bytes":64,"seed":2024,"rows":32}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if body != string(golden) {
+		t.Fatal("served TRNG bytes differ from the simra-trng golden")
+	}
+}
+
+// TestBatch runs a heterogeneous batch, with one failing item reported
+// in-band.
+func TestBatch(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	body := `{"requests":[
+		{"kind":"trng","trng":{"bytes":16,"seed":7}},
+		{"kind":"trng","trng":{"bytes":16,"seed":7}},
+		{"kind":"sweep","sweep":{"figure":"14"}},
+		{"kind":"nope"}
+	]}`
+	status, out := postJSON(t, ts.URL+"/v1/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal([]byte(out), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Responses) != 4 {
+		t.Fatalf("%d responses; want 4", len(batch.Responses))
+	}
+	if batch.Responses[0].Output == "" || batch.Responses[0].Output != batch.Responses[1].Output {
+		t.Fatal("identical batch items returned different outputs")
+	}
+	if !batch.Responses[1].Cached {
+		t.Fatal("second identical batch item was not served from cache")
+	}
+	if batch.Responses[2].Error != "" || batch.Responses[2].Output == "" {
+		t.Fatalf("walkthrough item failed: %+v", batch.Responses[2])
+	}
+	if batch.Responses[3].Error == "" {
+		t.Fatal("unknown kind did not report an error")
+	}
+	if got := s.Executions("trng"); got != 1 {
+		t.Fatalf("batch executed %d TRNG runs; want 1", got)
+	}
+}
+
+// TestBackpressure exercises the slot/queue accounting directly: with one
+// slot and no queue, a second concurrent execution is shed with errBusy,
+// and the shed counter advances.
+func TestBackpressure(t *testing.T) {
+	s := New(Config{MaxInflight: 1, MaxQueue: -1})
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.acquire(context.Background()); err != errBusy {
+		t.Fatalf("second acquire = %v; want errBusy", err)
+	}
+	release()
+	release2, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+	release2()
+	if s.busy.Load() != 1 {
+		t.Fatalf("shed counter = %d; want 1", s.busy.Load())
+	}
+	if s.inflight.Load() != 0 {
+		t.Fatalf("inflight = %d after releases; want 0", s.inflight.Load())
+	}
+}
+
+// TestBusyMapsTo503 asserts the HTTP mapping of shed load.
+func TestBusyMapsTo503(t *testing.T) {
+	s, ts := testServer(t, Config{MaxInflight: 1, MaxQueue: -1})
+	// Occupy the only slot so any execution is shed.
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	status, body := postJSON(t, ts.URL+"/v1/trng", `{"bytes":16,"seed":99}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s); want 503", status, body)
+	}
+}
+
+// TestCacheEviction bounds the response cache tightly and checks LRU
+// accounting under distinct requests.
+func TestCacheEviction(t *testing.T) {
+	s, ts := testServer(t, Config{CacheBytes: 600})
+	for seed := 1; seed <= 4; seed++ {
+		status, body := postJSON(t, ts.URL+"/v1/trng",
+			fmt.Sprintf(`{"bytes":64,"seed":%d}`, seed))
+		if status != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, status, body)
+		}
+	}
+	st := s.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 600-byte budget: %+v", st)
+	}
+	if st.Bytes > 600 {
+		t.Fatalf("cache grew past its budget: %+v", st)
+	}
+}
+
+// TestValidation covers the 4xx surface.
+func TestValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/sweep", `{"figure":"99"}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"figure":"3","format":"yaml"}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"figure":"3","bogus":1}`, http.StatusBadRequest},
+		{"/v1/sweep", `not json`, http.StatusBadRequest},
+		{"/v1/workload", `{"modules":"martian"}`, http.StatusBadRequest},
+		{"/v1/workload", `{"workloads":"no-such-workload"}`, http.StatusBadRequest},
+		{"/v1/trng", `{"rows":3}`, http.StatusBadRequest},
+		{"/v1/trng", `{"bytes":-5}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, _ := postJSON(t, ts.URL+c.path, c.body)
+		if status != c.want {
+			t.Errorf("POST %s %s: status %d; want %d", c.path, c.body, status, c.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep: status %d; want 405", resp.StatusCode)
+	}
+}
+
+// TestHealthAndMetrics covers the observability endpoints.
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte(`"status":"ok"`)) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, b)
+	}
+
+	postJSON(t, ts.URL+"/v1/trng", `{"bytes":16,"seed":5}`)
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(b)
+	for _, want := range []string{
+		`simra_serve_requests_total{kind="trng"} 1`,
+		`simra_serve_executions_total{kind="trng"} 1`,
+		"simra_cache_entries 1",
+		"simra_serve_inflight 0",
+		"simra_cache_capacity_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestListenAndServeGracefulShutdown drives the real listener: readiness
+// handshake, one request, then context-cancelled shutdown.
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0"})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, ready) }()
+	addr := <-ready
+	status, _ := postJSON(t, "http://"+addr+"/v1/trng", `{"bytes":16,"seed":3}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v; want nil", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analog"
 	"repro/internal/bitserial"
+	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/fleet"
@@ -44,6 +45,14 @@ type FleetConfig struct {
 	// Engine bounds the shard parallelism; the zero value uses GOMAXPROCS
 	// workers. Results are bit-identical for every worker count.
 	Engine engine.Config
+	// Memo optionally memoizes per-module workload shards across runs
+	// (internal/cache.NewTyped over a shared cache satisfies it; see
+	// DESIGN.md §9). Keys capture the module's identity — not its fleet
+	// position — plus the electrical model, workload selection, MaxX and
+	// seed, matching the sub-seed scheme: a cached result is bit-identical
+	// to a recomputed one under any fleet composition. nil disables
+	// memoization.
+	Memo engine.Memo[[]Result]
 }
 
 // DefaultFleetConfig returns the standard reduced-scale configuration: the
@@ -81,6 +90,28 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 	return cfg
 }
 
+// shardKey hashes everything one module's workload results depend on: the
+// module's spec and profile, the electrical model, the selected workloads
+// in execution order, the majority-width cap and the root seed. Like the
+// sub-seed scheme, the key hashes the module's identity rather than its
+// fleet position, and excludes the worker count (results are
+// worker-invariant), so cache entries are shared across fleet selections.
+func shardKey(e fleet.Entry, cfg FleetConfig) engine.ShardKey {
+	h := cache.NewHasher().
+		Str("workload/module-shard/v1").
+		Str(e.Spec.ID).U64(e.Spec.Seed).Int(e.Spec.Columns).
+		Str(e.Spec.Profile.Name).Int(e.Spec.Profile.Decoder.Rows).
+		Bool(e.Spec.Profile.FracSupported).F64(e.Spec.Profile.ViabilityBias).
+		Int(e.Spec.Profile.MaxMAJ).Bool(e.Spec.Profile.APAGuarded).
+		Str(e.Spec.DieRev).
+		Str(fmt.Sprintf("%v", cfg.Params)).
+		Int(cfg.MaxX).U64(cfg.Seed)
+	for _, w := range cfg.Workloads {
+		h.Str(w.Name())
+	}
+	return h.Sum()
+}
+
 // nameSeed hashes an identity string (workload name, module ID) into a
 // seed coordinate (FNV-1a).
 func nameSeed(name string) uint64 {
@@ -106,14 +137,18 @@ func RunFleet(ctx context.Context, cfg FleetConfig) ([]Result, error) {
 		return nil, fmt.Errorf("workload: MaxX %d must be odd and >= 3", cfg.MaxX)
 	}
 	tasks := make([]engine.Task[[]Result], len(cfg.Entries))
+	keys := make([]engine.ShardKey, len(cfg.Entries))
 	for mi, e := range cfg.Entries {
 		seed := xrand.Hash(cfg.Seed, nameSeed(e.Spec.ID))
 		e := e
 		tasks[mi] = func(context.Context) ([]Result, error) {
 			return runModule(e, cfg, seed)
 		}
+		if cfg.Memo != nil {
+			keys[mi] = shardKey(e, cfg)
+		}
 	}
-	perModule, err := engine.Run(ctx, cfg.Engine, nil, tasks)
+	perModule, err := engine.RunKeyed(ctx, cfg.Engine, nil, cfg.Memo, keys, tasks)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fleet"
+)
+
+// TestMemoByteIdentity is the serving layer's guarantee at the workload
+// level: a fleet run with the module-shard memo enabled returns results —
+// and report bytes — identical to an unmemoized run, both on the all-miss
+// first pass and on a repeat pass served entirely from the cache.
+func TestMemoByteIdentity(t *testing.T) {
+	fc := fleet.DefaultConfig()
+	fc.Columns = 128
+	base := DefaultFleetConfig()
+	base.Entries = append(fleet.Representative(fc), fleet.SamsungModules(fc)[:1]...)
+	base.Engine.Workers = 4
+
+	plain, err := RunFleet(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := cache.New(0)
+	cfg := base
+	cfg.Memo = cache.NewTyped[[]Result](store, nil)
+	cold, err := RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, cold) {
+		t.Fatal("memoized (cold) results differ from unmemoized results")
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Fatal("memoized (warm) results differ from unmemoized results")
+	}
+	render := func(rs []Result) string {
+		var b bytes.Buffer
+		if err := WriteReport(&b, rs, "text"); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(plain) != render(warm) {
+		t.Fatal("report bytes differ between cache-off and cache-hit runs")
+	}
+	s := store.Stats()
+	if s.Entries != len(base.Entries) {
+		t.Fatalf("cache holds %d entries; want one per module (%d)", s.Entries, len(base.Entries))
+	}
+	if s.Hits != int64(len(base.Entries)) {
+		t.Fatalf("warm run hit the cache %d times; want %d", s.Hits, len(base.Entries))
+	}
+}
+
+// TestMemoSharedAcrossFleetCompositions pins the identity-keying claim:
+// a module's cache entry populated by a representative-fleet run is
+// reused verbatim when the same module appears in a different fleet.
+func TestMemoSharedAcrossFleetCompositions(t *testing.T) {
+	fc := fleet.DefaultConfig()
+	fc.Columns = 128
+	reps := fleet.Representative(fc)
+
+	store := cache.New(0)
+	memo := cache.NewTyped[[]Result](store, nil)
+
+	solo := DefaultFleetConfig()
+	solo.Entries = reps[:1]
+	solo.Memo = memo
+	first, err := RunFleet(context.Background(), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := DefaultFleetConfig()
+	full.Entries = reps
+	full.Memo = memo
+	all, err := RunFleet(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Hits == 0 {
+		t.Fatal("module entry was not shared across fleet compositions")
+	}
+	perModule := len(all) / len(reps)
+	if !reflect.DeepEqual(first, all[:perModule]) {
+		t.Fatal("shared module's results differ between fleet compositions")
+	}
+}

@@ -1,0 +1,45 @@
+package simra
+
+import (
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+)
+
+// Serving-layer types (DESIGN.md §9): the HTTP/JSON batch API over the
+// experiment facade, fronted by the content-addressed result cache with
+// request coalescing and bounded in-flight concurrency.
+type (
+	// ServeConfig parameterizes a serving instance (listen address, cache
+	// budget, in-flight and queue bounds, engine workers).
+	ServeConfig = server.Config
+	// ServeServer is a serving instance; see NewServer.
+	ServeServer = server.Server
+	// CacheStats is a snapshot of the result cache's counters (hits,
+	// misses, coalesced and executed requests, evictions, resident bytes).
+	CacheStats = cache.Stats
+	// SweepRequest, WorkloadRequest, TRNGRequest and BatchRequest are the
+	// serving API's request bodies; ServeResponse is the JSON envelope.
+	SweepRequest    = server.SweepRequest
+	WorkloadRequest = server.WorkloadRequest
+	TRNGRequest     = server.TRNGRequest
+	BatchRequest    = server.BatchRequest
+	ServeResponse   = server.Response
+)
+
+// DefaultServeConfig returns the standard serving configuration
+// (127.0.0.1:8077, 64 MiB cache, GOMAXPROCS in-flight executions).
+func DefaultServeConfig() ServeConfig { return ServeConfig{} }
+
+// NewServer builds a serving instance. Serve it with
+// ServeServer.ListenAndServe, or mount ServeServer.Handler in an existing
+// HTTP server.
+func NewServer(cfg ServeConfig) *ServeServer { return server.New(cfg) }
+
+// Serve runs a serving instance on cfg.Addr until ctx is cancelled, then
+// shuts down gracefully. ready, if non-nil, receives the bound address
+// once listening.
+func Serve(ctx context.Context, cfg ServeConfig, ready chan<- string) error {
+	return server.New(cfg).ListenAndServe(ctx, ready)
+}

@@ -1,0 +1,42 @@
+package simra_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	simra "repro"
+)
+
+// TestServeFacade exercises the serving layer through the public facade:
+// mount the handler, serve a TRNG request twice, and watch the cache
+// stats reflect the second hit.
+func TestServeFacade(t *testing.T) {
+	s := simra.NewServer(simra.DefaultServeConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/v1/trng", "application/json",
+			strings.NewReader(`{"bytes":16,"seed":11}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if status := post(); status != http.StatusOK {
+		t.Fatalf("first request: status %d", status)
+	}
+	if status := post(); status != http.StatusOK {
+		t.Fatalf("second request: status %d", status)
+	}
+	var stats simra.CacheStats = s.CacheStats()
+	if stats.Executions != 1 || stats.Hits != 1 {
+		t.Fatalf("cache stats = %+v; want 1 execution and 1 hit", stats)
+	}
+	if got := s.Executions("trng"); got != 1 {
+		t.Fatalf("executions = %d; want 1", got)
+	}
+}

@@ -21,6 +21,11 @@
 //     modular-redundancy voting, cold-boot content destruction, and the
 //     TRNG extension (internal/bitserial, internal/tmr, internal/coldboot,
 //     internal/trng).
+//   - The serving layer: an HTTP/JSON batch API over the pipelines with
+//     content-addressed result caching, request coalescing and bounded
+//     in-flight concurrency (internal/server, internal/cache, cmd/
+//     simra-serve; ServeConfig, NewServer, CacheStats — DESIGN.md §9).
+//     Cached responses are byte-identical to uncached ones.
 //
 // # Quick start
 //

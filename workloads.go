@@ -2,6 +2,7 @@ package simra
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/workload"
 )
@@ -19,6 +20,10 @@ type (
 	WorkloadResult = workload.Result
 	// WorkloadConfig scopes a fleet-wide workload run.
 	WorkloadConfig = workload.FleetConfig
+	// WorkloadOptions mirrors the simra-work CLI flag surface; resolve it
+	// with ResolveWorkloads. The serving layer (simra-serve) accepts the
+	// same parameters, so CLI and served responses are byte-identical.
+	WorkloadOptions = workload.Options
 )
 
 // Workloads returns the registered workloads in stable execution order.
@@ -38,9 +43,20 @@ func RunWorkloads(ctx context.Context, cfg WorkloadConfig) ([]WorkloadResult, er
 	return workload.RunFleet(ctx, cfg)
 }
 
+// ResolveWorkloads validates CLI/serving options and builds the
+// fleet-run configuration.
+func ResolveWorkloads(o WorkloadOptions) (WorkloadConfig, error) { return o.Resolve() }
+
 // WorkloadReport renders fleet-run results as a table (text or CSV).
 func WorkloadReport(results []WorkloadResult) ExperimentTable {
 	return workload.Report(results)
+}
+
+// WriteWorkloadReport renders fleet-run results to w in the given format
+// ("text" or "csv"): the byte-exact output contract shared by simra-work
+// and the serving layer.
+func WriteWorkloadReport(w io.Writer, results []WorkloadResult, format string) error {
+	return workload.WriteReport(w, results, format)
 }
 
 // WorkloadDigest folds per-element outputs into the 64-bit fingerprint
