@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/goldenfile"
+)
+
+// envelopeOpts is the fixed CLI configuration behind the committed
+// envelope golden: the per-module minimum-viable-t2 search on a reduced
+// sampling budget (the same invocation the CI e2e job drives).
+func envelopeOpts(workers int) options {
+	return options{
+		op:       "activation",
+		grid:     "nominal",
+		envelope: "t2",
+		modules:  "representative",
+		workers:  workers,
+		cols:     128,
+		groups:   2,
+		banks:    1,
+		trials:   2,
+		format:   "text",
+	}
+}
+
+// TestEnvelopeGoldenWorkerInvariant is the acceptance test: the adaptive
+// envelope search output is bit-identical for -workers=1 and -workers=8
+// and matches the committed golden file.
+func TestEnvelopeGoldenWorkerInvariant(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if _, err := run(&buf, envelopeOpts(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	out8 := render(8)
+	if out1 != out8 {
+		t.Fatal("simra-scan -envelope output differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "envelope.golden", out1)
+}
+
+// TestGridGoldenWorkerInvariant pins the grid-scan surface the same way.
+func TestGridGoldenWorkerInvariant(t *testing.T) {
+	opts := func(workers int) options {
+		o := envelopeOpts(workers)
+		o.envelope = ""
+		o.grid = "timing"
+		o.format = "csv"
+		return o
+	}
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if _, err := run(&buf, opts(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	out8 := render(8)
+	if out1 != out8 {
+		t.Fatal("simra-scan grid output differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "grid.csv.golden", out1)
+}
+
+// TestFlagValidation exercises the flag surface end to end.
+func TestFlagValidation(t *testing.T) {
+	bad := func(mut func(*options), want string) {
+		t.Helper()
+		o := envelopeOpts(0)
+		mut(&o)
+		_, err := run(&bytes.Buffer{}, o)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %v, want substring %q", err, want)
+		}
+	}
+	bad(func(o *options) { o.format = "json" }, "valid: text, csv")
+	bad(func(o *options) { o.op = "refresh" }, "valid: activation, maj, copy")
+	bad(func(o *options) { o.envelope = "pattern" }, "unknown envelope axis")
+	bad(func(o *options) { o.envelope = ""; o.grid = "galactic" }, "unknown grid")
+	bad(func(o *options) { o.envelope = ""; o.axes = "t9=1" }, "unknown axis")
+	bad(func(o *options) { o.modules = "samsung" }, "valid: representative, full")
+}
+
+// TestScanModes smoke-runs the remaining mode combinations.
+func TestScanModes(t *testing.T) {
+	// MAJ grid over patterns.
+	o := envelopeOpts(0)
+	o.envelope = ""
+	o.op = "maj"
+	o.x = 3
+	o.grid = "pattern"
+	var buf bytes.Buffer
+	if _, err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Random") || !strings.Contains(buf.String(), "0x00/0xFF") {
+		t.Fatalf("pattern grid output missing pattern rows:\n%s", buf.String())
+	}
+	// Aging envelope.
+	o = envelopeOpts(0)
+	o.envelope = "aging"
+	o.target = 0.5
+	buf.Reset()
+	if _, err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aging boundary") {
+		t.Fatalf("aging envelope output malformed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,216 @@
+package analog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// envGrid is the temperature × VPP × aging grid the scenario runner
+// sweeps (internal/scenario): the paper's tested envelope of 50–90 °C and
+// 2.1–2.5 V, plus the aging extension. The tests below pin the model's
+// monotone structure on this grid so the envelope search's bisection
+// (which assumes success crosses its target once per axis) rests on
+// tested behavior.
+var (
+	gridTemps = []float64{50, 60, 70, 80, 90}
+	gridVPPs  = []float64{2.5, 2.4, 2.3, 2.2, 2.1}
+	gridAges  = []float64{0, 2, 4, 8, 16}
+)
+
+// TestEnvGridValidates: every grid point is a legal environment.
+func TestEnvGridValidates(t *testing.T) {
+	for _, temp := range gridTemps {
+		for _, vpp := range gridVPPs {
+			for _, age := range gridAges {
+				e := Env{TempC: temp, VPP: vpp, Aging: age}
+				if err := e.Validate(); err != nil {
+					t.Fatalf("%+v: %v", e, err)
+				}
+			}
+		}
+	}
+	for _, bad := range []Env{
+		{TempC: -10, VPP: 2.5}, {TempC: 150, VPP: 2.5},
+		{TempC: 50, VPP: 1.0}, {TempC: 50, VPP: 3.5},
+		{TempC: 50, VPP: 2.5, Aging: -1}, {TempC: 50, VPP: 2.5, Aging: 99},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("%+v must be rejected", bad)
+		}
+	}
+}
+
+// TestDriveFactorGridMonotone pins the drive-strength slopes across the
+// grid: stronger with temperature (Obs. 11), weaker under VPP
+// underscaling (Obs. 13), weaker with aging, and exactly 1 at the fresh
+// nominal point (so Aging = 0 keeps every pre-aging result bit-identical).
+func TestDriveFactorGridMonotone(t *testing.T) {
+	p := DefaultParams()
+	if got := p.DriveFactor(NominalEnv()); got != 1 {
+		t.Fatalf("nominal drive factor = %v, want exactly 1", got)
+	}
+	for _, vpp := range gridVPPs {
+		for _, age := range gridAges {
+			prev := 0.0
+			for _, temp := range gridTemps {
+				got := p.DriveFactor(Env{TempC: temp, VPP: vpp, Aging: age})
+				if got <= prev {
+					t.Fatalf("drive not rising with temperature at vpp=%g age=%g: %v then %v",
+						vpp, age, prev, got)
+				}
+				prev = got
+			}
+		}
+	}
+	for _, temp := range gridTemps {
+		for _, age := range gridAges {
+			prev := 2.0
+			for _, vpp := range gridVPPs { // descending voltages
+				got := p.DriveFactor(Env{TempC: temp, VPP: vpp, Aging: age})
+				if got >= prev {
+					t.Fatalf("drive not falling with VPP underscaling at temp=%g age=%g", temp, age)
+				}
+				prev = got
+			}
+		}
+	}
+	for _, temp := range gridTemps {
+		for _, vpp := range gridVPPs {
+			prev := 2.0
+			for _, age := range gridAges {
+				got := p.DriveFactor(Env{TempC: temp, VPP: vpp, Aging: age})
+				if got >= prev {
+					t.Fatalf("drive not falling with aging at temp=%g vpp=%g", temp, vpp)
+				}
+				prev = got
+			}
+		}
+	}
+	// The aging factor clamps at zero rather than going negative.
+	if got := p.DriveFactor(Env{TempC: 50, VPP: 2.5, Aging: 1e6}); got != 0 {
+		t.Fatalf("extreme aging drive factor = %v, want 0", got)
+	}
+}
+
+// TestLatchThresholdGridMonotone pins the timing-cliff slopes: the latch
+// settling threshold rises with temperature (Obs. 3), with VPP
+// underscaling (Obs. 4), with decoder load, and with aging — and is
+// unchanged at Aging = 0.
+func TestLatchThresholdGridMonotone(t *testing.T) {
+	p := DefaultParams()
+	base := p.LatchThreshold(0, 32, NominalEnv())
+	if got := p.LatchThreshold(0, 32, Env{TempC: 50, VPP: 2.5, Aging: 0}); got != base {
+		t.Fatalf("zero aging shifted the latch threshold: %v vs %v", got, base)
+	}
+	for _, vpp := range gridVPPs {
+		prev := -1.0
+		for _, temp := range gridTemps {
+			got := p.LatchThreshold(0, 32, Env{TempC: temp, VPP: vpp})
+			if got <= prev {
+				t.Fatalf("latch threshold not rising with temperature at vpp=%g", vpp)
+			}
+			prev = got
+		}
+	}
+	for _, temp := range gridTemps {
+		prev := -1.0
+		for _, vpp := range gridVPPs { // descending voltages
+			got := p.LatchThreshold(0, 32, Env{TempC: temp, VPP: vpp})
+			if got <= prev {
+				t.Fatalf("latch threshold not rising with VPP underscaling at temp=%g", temp)
+			}
+			prev = got
+		}
+	}
+	prev := -1.0
+	for _, age := range gridAges {
+		got := p.LatchThreshold(0, 32, Env{TempC: 50, VPP: 2.5, Aging: age})
+		if got <= prev {
+			t.Fatal("latch threshold not rising with aging")
+		}
+		prev = got
+	}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		if n > 2 {
+			lo := p.LatchThreshold(0, n/2, NominalEnv())
+			hi := p.LatchThreshold(0, n, NominalEnv())
+			if hi <= lo {
+				t.Fatalf("latch threshold not rising with decoder load: N=%d", n)
+			}
+		}
+	}
+}
+
+// TestStableProbTimingMarginMonotone pins the envelope search's core
+// assumption: all-trials success is non-increasing as the static timing/
+// sensing margin shrinks, at every trial count, and non-increasing in the
+// trial count at every margin.
+func TestStableProbTimingMarginMonotone(t *testing.T) {
+	p := DefaultParams()
+	margins := []float64{-0.02, -0.005, 0, 0.002, 0.005, 0.01, 0.03, 0.08}
+	for _, trials := range []int{1, 4, 16} {
+		prev := -1.0
+		for _, m := range margins {
+			got := p.StableProb(m, trials)
+			if got < prev {
+				t.Fatalf("StableProb not monotone in margin at trials=%d (margin %g)", trials, m)
+			}
+			prev = got
+		}
+	}
+	for _, m := range margins {
+		if p.StableProb(m, 16) > p.StableProb(m, 1) {
+			t.Fatalf("more trials must not raise all-trials success (margin %g)", m)
+		}
+	}
+}
+
+// TestViabilityZTimingMarginMonotone: group viability is non-increasing
+// as the APA total time stretches past the best operating point (the
+// skew penalty behind the paper's MAJX timing cliff).
+func TestViabilityZTimingMarginMonotone(t *testing.T) {
+	p := DefaultParams()
+	prev := 1e9
+	for _, total := range []float64{3.0, 4.5, 6.0, 9.0, 13.5} {
+		got := p.ViabilityZ(3, 10, total, 1, 0)
+		if got > prev {
+			t.Fatalf("viability rising with total time at %g ns", total)
+		}
+		prev = got
+	}
+	// And strictly falling once past ViabilityBestTotal.
+	if p.ViabilityZ(3, 10, p.ViabilityBestTotal+2, 1, 0) >= p.ViabilityZ(3, 10, p.ViabilityBestTotal, 1, 0) {
+		t.Fatal("skew penalty not applied past the best total time")
+	}
+}
+
+// TestCopyFailProbGridMonotone pins the copy-mode slopes across the same
+// grid: failures rise (weakly) with temperature (Obs. 17) and with VPP
+// underscaling (Obs. 18), at every activation load.
+func TestCopyFailProbGridMonotone(t *testing.T) {
+	p := DefaultParams()
+	for _, n := range []int{2, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for _, vpp := range gridVPPs {
+				prev := -1.0
+				for _, temp := range gridTemps {
+					got := p.CopyFailProb(true, 0.5, n, Env{TempC: temp, VPP: vpp}, 36, 36)
+					if got < prev {
+						t.Fatalf("copy failures falling with temperature at vpp=%g", vpp)
+					}
+					prev = got
+				}
+			}
+			for _, temp := range gridTemps {
+				prev := -1.0
+				for _, vpp := range gridVPPs { // descending voltages
+					got := p.CopyFailProb(true, 0.5, n, Env{TempC: temp, VPP: vpp}, 36, 36)
+					if got < prev {
+						t.Fatalf("copy failures falling with VPP underscaling at temp=%g", temp)
+					}
+					prev = got
+				}
+			}
+		})
+	}
+}

@@ -93,7 +93,7 @@ func (p Params) RFWeight(totalNS float64) float64 {
 // predecoder-latch settling threshold (ns): the row's local wordline
 // asserts only if t2 meets it. The threshold rises with the number of
 // simultaneously asserted rows (decoder load) and shifts slightly with
-// temperature and VPP underscaling.
+// temperature, VPP underscaling and operational aging.
 func (p Params) LatchThreshold(norm float64, nRows int, e Env) float64 {
 	mean := p.LatchSettleMean
 	if nRows > 1 {
@@ -101,6 +101,7 @@ func (p Params) LatchThreshold(norm float64, nRows int, e Env) float64 {
 	}
 	mean += p.LatchTempCoeff * (e.TempC - 50)
 	mean += p.LatchVPPCoeff * (p.VPPNominal - e.VPP)
+	mean += p.AgingLatchPerYear * e.Aging
 	return mean + p.LatchSettleSigma*norm
 }
 

@@ -65,6 +65,15 @@ type Params struct {
 	// (VPP/VPPNominal)^exponent (weaker wordline drive under VPP
 	// underscaling, Obs. 13).
 	VPPWeightExponent float64
+	// AgingDrivePerYear is the relative charge-transfer weakening per year
+	// of operational aging (access-transistor wearout and retention
+	// degradation). Env.Aging = 0 — fresh silicon, the paper's tested
+	// condition — leaves the drive strength exactly unchanged.
+	AgingDrivePerYear float64
+	// AgingLatchPerYear shifts the predecoder-latch settle mean (ns) per
+	// year of aging: aged peripheral circuitry settles slower, moving the
+	// §4 timing cliffs toward larger t2.
+	AgingLatchPerYear float64
 	// RFShareRate is the extra charge-transfer weight the first-activated
 	// row gains per nanosecond it is connected before the second ACT.
 	RFShareRate float64
@@ -185,6 +194,8 @@ func DefaultParams() Params {
 
 		TempWeightCoeff:   0.0020,
 		VPPWeightExponent: 0.15,
+		AgingDrivePerYear: 0.008,
+		AgingLatchPerYear: 0.015,
 		RFShareRate:       0.02,
 
 		LatchSettleMean:      0.80,
@@ -250,10 +261,18 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Env describes the operating conditions of an experiment.
+// Env describes the operating conditions of an experiment. It is a
+// first-class swept input of the harness: the scenario subsystem
+// (internal/scenario) crosses every field as an axis of an operating
+// envelope, so shard cache keys must always capture the whole struct.
 type Env struct {
 	TempC float64 // DRAM chip temperature, °C
 	VPP   float64 // wordline voltage, V
+	// Aging is the equivalent years of operational aging/retention
+	// degradation. 0 models the paper's fresh parts; positive values
+	// weaken charge transfer (AgingDrivePerYear) and slow the predecoder
+	// latches (AgingLatchPerYear).
+	Aging float64
 }
 
 // NominalEnv returns the default operating point of the study: 50 °C and
@@ -270,14 +289,22 @@ func (e Env) Validate() error {
 	if e.VPP < 1.5 || e.VPP > 3.0 {
 		return fmt.Errorf("analog: VPP %.2f V outside supported range", e.VPP)
 	}
+	if e.Aging < 0 || e.Aging > 50 {
+		return fmt.Errorf("analog: aging %.1f years outside supported range [0, 50]", e.Aging)
+	}
 	return nil
 }
 
 // DriveFactor returns the multiplicative charge-transfer strength under
-// the environment, relative to the 50 °C / nominal-VPP baseline. Higher
-// temperature strengthens charge sharing; lower VPP weakens it.
+// the environment, relative to the fresh 50 °C / nominal-VPP baseline.
+// Higher temperature strengthens charge sharing; lower VPP and aging
+// weaken it.
 func (p Params) DriveFactor(e Env) float64 {
 	temp := 1 + p.TempWeightCoeff*(e.TempC-50)
 	vpp := math.Pow(e.VPP/p.VPPNominal, p.VPPWeightExponent)
-	return temp * vpp
+	aging := 1 - p.AgingDrivePerYear*e.Aging
+	if aging < 0 {
+		aging = 0
+	}
+	return temp * vpp * aging
 }

@@ -1,0 +1,117 @@
+package charexp
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/invariance"
+)
+
+// invariantRunner builds a small runner under one harness variant.
+func invariantRunner(t *testing.T, v invariance.Variant) *Runner {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Engine.Workers = v.Workers
+	if v.Store != nil {
+		cfg.ShardMemo = cache.NewTyped[[]core.GroupOutcome](v.Store, nil)
+	}
+	if v.Permute {
+		for i, j := 0, len(cfg.Fleet)-1; i < j; i, j = i+1, j-1 {
+			cfg.Fleet[i], cfg.Fleet[j] = cfg.Fleet[j], cfg.Fleet[i]
+		}
+	}
+	if v.Subset {
+		cfg.Fleet = cfg.Fleet[:1]
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestInvariances runs the shared metamorphic suite over the charexp
+// runners: pooled figures must keep byte-identical tables under every
+// worker count, cache mode and fleet order (their aggregation sorts
+// before summarizing), and the per-module breakdown must keep its
+// per-module cells under permutation and composition changes.
+func TestInvariances(t *testing.T) {
+	pooled := func(name string, run func(*Runner) (Table, error)) invariance.Subject {
+		return invariance.Subject{
+			Name: name,
+			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+				t.Helper()
+				tab, err := run(invariantRunner(t, v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tab.Render() + tab.CSV(), nil
+			},
+			Cacheable:              true,
+			Permutable:             true,
+			PermutationKeepsOutput: true,
+		}
+	}
+	subjects := []invariance.Subject{
+		pooled("charexp/figure3", func(r *Runner) (Table, error) {
+			res, err := r.Figure3()
+			return res.Table(), err
+		}),
+		pooled("charexp/figure4a", func(r *Runner) (Table, error) {
+			res, err := r.Figure4a()
+			return res.Table(), err
+		}),
+		{
+			Name: "charexp/permodule",
+			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+				t.Helper()
+				res, err := invariantRunner(t, v).PerModule()
+				if err != nil {
+					t.Fatal(err)
+				}
+				units := make(map[string]string, len(res.Cells))
+				for _, c := range res.Cells {
+					units[invariance.UnitKey(c.Module, c.Op)] = invariance.Sprint(c.Summary)
+				}
+				return res.Table().Render(), units
+			},
+			Cacheable:   true,
+			Permutable:  true, // row order follows the fleet; cells must not
+			Subsettable: true,
+		},
+	}
+	for _, s := range subjects {
+		t.Run(s.Name, func(t *testing.T) { invariance.Check(t, s) })
+	}
+}
+
+// TestShardMemoWarmRunStats pins the engine accounting the harness does
+// not cover: a warm repeat run executes nothing — every shard is served
+// from the memo and no activation is issued.
+func TestShardMemoWarmRunStats(t *testing.T) {
+	store := cache.New(0)
+	run := func() *Runner {
+		cfg := smallConfig()
+		cfg.Engine.Workers = 4
+		cfg.ShardMemo = cache.NewTyped[[]core.GroupOutcome](store, nil)
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Figure3(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if s := run().Stats(); s.ShardsCached != 0 {
+		t.Fatalf("cold run reported %d cached shards; want 0", s.ShardsCached)
+	}
+	s := run().Stats()
+	if s.ShardsCached == 0 || s.ShardsCached != s.ShardsTotal {
+		t.Fatalf("warm run stats %+v; want every shard served from the memo", s)
+	}
+	if s.Activations != 0 {
+		t.Fatalf("warm run issued %d activations; want 0 (pure cache)", s.Activations)
+	}
+}

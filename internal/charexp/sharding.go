@@ -23,21 +23,15 @@ type sweepShard struct {
 }
 
 // shardKey hashes everything one sweep shard's outcome depends on: the
-// module's identity and geometry, the electrical model, the operating
-// environment, the (bounded) sweep configuration, the runner's trial
-// count and seed, and the shard's (bank, subarray) coordinates. The
-// engine worker count is deliberately absent — results are bit-identical
-// for every worker count, so it must not fragment the cache.
+// module's identity and electrical model (the shared dram.Spec.HashModule
+// block), the operating environment, the (bounded) sweep configuration,
+// the runner's trial count and seed, and the shard's (bank, subarray)
+// coordinates. The engine worker count is deliberately absent — results
+// are bit-identical for every worker count, so it must not fragment the
+// cache.
 func (r *Runner) shardKey(spec dram.Spec, sc core.SweepConfig, env analog.Env, s bender.SubarraySample) cache.Key {
-	return cache.NewHasher().
-		Str("charexp/sweep-shard/v1").
-		Str(spec.ID).U64(spec.Seed).Int(spec.Columns).
-		Int(spec.Banks).Int(spec.SubarraysPerBank).
-		Str(spec.Profile.Name).Int(spec.Profile.Decoder.Rows).
-		Bool(spec.Profile.FracSupported).F64(spec.Profile.ViabilityBias).
-		Int(spec.Profile.MaxMAJ).
-		Str(fmt.Sprintf("%v", r.cfg.Params)).
-		F64(env.TempC).F64(env.VPP).
+	return spec.HashModule(cache.NewHasher().Str("charexp/sweep-shard/v1"), r.cfg.Params).
+		F64(env.TempC).F64(env.VPP).F64(env.Aging).
 		Int(int(sc.Op)).Int(sc.X).Int(sc.N).
 		F64(sc.Timings.T1).F64(sc.Timings.T2).Int(int(sc.Pattern)).
 		Int(sc.SubarraysPerBank).Int(sc.GroupsPerSubarray).Int(sc.Banks).

@@ -1,15 +1,12 @@
 package charexp
 
 import (
-	"reflect"
 	"testing"
 
 	"repro/internal/analog"
 	"repro/internal/bender"
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
-	"repro/internal/engine"
 	"repro/internal/timing"
 )
 
@@ -26,81 +23,9 @@ func runnerWithWorkers(t *testing.T, workers int) *Runner {
 	return r
 }
 
-// TestEngineDeterminismFigure3 is the engine's determinism property test:
-// for a fixed seed, a sequential run and a heavily parallel run must
-// produce identical structured results and byte-identical rendered
-// tables.
-func TestEngineDeterminismFigure3(t *testing.T) {
-	seq := runnerWithWorkers(t, 1)
-	par := runnerWithWorkers(t, 8)
-
-	got1, err := seq.Figure3()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got8, err := par.Figure3()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got1, got8) {
-		t.Fatal("Figure3 results differ between workers=1 and workers=8")
-	}
-	if got1.Table().Render() != got8.Table().Render() {
-		t.Fatal("Figure3 rendered tables differ between workers=1 and workers=8")
-	}
-	if got1.Table().CSV() != got8.Table().CSV() {
-		t.Fatal("Figure3 CSV tables differ between workers=1 and workers=8")
-	}
-}
-
-// TestEngineDeterminismFigure4 repeats the property on the environmental
-// sweep, including a repeated parallel run (scheduling is fresh each
-// time).
-func TestEngineDeterminismFigure4(t *testing.T) {
-	seq := runnerWithWorkers(t, 1)
-	par := runnerWithWorkers(t, 8)
-
-	got1, err := seq.Figure4a()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got8, err := par.Figure4a()
-	if err != nil {
-		t.Fatal(err)
-	}
-	again, err := par.Figure4a()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got1, got8) {
-		t.Fatal("Figure4a results differ between workers=1 and workers=8")
-	}
-	if !reflect.DeepEqual(got8, again) {
-		t.Fatal("Figure4a results differ between two workers=8 runs")
-	}
-	if got1.Table().Render() != got8.Table().Render() {
-		t.Fatal("Figure4a rendered tables differ between workers=1 and workers=8")
-	}
-}
-
-// TestEngineDeterminismPerModule covers the per-module breakdown, which
-// runs all three headline ops inside each subarray shard.
-func TestEngineDeterminismPerModule(t *testing.T) {
-	seq := runnerWithWorkers(t, 1)
-	par := runnerWithWorkers(t, 8)
-
-	got1, err := seq.PerModule()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got8, err := par.PerModule()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got1, got8) {
-		t.Fatal("PerModule results differ between workers=1 and workers=8")
-	}
-}
+// The engine-determinism and cache byte-identity properties formerly
+// asserted here per figure now live in the shared metamorphic suite:
+// see invariance_test.go and internal/invariance.
 
 // TestPerModuleMatchesDirectSweeps pins the shard decomposition against
 // the obvious sequential implementation: every cell's mean must equal
@@ -155,61 +80,9 @@ func TestPerModuleMatchesDirectSweeps(t *testing.T) {
 	}
 }
 
-// shardMemo builds a charexp shard memo over a fresh unbounded cache.
-func shardMemo(c *cache.Cache) *cache.Typed[[]core.GroupOutcome] {
-	return cache.NewTyped[[]core.GroupOutcome](c, nil)
-}
-
 // sampleAt builds a subarray sample for key-sensitivity checks.
 func sampleAt(bank, subarray int) bender.SubarraySample {
 	return bender.SubarraySample{Bank: bank, Subarray: subarray}
-}
-
-// TestShardMemoByteIdentity is the serving layer's core guarantee at the
-// sweep level: a Fig. 3 sweep with the shard cache enabled is
-// bit-identical to one without, both on the first (all-miss) run and on a
-// repeat run served entirely from the cache.
-func TestShardMemoByteIdentity(t *testing.T) {
-	run := func(memo engine.Memo[[]core.GroupOutcome]) (Figure3Result, string, *Runner) {
-		cfg := smallConfig()
-		cfg.Engine.Workers = 4
-		cfg.ShardMemo = memo
-		r, err := NewRunner(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := r.Figure3()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res, res.Table().Render(), r
-	}
-
-	plainRes, plainTable, _ := run(nil)
-	store := cache.New(0)
-	memo := shardMemo(store)
-	coldRes, coldTable, coldRunner := run(memo)
-	warmRes, warmTable, warmRunner := run(memo)
-
-	if !reflect.DeepEqual(plainRes, coldRes) || plainTable != coldTable {
-		t.Fatal("cache-off and cache-miss Figure3 results differ")
-	}
-	if !reflect.DeepEqual(plainRes, warmRes) || plainTable != warmTable {
-		t.Fatal("cache-off and cache-hit Figure3 results differ")
-	}
-	if s := coldRunner.Stats(); s.ShardsCached != 0 {
-		t.Fatalf("cold run reported %d cached shards; want 0", s.ShardsCached)
-	}
-	ws := warmRunner.Stats()
-	if ws.ShardsCached == 0 || ws.ShardsCached != ws.ShardsTotal {
-		t.Fatalf("warm run stats %+v; want every shard served from the memo", ws)
-	}
-	if ws.Activations != 0 {
-		t.Fatalf("warm run issued %d activations; want 0 (pure cache)", ws.Activations)
-	}
-	if s := store.Stats(); s.Hits == 0 || s.Entries == 0 {
-		t.Fatalf("cache never hit: %+v", s)
-	}
 }
 
 // TestShardMemoKeySensitivity pins the keying scheme: any change to an
@@ -245,6 +118,11 @@ func TestShardMemoKeySensitivity(t *testing.T) {
 	env2.TempC = 85
 	if r.shardKey(mod.Spec(), sc, env2, sampleAt(0, 0)) == base {
 		t.Fatal("key ignores the environment")
+	}
+	env3 := env
+	env3.Aging = 5
+	if r.shardKey(mod.Spec(), sc, env3, sampleAt(0, 0)) == base {
+		t.Fatal("key ignores the aging axis")
 	}
 	spec2 := mod.Spec()
 	spec2.Seed++

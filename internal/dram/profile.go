@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/analog"
+	"repro/internal/cache"
 	"repro/internal/decoder"
 )
 
@@ -116,6 +117,24 @@ type Spec struct {
 	FreqMTps int
 	// Seed determines all static process variation of this module.
 	Seed uint64
+}
+
+// HashModule writes the spec's simulation-relevant identity — module ID,
+// process-variation seed, geometry, behavioural profile, die revision —
+// and the electrical parameters into a canonical hasher. It is the shared
+// module block of every shard cache-key family (charexp sweep shards,
+// workload module shards, scenario point shards): one place to extend
+// when Spec, Profile or analog.Params gains a field, so no key family
+// can silently fall out of date.
+func (s Spec) HashModule(h *cache.Hasher, params analog.Params) *cache.Hasher {
+	return h.
+		Str(s.ID).U64(s.Seed).Int(s.Columns).
+		Int(s.Banks).Int(s.SubarraysPerBank).
+		Str(s.Profile.Name).Int(s.Profile.Decoder.Rows).
+		Bool(s.Profile.FracSupported).F64(s.Profile.ViabilityBias).
+		Int(s.Profile.MaxMAJ).Bool(s.Profile.APAGuarded).
+		Str(s.DieRev).
+		Str(fmt.Sprintf("%v", params))
 }
 
 // Validate reports whether the spec is usable.

@@ -5,6 +5,7 @@ package goldenfile
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,22 +20,29 @@ var Update = flag.Bool("update", false, "rewrite golden files")
 // regenerates the file.
 func Check(t *testing.T, dir, name, got string) {
 	t.Helper()
+	if err := check(*Update, dir, name, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// check is the testable core of Check: in update mode it (re)writes the
+// golden, otherwise it returns an error for a missing golden (naming the
+// -update invocation) or a mismatch (carrying both byte streams).
+func check(update bool, dir, name, got string) error {
 	path := filepath.Join(dir, name)
-	if *Update {
+	if update {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			t.Fatal(err)
+			return err
 		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
+		return os.WriteFile(path, []byte(got), 0o644)
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("missing golden %s (regenerate with go test -run Golden -update): %v", path, err)
+		return fmt.Errorf("missing golden %s (regenerate with go test -run Golden -update): %w", path, err)
 	}
 	if got != string(want) {
-		t.Fatalf("%s drifted from golden (regenerate intended changes with -update).\n--- got ---\n%s\n--- want ---\n%s",
+		return fmt.Errorf("%s drifted from golden (regenerate intended changes with -update).\n--- got ---\n%s\n--- want ---\n%s",
 			path, got, want)
 	}
+	return nil
 }

@@ -1,0 +1,87 @@
+package goldenfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUpdateWritesGolden(t *testing.T) {
+	// Update mode creates missing directories and writes the bytes
+	// verbatim, including a trailing newline and non-ASCII content.
+	dir := filepath.Join(t.TempDir(), "testdata", "nested")
+	content := "line one\nμ-second line\n"
+	if err := check(true, dir, "out.golden", content); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "out.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != content {
+		t.Fatalf("written golden %q, want %q", b, content)
+	}
+	// A second update overwrites in place.
+	if err := check(true, dir, "out.golden", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(filepath.Join(dir, "out.golden")); string(b) != "v2" {
+		t.Fatalf("golden not overwritten: %q", b)
+	}
+}
+
+func TestMatchPasses(t *testing.T) {
+	dir := t.TempDir()
+	if err := check(true, dir, "ok.golden", "stable bytes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(false, dir, "ok.golden", "stable bytes"); err != nil {
+		t.Fatalf("matching bytes must pass: %v", err)
+	}
+}
+
+func TestMismatchReportsBothStreams(t *testing.T) {
+	dir := t.TempDir()
+	if err := check(true, dir, "drift.golden", "committed bytes"); err != nil {
+		t.Fatal(err)
+	}
+	err := check(false, dir, "drift.golden", "freshly rendered bytes")
+	if err == nil {
+		t.Fatal("mismatch must fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"drift.golden", "-update",
+		"--- got ---", "freshly rendered bytes",
+		"--- want ---", "committed bytes",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("mismatch error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestMissingGoldenError(t *testing.T) {
+	err := check(false, t.TempDir(), "never-written.golden", "anything")
+	if err == nil {
+		t.Fatal("missing golden must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "missing golden") || !strings.Contains(msg, "-update") {
+		t.Fatalf("missing-golden error %q must name the file and the -update recipe", msg)
+	}
+	if !strings.Contains(msg, "never-written.golden") {
+		t.Fatalf("missing-golden error %q does not name the path", msg)
+	}
+}
+
+func TestCheckPassesThrough(t *testing.T) {
+	// The exported wrapper must succeed on a match without touching the
+	// Update flag (left false by default in this test binary).
+	dir := t.TempDir()
+	if err := check(true, dir, "wrap.golden", "bytes"); err != nil {
+		t.Fatal(err)
+	}
+	Check(t, dir, "wrap.golden", "bytes")
+}

@@ -1,0 +1,189 @@
+// Package invariance is the shared metamorphic test harness of the
+// repository's determinism contracts (DESIGN.md §2/§6/§9): one reusable
+// checker asserting, for any runner, that
+//
+//   - workers=1 ≡ workers=N — rendered output (and per-unit results) are
+//     byte-identical for every engine worker count;
+//   - cache-on ≡ cache-off — a run against a shard memo is byte-identical
+//     to an unmemoized run, on both the all-miss first pass and a repeat
+//     pass served from the cache (which must actually hit);
+//   - fleet permutation/composition invariance — per-unit results (keyed
+//     by module identity) are unchanged when the fleet is reordered, and
+//     a subset fleet reports exactly the full fleet's results for the
+//     modules it shares.
+//
+// Each runner package (charexp figures, workloads, TRNG, scenario) keeps
+// a table of Subjects in its own test file and calls Check on each; the
+// harness owns the comparison logic, so the three invariances are stated
+// once instead of re-implemented per package.
+package invariance
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Variant selects one execution configuration of a subject. Subjects
+// without a matching degree of freedom (e.g. the TRNG has no fleet)
+// ignore the fields that do not apply.
+type Variant struct {
+	// Workers bounds the engine parallelism (1 = sequential).
+	Workers int
+	// Store, when non-nil, backs the subject's shard memo (caching on).
+	// The subject builds its typed memo view over it.
+	Store *cache.Cache
+	// Permute asks the subject to reverse its fleet order.
+	Permute bool
+	// Subset asks the subject to run on a strict non-empty subset of its
+	// fleet (conventionally the first entry).
+	Subset bool
+}
+
+// Subject is one deterministic runner under test.
+type Subject struct {
+	Name string
+	// Run executes the subject under v and returns its rendered output
+	// plus optional per-unit canonical results keyed by a stable identity
+	// (e.g. module spec ID). Output is compared byte-for-byte across
+	// worker counts and cache modes; units additionally across fleet
+	// permutations and compositions, where overall row order may
+	// legitimately change.
+	Run func(t *testing.T, v Variant) (output string, units map[string]string)
+	// Cacheable enables the cache-on ≡ cache-off check (the subject must
+	// honour Variant.Store).
+	Cacheable bool
+	// Permutable enables the fleet-permutation check (the subject must
+	// honour Variant.Permute and return units).
+	Permutable bool
+	// PermutationKeepsOutput additionally asserts byte-identical rendered
+	// output under permutation — true for pooled reports, whose
+	// aggregation sorts before summarizing; false for per-module tables,
+	// whose row order follows the fleet.
+	PermutationKeepsOutput bool
+	// Subsettable enables the composition check (the subject must honour
+	// Variant.Subset and return units).
+	Subsettable bool
+}
+
+// Check runs every applicable invariance of the subject as subtests.
+func Check(t *testing.T, s Subject) {
+	t.Helper()
+	base, baseUnits := s.Run(t, Variant{Workers: 1})
+	if base == "" {
+		t.Fatalf("%s: subject produced empty output", s.Name)
+	}
+
+	t.Run("workers", func(t *testing.T) {
+		par, parUnits := s.Run(t, Variant{Workers: 8})
+		if par != base {
+			t.Fatalf("%s: output differs between workers=1 and workers=8", s.Name)
+		}
+		if err := diffUnits(baseUnits, parUnits, false); err != nil {
+			t.Fatalf("%s: workers=8: %v", s.Name, err)
+		}
+		// Scheduling is fresh on every run: repeat to catch flakiness.
+		again, _ := s.Run(t, Variant{Workers: 8})
+		if again != base {
+			t.Fatalf("%s: output differs between two workers=8 runs", s.Name)
+		}
+	})
+
+	if s.Cacheable {
+		t.Run("cache", func(t *testing.T) {
+			store := cache.New(0)
+			cold, coldUnits := s.Run(t, Variant{Workers: 4, Store: store})
+			if cold != base {
+				t.Fatalf("%s: cache-off and cache-miss outputs differ", s.Name)
+			}
+			if err := diffUnits(baseUnits, coldUnits, false); err != nil {
+				t.Fatalf("%s: cache-miss: %v", s.Name, err)
+			}
+			if st := store.Stats(); st.Entries == 0 {
+				t.Fatalf("%s: cold run stored nothing in the memo: %+v", s.Name, st)
+			}
+			warm, warmUnits := s.Run(t, Variant{Workers: 4, Store: store})
+			if warm != base {
+				t.Fatalf("%s: cache-off and cache-hit outputs differ", s.Name)
+			}
+			if err := diffUnits(baseUnits, warmUnits, false); err != nil {
+				t.Fatalf("%s: cache-hit: %v", s.Name, err)
+			}
+			if st := store.Stats(); st.Hits == 0 {
+				t.Fatalf("%s: warm run never hit the memo: %+v", s.Name, st)
+			}
+		})
+	}
+
+	if s.Permutable {
+		t.Run("permutation", func(t *testing.T) {
+			perm, permUnits := s.Run(t, Variant{Workers: 4, Permute: true})
+			if s.PermutationKeepsOutput && perm != base {
+				t.Fatalf("%s: pooled output changed under fleet permutation", s.Name)
+			}
+			if err := diffUnits(baseUnits, permUnits, false); err != nil {
+				t.Fatalf("%s: permuted fleet: %v", s.Name, err)
+			}
+		})
+	}
+
+	if s.Subsettable {
+		t.Run("composition", func(t *testing.T) {
+			_, subUnits := s.Run(t, Variant{Workers: 4, Subset: true})
+			if len(subUnits) == 0 || len(subUnits) >= len(baseUnits) {
+				t.Fatalf("%s: subset run returned %d units of %d; want a strict non-empty subset",
+					s.Name, len(subUnits), len(baseUnits))
+			}
+			if err := diffUnits(baseUnits, subUnits, true); err != nil {
+				t.Fatalf("%s: subset fleet: %v", s.Name, err)
+			}
+		})
+	}
+}
+
+// diffUnits reports whether got's per-unit results match want's. With
+// subset set, got may cover fewer units, but every unit it reports must
+// equal want's.
+func diffUnits(want, got map[string]string, subset bool) error {
+	if !subset && len(got) != len(want) {
+		return fmt.Errorf("%d units, want %d (%v vs %v)",
+			len(got), len(want), keys(got), keys(want))
+	}
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			return fmt.Errorf("unexpected unit %q", k)
+		}
+		if g != w {
+			return fmt.Errorf("unit %q drifted:\n--- got ---\n%s\n--- want ---\n%s", k, g, w)
+		}
+	}
+	return nil
+}
+
+// keys lists a unit map's keys, sorted, for failure messages.
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnitKey joins identity coordinates into a canonical unit-map key.
+func UnitKey(parts ...string) string {
+	key := ""
+	for i, p := range parts {
+		if i > 0 {
+			key += "/"
+		}
+		key += p
+	}
+	return key
+}
+
+// Sprint renders any value canonically for a unit map.
+func Sprint(v any) string { return fmt.Sprintf("%+v", v) }

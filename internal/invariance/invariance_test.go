@@ -1,0 +1,85 @@
+package invariance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestCheckHappyPath runs the harness over a well-behaved fake subject
+// and verifies every applicable dimension executes.
+func TestCheckHappyPath(t *testing.T) {
+	calls := map[string]int{}
+	Check(t, Subject{
+		Name: "fake",
+		Run: func(t *testing.T, v Variant) (string, map[string]string) {
+			switch {
+			case v.Subset:
+				calls["subset"]++
+				return "subset", map[string]string{"a": "1"}
+			case v.Permute:
+				calls["permute"]++
+			case v.Store != nil:
+				calls["cache"]++
+				// A real subject routes shards through the store; the fake
+				// mimics one stored entry and one warm hit.
+				key := cache.NewHasher().Str("fake").Sum()
+				if _, ok := v.Store.Get(key); !ok {
+					v.Store.Put(key, "x", 1)
+				}
+			default:
+				calls["plain"]++
+			}
+			return "output", map[string]string{"a": "1", "b": "2"}
+		},
+		Cacheable:              true,
+		Permutable:             true,
+		PermutationKeepsOutput: true,
+		Subsettable:            true,
+	})
+	if calls["plain"] < 3 { // base + two workers=8 runs
+		t.Fatalf("plain runs = %d; want >= 3", calls["plain"])
+	}
+	for _, k := range []string{"cache", "permute", "subset"} {
+		if calls[k] == 0 {
+			t.Fatalf("dimension %q never executed (calls: %v)", k, calls)
+		}
+	}
+}
+
+// TestDiffUnits pins the unit-comparison semantics the suites rely on.
+func TestDiffUnits(t *testing.T) {
+	want := map[string]string{"m1/op": "a", "m2/op": "b"}
+	ok := func(got map[string]string, subset bool) bool {
+		return diffUnits(want, got, subset) == nil
+	}
+	if !ok(map[string]string{"m1/op": "a", "m2/op": "b"}, false) {
+		t.Fatal("identical units must pass")
+	}
+	if !ok(map[string]string{"m1/op": "a"}, true) {
+		t.Fatal("strict subset must pass in subset mode")
+	}
+	if ok(map[string]string{"m1/op": "a"}, false) {
+		t.Fatal("missing unit must fail outside subset mode")
+	}
+	if ok(map[string]string{"m1/op": "DRIFT", "m2/op": "b"}, false) {
+		t.Fatal("drifted unit must fail")
+	}
+	if ok(map[string]string{"m3/op": "a"}, true) {
+		t.Fatal("unknown unit must fail even in subset mode")
+	}
+}
+
+// TestUnitKey pins the canonical key join.
+func TestUnitKey(t *testing.T) {
+	if got := UnitKey("mod", "op"); got != "mod/op" {
+		t.Fatalf("UnitKey = %q", got)
+	}
+	if got := UnitKey("solo"); got != "solo" {
+		t.Fatalf("UnitKey = %q", got)
+	}
+	if Sprint(struct{ A int }{3}) != fmt.Sprintf("%+v", struct{ A int }{3}) {
+		t.Fatal("Sprint drifted from the canonical struct rendering")
+	}
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/invariance"
+)
+
+// invariantConfig builds a small scenario configuration under one harness
+// variant.
+func invariantConfig(v invariance.Variant) Config {
+	cfg := smallConfig()
+	cfg.Engine.Workers = v.Workers
+	if v.Store != nil {
+		cfg.Memo = cache.NewTyped[[]core.GroupOutcome](v.Store, nil)
+	}
+	if v.Permute {
+		for i, j := 0, len(cfg.Fleet)-1; i < j; i, j = i+1, j-1 {
+			cfg.Fleet[i], cfg.Fleet[j] = cfg.Fleet[j], cfg.Fleet[i]
+		}
+	}
+	if v.Subset {
+		cfg.Fleet = cfg.Fleet[:1]
+	}
+	return cfg
+}
+
+// TestInvariances runs the shared metamorphic suite over both scenario
+// modes. Per-module cells are keyed by module identity, so they must
+// survive fleet permutation and composition changes; the grid scan's
+// pooled table sorts before summarizing, so its bytes must too.
+func TestInvariances(t *testing.T) {
+	subjects := []invariance.Subject{
+		{
+			Name: "scenario/grid",
+			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+				t.Helper()
+				cfg := invariantConfig(v)
+				cfg.Grid = smallGrid()
+				res, err := Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var b strings.Builder
+				if err := WriteReport(&b, res, "text"); err != nil {
+					t.Fatal(err)
+				}
+				units := make(map[string]string)
+				for _, pr := range res.Points {
+					for _, m := range pr.Modules {
+						units[invariance.UnitKey(m.Module, invariance.Sprint(pr.Point))] =
+							invariance.Sprint(m)
+					}
+				}
+				return b.String(), units
+			},
+			Cacheable:              true,
+			Permutable:             true,
+			PermutationKeepsOutput: true, // pooled table sorts before summarizing
+			Subsettable:            true,
+		},
+		{
+			Name: "scenario/envelope",
+			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+				t.Helper()
+				cfg := invariantConfig(v)
+				cfg.Envelope = &Envelope{Axis: "t2", Target: 0.9}
+				res, err := Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var b strings.Builder
+				if err := WriteReport(&b, res, "text"); err != nil {
+					t.Fatal(err)
+				}
+				units := make(map[string]string, len(res.Cells))
+				for _, c := range res.Cells {
+					units[invariance.UnitKey(c.Module, invariance.Sprint(c.Base))] =
+						invariance.Sprint(c)
+				}
+				return b.String(), units
+			},
+			Cacheable:   true,
+			Permutable:  true, // row order follows the fleet; cells must not
+			Subsettable: true,
+		},
+	}
+	for _, s := range subjects {
+		t.Run(s.Name, func(t *testing.T) { invariance.Check(t, s) })
+	}
+}

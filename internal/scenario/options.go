@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/charexp"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/timing"
+)
+
+// Options mirrors the cmd/simra-scan CLI surface and the serving layer's
+// scenario-request parameters. Resolving options to a Config here — and
+// rendering through WriteReport — is what makes a served /v1/scenario
+// response byte-identical to the CLI's stdout for the same parameters.
+type Options struct {
+	// Op is the operation family: "activation" (default), "maj" or "copy".
+	Op string
+	// Grid names a preset axis matrix: "nominal", "timing" (default),
+	// "thermal", "voltage", "pattern", "aging" or "full".
+	Grid string
+	// Axes overrides preset axes: a ';'-separated list of
+	// "axis=v1,v2,..." entries, e.g. "t2=1.5,3;temp=50,90;pattern=random,all0".
+	// Valid axes: t1, t2, temp, vpp, aging, n, x, pattern.
+	Axes string
+	// Envelope switches to adaptive envelope search on the named axis
+	// ("t1", "t2", "temp", "vpp" or "aging"; "" = grid scan).
+	Envelope string
+	// Target is the envelope success threshold in (0, 1] (0 = 0.9).
+	Target float64
+	// Modules selects the population: "representative" (default) or "full".
+	Modules string
+	// X and N fix the majority width and activation row count when the
+	// corresponding axis is not swept (0 = defaults 3 and 32).
+	X, N int
+	// Trials, Groups, Banks, Columns and Seed override the reduced-scale
+	// defaults (0 = default).
+	Trials  int
+	Groups  int
+	Banks   int
+	Columns int
+	Seed    uint64
+	// Workers bounds the engine parallelism (0 = GOMAXPROCS). It never
+	// affects result bytes.
+	Workers int
+}
+
+// patternsByName maps CLI/API pattern tokens onto dram patterns.
+var patternsByName = map[string]dram.Pattern{
+	"random": dram.PatternRandom,
+	"00ff":   dram.Pattern00FF,
+	"aa55":   dram.PatternAA55,
+	"cc33":   dram.PatternCC33,
+	"6699":   dram.Pattern6699,
+	"all0":   dram.PatternAll0,
+	"all1":   dram.PatternAll1,
+	"split":  dram.PatternSplit,
+}
+
+// patternNames lists the accepted pattern tokens, sorted for error
+// messages.
+func patternNames() string {
+	names := make([]string, 0, len(patternsByName))
+	for n := range patternsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// GridNames lists the preset grid names in canonical order.
+func GridNames() []string {
+	return []string{"nominal", "timing", "thermal", "voltage", "pattern", "aging", "full"}
+}
+
+// presetGrid resolves a named axis matrix.
+func presetGrid(name string) (Grid, error) {
+	switch name {
+	case "", "nominal":
+		return Grid{}, nil
+	case "timing":
+		return Grid{T1: timing.SweepT1SiMRA, T2: timing.SweepT2}, nil
+	case "thermal":
+		return Grid{Temp: timing.SweepTemperature, T2: []float64{1.5, 3.0}}, nil
+	case "voltage":
+		return Grid{VPP: timing.SweepVPP, T2: []float64{1.5, 3.0}}, nil
+	case "pattern":
+		return Grid{Patterns: dram.MAJPatterns}, nil
+	case "aging":
+		return Grid{Aging: []float64{0, 2, 4, 8, 16}}, nil
+	case "full":
+		return Grid{
+			T1:   timing.SweepT1SiMRA,
+			T2:   timing.SweepT2,
+			Temp: []float64{50, 70, 90},
+			VPP:  []float64{2.5, 2.3, 2.1},
+		}, nil
+	default:
+		return Grid{}, fmt.Errorf("scenario: unknown grid %q; valid: %s",
+			name, strings.Join(GridNames(), ", "))
+	}
+}
+
+// applyAxes parses an axis-override specification onto the grid.
+func applyAxes(g Grid, spec string) (Grid, error) {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		axis, vals, ok := strings.Cut(entry, "=")
+		if !ok {
+			return g, fmt.Errorf("scenario: malformed axis entry %q; want axis=v1,v2,...", entry)
+		}
+		axis = strings.TrimSpace(axis)
+		parts := strings.Split(vals, ",")
+		floats := func() ([]float64, error) {
+			out := make([]float64, 0, len(parts))
+			for _, s := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: axis %s: bad value %q", axis, s)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+		ints := func() ([]int, error) {
+			out := make([]int, 0, len(parts))
+			for _, s := range parts {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: axis %s: bad value %q", axis, s)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+		var err error
+		switch axis {
+		case "t1":
+			g.T1, err = floats()
+		case "t2":
+			g.T2, err = floats()
+		case "temp":
+			g.Temp, err = floats()
+		case "vpp":
+			g.VPP, err = floats()
+		case "aging":
+			g.Aging, err = floats()
+		case "n":
+			g.Rows, err = ints()
+		case "x":
+			g.MAJX, err = ints()
+		case "pattern":
+			// Fresh slice: the preset may alias a package-level pattern
+			// list (dram.MAJPatterns), which an in-place reset would
+			// corrupt for every later caller.
+			g.Patterns = nil
+			for _, s := range parts {
+				p, ok := patternsByName[strings.ToLower(strings.TrimSpace(s))]
+				if !ok {
+					return g, fmt.Errorf("scenario: unknown pattern %q; valid: %s",
+						strings.TrimSpace(s), patternNames())
+				}
+				g.Patterns = append(g.Patterns, p)
+			}
+		default:
+			return g, fmt.Errorf("scenario: unknown axis %q; valid: t1, t2, temp, vpp, aging, n, x, pattern", axis)
+		}
+		if err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+// Resolve validates the options and builds the run configuration.
+func (o Options) Resolve() (Config, error) {
+	cfg := DefaultConfig()
+
+	switch o.Op {
+	case "", "activation":
+		cfg.Op = core.OpManyRowActivation
+	case "maj":
+		cfg.Op = core.OpMAJ
+	case "copy":
+		cfg.Op = core.OpMultiRowCopy
+	default:
+		return Config{}, fmt.Errorf("scenario: unknown op %q; valid: activation, maj, copy", o.Op)
+	}
+
+	fleetCfg := fleet.DefaultConfig()
+	fleetCfg.Columns = 512
+	if o.Columns > 0 {
+		fleetCfg.Columns = o.Columns
+	}
+	switch o.Modules {
+	case "", "representative":
+		cfg.Fleet = fleet.Representative(fleetCfg)
+	case "full":
+		cfg.Fleet = fleet.Modules(fleetCfg)
+	default:
+		return Config{}, fmt.Errorf("scenario: unknown modules %q; valid: representative, full", o.Modules)
+	}
+
+	grid, err := presetGrid(o.Grid)
+	if err != nil {
+		return Config{}, err
+	}
+	if o.Axes != "" {
+		if grid, err = applyAxes(grid, o.Axes); err != nil {
+			return Config{}, err
+		}
+	}
+	if o.N > 0 && len(grid.Rows) == 0 {
+		grid.Rows = []int{o.N}
+	}
+	if o.X > 0 && len(grid.MAJX) == 0 {
+		grid.MAJX = []int{o.X}
+	}
+	cfg.Grid = grid
+
+	if o.Envelope != "" {
+		if _, _, err := AxisBounds(o.Envelope); err != nil {
+			return Config{}, err
+		}
+		cfg.Envelope = &Envelope{Axis: o.Envelope, Target: o.Target}
+	} else if o.Target != 0 {
+		return Config{}, fmt.Errorf("scenario: -target only applies to envelope search")
+	}
+
+	if o.Trials > 0 {
+		cfg.Trials = o.Trials
+	}
+	if o.Groups > 0 {
+		cfg.GroupsPerSubarray = o.Groups
+	}
+	if o.Banks > 0 {
+		cfg.Banks = o.Banks
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.Engine.Workers = o.Workers
+
+	// Fail fast on malformed grids (the same check Run performs).
+	points := cfg.Grid.withDefaults(cfg.Op).points(cfg.Op)
+	if cfg.Envelope != nil {
+		env, err := cfg.Envelope.withDefaults()
+		if err != nil {
+			return Config{}, err
+		}
+		probes := make([]Point, 0, 2*len(points))
+		for _, p := range points {
+			probes = append(probes,
+				p.withAxis(env.Axis, env.Lo), p.withAxis(env.Axis, env.Hi))
+		}
+		points = probes
+	}
+	if err := cfg.validate(points); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// fnum renders an axis value the way the tables print it.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// pct formats a rate as a percentage.
+func pct(rate float64) string { return fmt.Sprintf("%.2f%%", rate*100) }
+
+// pointCells renders a point's axis columns; the skipped axis (envelope
+// mode's bisected one) prints "*".
+func pointCells(op core.OpKind, p Point, skip string) []string {
+	cell := func(axis string, v string) string {
+		if axis == skip {
+			return "*"
+		}
+		return v
+	}
+	x := "-"
+	if op == core.OpMAJ {
+		x = fmt.Sprint(p.X)
+	}
+	return []string{
+		fmt.Sprint(p.N), x, p.Pattern.String(),
+		cell("t1", fnum(p.T1)), cell("t2", fnum(p.T2)),
+		cell("temp", fnum(p.TempC)), cell("vpp", fnum(p.VPP)), cell("aging", fnum(p.Aging)),
+	}
+}
+
+var pointColumns = []string{"n", "x", "pattern", "t1(ns)", "t2(ns)", "temp(C)", "vpp(V)", "aging(y)"}
+
+// Table renders the result as the shared experiment table: the single
+// source of truth behind cmd/simra-scan and the serving layer's
+// /v1/scenario responses.
+func (r *Result) Table() charexp.Table {
+	if r.Axis != "" {
+		t := charexp.Table{
+			ID: "Envelope",
+			Title: fmt.Sprintf("%v adaptive envelope: %s boundary at target %s",
+				r.Op, r.Axis, pct(r.Target)),
+			Columns: append(append([]string{"module", "mfr"}, pointColumns...),
+				"lo", "hi", "rate@lo", "rate@hi", "boundary", "status"),
+		}
+		for _, c := range r.Cells {
+			row := append([]string{c.Module, c.Mfr}, pointCells(r.Op, c.Base, r.Axis)...)
+			row = append(row,
+				fnum(c.Lo), fnum(c.Hi), pct(c.RateLo), pct(c.RateHi),
+				fmt.Sprintf("%.3f", c.Boundary), c.Status)
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	t := charexp.Table{
+		ID:    "Scan",
+		Title: fmt.Sprintf("%v operating-envelope scan", r.Op),
+		Columns: append(append([]string{}, pointColumns...),
+			"groups", "mean", "min", "q1", "median", "q3", "max"),
+	}
+	for _, pr := range r.Points {
+		row := pointCells(r.Op, pr.Point, "")
+		row = append(row, fmt.Sprint(pr.Pooled.N),
+			pct(pr.Pooled.Mean), pct(pr.Pooled.Min), pct(pr.Pooled.Q1),
+			pct(pr.Pooled.Median), pct(pr.Pooled.Q3), pct(pr.Pooled.Max))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// WriteReport renders a scenario result to w in the given format ("text"
+// or "csv"): the byte-exact output contract shared by cmd/simra-scan and
+// the serving layer (engine statistics are deliberately excluded — they
+// vary with cache state, and served bytes must equal CLI stdout for every
+// cache mode and worker count).
+func WriteReport(w io.Writer, r *Result, format string) error {
+	table := r.Table()
+	switch format {
+	case "csv":
+		_, err := io.WriteString(w, table.CSV())
+		return err
+	case "text":
+		if _, err := io.WriteString(w, table.Render()); err != nil {
+			return err
+		}
+		if r.Axis != "" {
+			counts := map[string]int{}
+			for _, c := range r.Cells {
+				counts[c.Status]++
+			}
+			_, err := fmt.Fprintf(w, "\n%d envelope cells: %d min-viable, %d max-viable, %d pass, %d fail\n",
+				len(r.Cells), counts[StatusMinViable], counts[StatusMaxViable],
+				counts[StatusPass], counts[StatusFail])
+			return err
+		}
+		_, err := fmt.Fprintf(w, "\n%d scenario points across %d module cells\n",
+			len(r.Points), r.applicable)
+		return err
+	default:
+		return fmt.Errorf("scenario: unknown format %q; valid: text, csv", format)
+	}
+}

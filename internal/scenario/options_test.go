@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	cfg, err := Options{}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Op != core.OpManyRowActivation {
+		t.Fatalf("default op %v", cfg.Op)
+	}
+	if cfg.Envelope != nil {
+		t.Fatal("default must be a grid scan")
+	}
+	if len(cfg.Fleet) == 0 {
+		t.Fatal("no fleet resolved")
+	}
+	// The "" grid is the nominal preset; the explicit default grid of the
+	// CLI is "timing".
+	timingCfg, err := Options{Grid: "timing"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := timingCfg.Grid.withDefaults(timingCfg.Op).points(timingCfg.Op)
+	if len(pts) != 8 { // 2 t1 × 4 t2
+		t.Fatalf("timing grid has %d points, want 8", len(pts))
+	}
+}
+
+func TestResolveAxesOverride(t *testing.T) {
+	cfg, err := Options{
+		Grid: "nominal",
+		Axes: " t2 = 1.5, 3 ; temp=50,90 ; pattern = random , all0 ; n=16",
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Grid
+	if len(g.T2) != 2 || g.T2[1] != 3 {
+		t.Fatalf("t2 axis: %v", g.T2)
+	}
+	if len(g.Temp) != 2 || g.Temp[1] != 90 {
+		t.Fatalf("temp axis: %v", g.Temp)
+	}
+	if len(g.Patterns) != 2 || g.Patterns[1] != dram.PatternAll0 {
+		t.Fatalf("pattern axis: %v", g.Patterns)
+	}
+	if len(g.Rows) != 1 || g.Rows[0] != 16 {
+		t.Fatalf("rows axis: %v", g.Rows)
+	}
+}
+
+// TestPatternOverrideDoesNotAliasPresets is the regression test for the
+// preset-corruption bug: overriding the pattern axis on the "pattern"
+// preset (whose Grid aliases dram.MAJPatterns) must not mutate the
+// package-level pattern list.
+func TestPatternOverrideDoesNotAliasPresets(t *testing.T) {
+	before := append([]dram.Pattern(nil), dram.MAJPatterns...)
+	if _, err := (Options{Grid: "pattern", Axes: "pattern=all0,all1"}).Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range dram.MAJPatterns {
+		if p != before[i] {
+			t.Fatalf("dram.MAJPatterns[%d] corrupted: %v, want %v", i, p, before[i])
+		}
+	}
+}
+
+func TestResolveEnvelope(t *testing.T) {
+	cfg, err := Options{Envelope: "temp", Target: 0.75}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Envelope == nil || cfg.Envelope.Axis != "temp" || cfg.Envelope.Target != 0.75 {
+		t.Fatalf("envelope: %+v", cfg.Envelope)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"op", Options{Op: "refresh"}, "valid: activation, maj, copy"},
+		{"grid", Options{Grid: "galactic"}, "valid: nominal, timing"},
+		{"modules", Options{Modules: "samsung"}, "valid: representative, full"},
+		{"axis", Options{Axes: "freq=1,2"}, "unknown axis"},
+		{"axis value", Options{Axes: "t2=fast"}, "bad value"},
+		{"axis shape", Options{Axes: "t2:1.5"}, "malformed axis entry"},
+		{"pattern", Options{Axes: "pattern=zebra"}, "unknown pattern"},
+		{"envelope axis", Options{Envelope: "pattern"}, "unknown envelope axis"},
+		{"stray target", Options{Target: 0.5}, "-target only applies"},
+		{"bad maj point", Options{Op: "maj", X: 4}, "odd"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.o.Resolve()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteReportFormats(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Grid = Grid{T2: []float64{1.5, 3.0}}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var text, csv strings.Builder
+	if err := WriteReport(&text, res, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&csv, res, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "operating-envelope scan") ||
+		!strings.Contains(text.String(), "scenario points across") {
+		t.Fatalf("text report malformed:\n%s", text.String())
+	}
+	if !strings.HasPrefix(csv.String(), "n,x,pattern,") {
+		t.Fatalf("csv report malformed:\n%s", csv.String())
+	}
+	if err := WriteReport(&text, res, "yaml"); err == nil ||
+		!strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("format validation: %v", err)
+	}
+}
+
+func TestEnvelopeReportFormats(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Envelope = &Envelope{Axis: "t2"}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if err := WriteReport(&text, res, "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "adaptive envelope") || !strings.Contains(out, "envelope cells:") {
+		t.Fatalf("envelope report malformed:\n%s", out)
+	}
+	// The bisected axis renders as "*" in the base-point columns.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("bisected axis not masked:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/charexp"
 	"repro/internal/fleet"
+	"repro/internal/scenario"
 	"repro/internal/trng"
 	"repro/internal/workload"
 )
@@ -210,12 +211,103 @@ func (q TRNGRequest) key() cache.Key {
 		Sum()
 }
 
+// ScenarioRequest asks for an operating-envelope scenario run — a grid
+// scan or an adaptive envelope search — with the same parameter surface
+// as cmd/simra-scan (minus -workers; see SweepRequest). The response is
+// byte-identical to the CLI's stdout for the same parameters.
+type ScenarioRequest struct {
+	// Op is the operation family: "activation" (default), "maj" or "copy".
+	Op string `json:"op,omitempty"`
+	// Grid names a preset axis matrix ("nominal", "timing" — the default —
+	// "thermal", "voltage", "pattern", "aging", "full").
+	Grid string `json:"grid,omitempty"`
+	// Axes overrides preset axes, e.g. "t2=1.5,3;temp=50,90".
+	Axes string `json:"axes,omitempty"`
+	// Envelope selects adaptive envelope search on the named axis
+	// ("" = grid scan); Target is its success threshold (0 = 0.9).
+	Envelope string  `json:"envelope,omitempty"`
+	Target   float64 `json:"target,omitempty"`
+	// Modules is "representative" (default) or "full".
+	Modules string `json:"modules,omitempty"`
+	// X, N, Trials, Groups, Banks, Columns and Seed override the defaults
+	// (0 = default), exactly as the CLI flags do.
+	X       int    `json:"x,omitempty"`
+	N       int    `json:"n,omitempty"`
+	Trials  int    `json:"trials,omitempty"`
+	Groups  int    `json:"groups,omitempty"`
+	Banks   int    `json:"banks,omitempty"`
+	Columns int    `json:"cols,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Format is "text" (default) or "csv".
+	Format string `json:"format,omitempty"`
+}
+
+// normalize fills defaults and validates the request by resolving it.
+func (q ScenarioRequest) normalize() (ScenarioRequest, error) {
+	if q.Op == "" {
+		q.Op = "activation"
+	}
+	if q.Grid == "" {
+		q.Grid = "timing"
+	}
+	if q.Modules == "" {
+		q.Modules = "representative"
+	}
+	if q.Format == "" {
+		q.Format = "text"
+	}
+	if q.Format != "text" && q.Format != "csv" {
+		return q, fmt.Errorf("unknown format %q; valid: text, csv", q.Format)
+	}
+	if q.Envelope != "" && q.Target == 0 {
+		// Explicit default so {"envelope":"t2"} and
+		// {"envelope":"t2","target":0.9} share one cache entry.
+		q.Target = 0.9
+	}
+	if _, err := q.options().Resolve(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// options maps the request onto the shared CLI resolution.
+func (q ScenarioRequest) options() scenario.Options {
+	return scenario.Options{
+		Op:       q.Op,
+		Grid:     q.Grid,
+		Axes:     q.Axes,
+		Envelope: q.Envelope,
+		Target:   q.Target,
+		Modules:  q.Modules,
+		X:        q.X,
+		N:        q.N,
+		Trials:   q.Trials,
+		Groups:   q.Groups,
+		Banks:    q.Banks,
+		Columns:  q.Columns,
+		Seed:     q.Seed,
+	}
+}
+
+// key is the normalized request's content hash.
+func (q ScenarioRequest) key() cache.Key {
+	return cache.NewHasher().
+		Str("serve/scenario/v1").
+		Str(q.Op).Str(q.Grid).Str(q.Axes).
+		Str(q.Envelope).F64(q.Target).Str(q.Modules).
+		Int(q.X).Int(q.N).
+		Int(q.Trials).Int(q.Groups).Int(q.Banks).Int(q.Columns).
+		U64(q.Seed).Str(q.Format).
+		Sum()
+}
+
 // BatchItem is one request of a batch, discriminated by Kind.
 type BatchItem struct {
-	Kind     string           `json:"kind"` // "sweep", "workload" or "trng"
+	Kind     string           `json:"kind"` // "sweep", "workload", "trng" or "scenario"
 	Sweep    *SweepRequest    `json:"sweep,omitempty"`
 	Workload *WorkloadRequest `json:"workload,omitempty"`
 	TRNG     *TRNGRequest     `json:"trng,omitempty"`
+	Scenario *ScenarioRequest `json:"scenario,omitempty"`
 }
 
 // BatchRequest submits several requests in one round trip. Items execute

@@ -9,9 +9,14 @@
 //	POST /v1/sweep     one characterization figure/table (cmd/simra-char's surface)
 //	POST /v1/workload  a fleet-wide workload run (cmd/simra-work's surface)
 //	POST /v1/trng      health-screened random bytes (cmd/simra-trng's surface)
+//	POST /v1/scenario  an operating-envelope scan or envelope search (cmd/simra-scan's surface)
 //	POST /v1/batch     several of the above in one round trip
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus-style counters
+//
+// Malformed request bodies return 400; well-formed requests naming
+// unknown figures, workloads, modules, ops or axes return 422 with an
+// error listing the valid options.
 //
 // Responses are JSON envelopes (Response); appending ?raw=1 returns the
 // rendered output bytes alone. Workload responses equal cmd/simra-work's
@@ -40,6 +45,7 @@ import (
 	"repro/internal/charexp"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 	"repro/internal/trng"
 	"repro/internal/workload"
 )
@@ -95,7 +101,7 @@ func (c Config) withDefaults() Config {
 var errBusy = errors.New("server: execution queue full")
 
 // kinds are the request families the counters track.
-var kinds = []string{"sweep", "workload", "trng", "batch"}
+var kinds = []string{"sweep", "workload", "trng", "scenario", "batch"}
 
 // kindCounters tracks one request family.
 type kindCounters struct {
@@ -265,6 +271,30 @@ func (s *Server) runWorkload(ctx context.Context, q WorkloadRequest) (Response, 
 	})
 }
 
+// runScenario executes one normalized scenario request. Point shards are
+// memoized in the same store as sweep shards (both are []core.GroupOutcome
+// under distinct key families), so an envelope search warms later grid
+// scans and vice versa.
+func (s *Server) runScenario(ctx context.Context, q ScenarioRequest) (Response, error) {
+	return s.respond(ctx, "scenario", q.key(), func(execCtx context.Context) (string, error) {
+		cfg, err := q.options().Resolve()
+		if err != nil {
+			return "", err
+		}
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.Memo = s.sweepMemo
+		res, err := scenario.Run(execCtx, cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := scenario.WriteReport(&b, res, q.Format); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	})
+}
+
 // runTRNG executes one normalized TRNG request.
 func (s *Server) runTRNG(ctx context.Context, q TRNGRequest) (Response, error) {
 	return s.respond(ctx, "trng", q.key(), func(context.Context) (string, error) {
@@ -320,63 +350,39 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// endpoint builds the standard POST handler shape shared by every request
+// family: a malformed body is 400, a well-formed body that fails
+// normalization (unknown figure/workload/op/axis names, out-of-range
+// values) is 422 with an error listing the valid options, and an
+// execution failure is 500.
+func endpoint[Q any](normalize func(Q) (Q, error), run func(context.Context, Q) (Response, error)) http.HandlerFunc {
+	return post(func(w http.ResponseWriter, r *http.Request) {
+		var q Q
+		if err := decodeJSON(r, &q); err != nil {
+			writeError(w, err, http.StatusBadRequest)
+			return
+		}
+		q, err := normalize(q)
+		if err != nil {
+			writeError(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+		resp, err := run(r.Context(), q)
+		if err != nil {
+			writeError(w, err, http.StatusInternalServerError)
+			return
+		}
+		writeResponse(w, r, resp)
+	})
+}
+
 // Handler returns the serving mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sweep", post(func(w http.ResponseWriter, r *http.Request) {
-		var q SweepRequest
-		if err := decodeJSON(r, &q); err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		q, err := q.normalize()
-		if err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		resp, err := s.runSweep(r.Context(), q)
-		if err != nil {
-			writeError(w, err, http.StatusInternalServerError)
-			return
-		}
-		writeResponse(w, r, resp)
-	}))
-	mux.HandleFunc("/v1/workload", post(func(w http.ResponseWriter, r *http.Request) {
-		var q WorkloadRequest
-		if err := decodeJSON(r, &q); err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		q, err := q.normalize()
-		if err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		resp, err := s.runWorkload(r.Context(), q)
-		if err != nil {
-			writeError(w, err, http.StatusInternalServerError)
-			return
-		}
-		writeResponse(w, r, resp)
-	}))
-	mux.HandleFunc("/v1/trng", post(func(w http.ResponseWriter, r *http.Request) {
-		var q TRNGRequest
-		if err := decodeJSON(r, &q); err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		q, err := q.normalize()
-		if err != nil {
-			writeError(w, err, http.StatusBadRequest)
-			return
-		}
-		resp, err := s.runTRNG(r.Context(), q)
-		if err != nil {
-			writeError(w, err, http.StatusInternalServerError)
-			return
-		}
-		writeResponse(w, r, resp)
-	}))
+	mux.HandleFunc("/v1/sweep", endpoint(SweepRequest.normalize, s.runSweep))
+	mux.HandleFunc("/v1/workload", endpoint(WorkloadRequest.normalize, s.runWorkload))
+	mux.HandleFunc("/v1/trng", endpoint(TRNGRequest.normalize, s.runTRNG))
+	mux.HandleFunc("/v1/scenario", endpoint(ScenarioRequest.normalize, s.runScenario))
 	mux.HandleFunc("/v1/batch", post(func(w http.ResponseWriter, r *http.Request) {
 		var batch BatchRequest
 		if err := decodeJSON(r, &batch); err != nil {
@@ -450,8 +456,22 @@ func (s *Server) runBatchItem(ctx context.Context, item BatchItem) Response {
 			return fail("trng", err)
 		}
 		return resp
+	case "scenario":
+		q := ScenarioRequest{}
+		if item.Scenario != nil {
+			q = *item.Scenario
+		}
+		q, err := q.normalize()
+		if err != nil {
+			return fail("scenario", err)
+		}
+		resp, err := s.runScenario(ctx, q)
+		if err != nil {
+			return fail("scenario", err)
+		}
+		return resp
 	default:
-		return fail(item.Kind, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng", item.Kind))
+		return fail(item.Kind, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario", item.Kind))
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // testServer spins a serving instance over httptest.
@@ -151,6 +153,95 @@ func TestTRNGMatchesCLIGolden(t *testing.T) {
 	}
 }
 
+// TestScenarioMatchesCLI asserts a served scenario response — grid scan
+// and envelope search, computed and cached — is byte-identical to what
+// cmd/simra-scan prints on stdout for the same parameters (both render
+// through scenario.WriteReport).
+func TestScenarioMatchesCLI(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	cases := []struct {
+		name, req string
+		opts      scenario.Options
+	}{
+		{"grid", `{"axes":"t2=1.5,3","cols":128,"groups":2,"banks":1,"trials":2}`,
+			scenario.Options{Grid: "timing", Axes: "t2=1.5,3", Columns: 128, Groups: 2, Banks: 1, Trials: 2}},
+		{"envelope", `{"envelope":"t2","grid":"nominal","cols":128,"groups":2,"banks":1,"trials":2}`,
+			scenario.Options{Grid: "nominal", Envelope: "t2", Target: 0.9, Columns: 128, Groups: 2, Banks: 1, Trials: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := c.opts.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := scenario.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if err := scenario.WriteReport(&want, res, "text"); err != nil {
+				t.Fatal(err)
+			}
+			for i, label := range []string{"computed", "cached"} {
+				status, body := postJSON(t, ts.URL+"/v1/scenario?raw=1", c.req)
+				if status != http.StatusOK {
+					t.Fatalf("%s: status %d: %s", label, status, body)
+				}
+				if body != want.String() {
+					t.Fatalf("%s (pass %d): served scenario bytes differ from the CLI render", label, i)
+				}
+			}
+		})
+	}
+	if got := s.Executions("scenario"); got != 2 {
+		t.Fatalf("scenario executions = %d; want 2 (one per distinct request)", got)
+	}
+}
+
+// TestScenarioKeyNormalization pins the cache-key defaulting: requests
+// that spell out a default (modules, op, grid, format, envelope target)
+// must hash to the same whole-response key as requests that omit it.
+func TestScenarioKeyNormalization(t *testing.T) {
+	norm := func(q ScenarioRequest) ScenarioRequest {
+		t.Helper()
+		n, err := q.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	base := norm(ScenarioRequest{Envelope: "t2"})
+	spelled := norm(ScenarioRequest{
+		Op: "activation", Grid: "timing", Modules: "representative",
+		Envelope: "t2", Target: 0.9, Format: "text",
+	})
+	if base.key() != spelled.key() {
+		t.Fatal("spelled-out defaults fragment the scenario response cache")
+	}
+	if other := norm(ScenarioRequest{Envelope: "t2", Modules: "full"}); other.key() == base.key() {
+		t.Fatal("distinct fleets must not share a response key")
+	}
+}
+
+// TestScenarioSharesShardMemo pins the cross-request shard sharing: two
+// distinct scenario requests whose grids overlap reuse each other's point
+// shards through the server's shared memo.
+func TestScenarioSharesShardMemo(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	base := `{"grid":"nominal","axes":"t2=1.5,3","cols":128,"groups":2,"banks":1,"trials":2}`
+	wider := `{"grid":"nominal","axes":"t2=1.5,3,4.5","cols":128,"groups":2,"banks":1,"trials":2}`
+	if status, body := postJSON(t, ts.URL+"/v1/scenario", base); status != http.StatusOK {
+		t.Fatalf("base: status %d: %s", status, body)
+	}
+	before := s.CacheStats().Hits
+	if status, body := postJSON(t, ts.URL+"/v1/scenario", wider); status != http.StatusOK {
+		t.Fatalf("wider: status %d: %s", status, body)
+	}
+	if s.CacheStats().Hits <= before {
+		t.Fatal("overlapping scenario request reused no point shards")
+	}
+}
+
 // TestBatch runs a heterogeneous batch, with one failing item reported
 // in-band.
 func TestBatch(t *testing.T) {
@@ -215,7 +306,8 @@ func TestBackpressure(t *testing.T) {
 	}
 }
 
-// TestBusyMapsTo503 asserts the HTTP mapping of shed load.
+// TestBusyMapsTo503 asserts the HTTP mapping of shed load: 503 with a
+// Retry-After header and a JSON error body.
 func TestBusyMapsTo503(t *testing.T) {
 	s, ts := testServer(t, Config{MaxInflight: 1, MaxQueue: -1})
 	// Occupy the only slot so any execution is shed.
@@ -224,9 +316,24 @@ func TestBusyMapsTo503(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer release()
-	status, body := postJSON(t, ts.URL+"/v1/trng", `{"bytes":16,"seed":99}`)
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d (%s); want 503", status, body)
+	resp, err := http.Post(ts.URL+"/v1/trng", "application/json",
+		strings.NewReader(`{"bytes":16,"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s); want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("shed response body %q is not a JSON error envelope", body)
 	}
 }
 
@@ -251,25 +358,51 @@ func TestCacheEviction(t *testing.T) {
 }
 
 // TestValidation covers the 4xx surface.
+// TestValidation pins the error contract of every endpoint: a malformed
+// body is 400, a well-formed body naming unknown figures/workloads/ops/
+// axes (or out-of-range values) is 422, and both carry a JSON error body
+// — for unknown names, one listing the valid options.
 func TestValidation(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	cases := []struct {
 		path, body string
 		want       int
+		errHas     string // substring the JSON "error" field must contain
 	}{
-		{"/v1/sweep", `{"figure":"99"}`, http.StatusBadRequest},
-		{"/v1/sweep", `{"figure":"3","format":"yaml"}`, http.StatusBadRequest},
-		{"/v1/sweep", `{"figure":"3","bogus":1}`, http.StatusBadRequest},
-		{"/v1/sweep", `not json`, http.StatusBadRequest},
-		{"/v1/workload", `{"modules":"martian"}`, http.StatusBadRequest},
-		{"/v1/workload", `{"workloads":"no-such-workload"}`, http.StatusBadRequest},
-		{"/v1/trng", `{"rows":3}`, http.StatusBadRequest},
-		{"/v1/trng", `{"bytes":-5}`, http.StatusBadRequest},
+		// Malformed bodies: 400.
+		{"/v1/sweep", `not json`, http.StatusBadRequest, ""},
+		{"/v1/sweep", `{"figure":"3","bogus":1}`, http.StatusBadRequest, "bogus"},
+		{"/v1/workload", `{"modules":`, http.StatusBadRequest, ""},
+		{"/v1/trng", `[1,2,3]`, http.StatusBadRequest, ""},
+		{"/v1/scenario", `{"op":3}`, http.StatusBadRequest, ""},
+		{"/v1/batch", `{"requests":"nope"}`, http.StatusBadRequest, ""},
+		// Well-formed but invalid values: 422 listing valid options.
+		{"/v1/sweep", `{"figure":"99"}`, http.StatusUnprocessableEntity, "valid: table1"},
+		{"/v1/sweep", `{"figure":"3","format":"yaml"}`, http.StatusUnprocessableEntity, "valid: text, csv"},
+		{"/v1/workload", `{"modules":"martian"}`, http.StatusUnprocessableEntity, "valid: representative, full, samsung, all"},
+		{"/v1/workload", `{"workloads":"no-such-workload"}`, http.StatusUnprocessableEntity, "have bitmap-scan"},
+		{"/v1/trng", `{"rows":3}`, http.StatusUnprocessableEntity, "power of two"},
+		{"/v1/trng", `{"bytes":-5}`, http.StatusUnprocessableEntity, "bytes"},
+		{"/v1/scenario", `{"op":"refresh"}`, http.StatusUnprocessableEntity, "valid: activation, maj, copy"},
+		{"/v1/scenario", `{"grid":"galactic"}`, http.StatusUnprocessableEntity, "valid: nominal, timing"},
+		{"/v1/scenario", `{"axes":"freq=1"}`, http.StatusUnprocessableEntity, "unknown axis"},
+		{"/v1/scenario", `{"envelope":"pattern"}`, http.StatusUnprocessableEntity, "valid: t1, t2, temp, vpp, aging"},
 	}
 	for _, c := range cases {
-		status, _ := postJSON(t, ts.URL+c.path, c.body)
+		status, body := postJSON(t, ts.URL+c.path, c.body)
 		if status != c.want {
 			t.Errorf("POST %s %s: status %d; want %d", c.path, c.body, status, c.want)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("POST %s %s: error body %q is not a JSON error envelope", c.path, c.body, body)
+			continue
+		}
+		if c.errHas != "" && !strings.Contains(e.Error, c.errHas) {
+			t.Errorf("POST %s %s: error %q does not mention %q", c.path, c.body, e.Error, c.errHas)
 		}
 	}
 	resp, err := http.Get(ts.URL + "/v1/sweep")

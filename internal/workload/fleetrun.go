@@ -91,20 +91,14 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 }
 
 // shardKey hashes everything one module's workload results depend on: the
-// module's spec and profile, the electrical model, the selected workloads
-// in execution order, the majority-width cap and the root seed. Like the
-// sub-seed scheme, the key hashes the module's identity rather than its
-// fleet position, and excludes the worker count (results are
-// worker-invariant), so cache entries are shared across fleet selections.
+// module's identity and electrical model (the shared dram.Spec.HashModule
+// block), the selected workloads in execution order, the majority-width
+// cap and the root seed. Like the sub-seed scheme, the key hashes the
+// module's identity rather than its fleet position, and excludes the
+// worker count (results are worker-invariant), so cache entries are
+// shared across fleet selections.
 func shardKey(e fleet.Entry, cfg FleetConfig) engine.ShardKey {
-	h := cache.NewHasher().
-		Str("workload/module-shard/v1").
-		Str(e.Spec.ID).U64(e.Spec.Seed).Int(e.Spec.Columns).
-		Str(e.Spec.Profile.Name).Int(e.Spec.Profile.Decoder.Rows).
-		Bool(e.Spec.Profile.FracSupported).F64(e.Spec.Profile.ViabilityBias).
-		Int(e.Spec.Profile.MaxMAJ).Bool(e.Spec.Profile.APAGuarded).
-		Str(e.Spec.DieRev).
-		Str(fmt.Sprintf("%v", cfg.Params)).
+	h := e.Spec.HashModule(cache.NewHasher().Str("workload/module-shard/v1"), cfg.Params).
 		Int(cfg.MaxX).U64(cfg.Seed)
 	for _, w := range cfg.Workloads {
 		h.Str(w.Name())

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fleet"
+	"repro/internal/invariance"
+)
+
+// TestInvariances runs the shared metamorphic suite over the fleet-wide
+// workload runner: report bytes must be identical across worker counts
+// and cache modes, and every (module, workload) cell — keyed by module
+// identity, not fleet position — must be unchanged under fleet
+// permutation and composition changes (the sub-seed and memo-key scheme
+// of DESIGN.md §8/§9). This replaces the former per-package memo tests.
+func TestInvariances(t *testing.T) {
+	invariance.Check(t, invariance.Subject{
+		Name: "workload/fleet",
+		Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+			t.Helper()
+			fc := fleet.DefaultConfig()
+			fc.Columns = 128
+			cfg := DefaultFleetConfig()
+			cfg.Entries = append(fleet.Representative(fc), fleet.SamsungModules(fc)[:1]...)
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.Memo = cache.NewTyped[[]Result](v.Store, nil)
+			}
+			if v.Permute {
+				for i, j := 0, len(cfg.Entries)-1; i < j; i, j = i+1, j-1 {
+					cfg.Entries[i], cfg.Entries[j] = cfg.Entries[j], cfg.Entries[i]
+				}
+			}
+			if v.Subset {
+				cfg.Entries = cfg.Entries[:1]
+			}
+			results, err := RunFleet(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if err := WriteReport(&b, results, "text"); err != nil {
+				t.Fatal(err)
+			}
+			units := make(map[string]string, len(results))
+			for _, r := range results {
+				units[invariance.UnitKey(r.Module, r.Workload)] = invariance.Sprint(r)
+			}
+			return b.String(), units
+		},
+		Cacheable:   true,
+		Permutable:  true, // report row order follows the fleet; cells must not
+		Subsettable: true,
+	})
+}

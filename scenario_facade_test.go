@@ -1,0 +1,72 @@
+package simra_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	simra "repro"
+)
+
+// smallScenario resolves a reduced scenario configuration through the
+// public options surface.
+func smallScenario(t *testing.T, o simra.ScenarioOptions) simra.Scenario {
+	t.Helper()
+	o.Columns = 128
+	o.Groups = 2
+	o.Banks = 1
+	o.Trials = 2
+	cfg, err := simra.ResolveScenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestScenarioFacade runs a grid scan and an envelope search through the
+// facade and pins the worker-invariance contract at the public surface.
+func TestScenarioFacade(t *testing.T) {
+	render := func(cfg simra.Scenario) string {
+		res, err := simra.RunScenarios(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := simra.WriteScenarioReport(&b, res, "text"); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	grid := smallScenario(t, simra.ScenarioOptions{Grid: "timing"})
+	grid.Engine = simra.EngineConfig{Workers: 1}
+	seq := render(grid)
+	grid.Engine = simra.EngineConfig{Workers: 8}
+	par := render(grid)
+	if seq != par {
+		t.Fatal("scenario grid output differs between workers=1 and workers=8")
+	}
+	if !strings.Contains(seq, "operating-envelope scan") {
+		t.Fatalf("grid report malformed:\n%s", seq)
+	}
+
+	env := smallScenario(t, simra.ScenarioOptions{Grid: "nominal", Envelope: "t2"})
+	out := render(env)
+	if !strings.Contains(out, "t2 boundary at target 90.00%") {
+		t.Fatalf("envelope report malformed:\n%s", out)
+	}
+}
+
+// TestScenarioEnvelopeAxes pins the advertised axis list.
+func TestScenarioEnvelopeAxes(t *testing.T) {
+	axes := simra.ScenarioEnvelopeAxes()
+	want := []string{"t1", "t2", "temp", "vpp", "aging"}
+	if len(axes) != len(want) {
+		t.Fatalf("axes %v, want %v", axes, want)
+	}
+	for i, a := range want {
+		if axes[i] != a {
+			t.Fatalf("axes %v, want %v", axes, want)
+		}
+	}
+}

@@ -19,11 +19,13 @@ type (
 	// CacheStats is a snapshot of the result cache's counters (hits,
 	// misses, coalesced and executed requests, evictions, resident bytes).
 	CacheStats = cache.Stats
-	// SweepRequest, WorkloadRequest, TRNGRequest and BatchRequest are the
-	// serving API's request bodies; ServeResponse is the JSON envelope.
+	// SweepRequest, WorkloadRequest, TRNGRequest, ScenarioRequest and
+	// BatchRequest are the serving API's request bodies; ServeResponse is
+	// the JSON envelope.
 	SweepRequest    = server.SweepRequest
 	WorkloadRequest = server.WorkloadRequest
 	TRNGRequest     = server.TRNGRequest
+	ScenarioRequest = server.ScenarioRequest
 	BatchRequest    = server.BatchRequest
 	ServeResponse   = server.Response
 )

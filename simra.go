@@ -26,6 +26,11 @@
 //     in-flight concurrency (internal/server, internal/cache, cmd/
 //     simra-serve; ServeConfig, NewServer, CacheStats — DESIGN.md §9).
 //     Cached responses are byte-identical to uncached ones.
+//   - The scenario subsystem: declarative operating-envelope scans over
+//     temperature, VPP, timing, aging, data-pattern and width axes, and
+//     an adaptive per-module envelope (reliability-cliff) search
+//     (internal/scenario, cmd/simra-scan, POST /v1/scenario; Scenario,
+//     ScenarioResult, RunScenarios — DESIGN.md §10).
 //
 // # Quick start
 //
