@@ -9,7 +9,10 @@
 //	simra-serve -addr :9000 -inflight 8  # custom bind + concurrency bound
 //
 // Endpoints: POST /v1/sweep, /v1/workload, /v1/trng, /v1/batch;
-// GET /healthz, /metrics. Append ?raw=1 to a POST to receive the rendered
+// the async job tier under /v1/jobs (submit, status, SSE progress
+// streaming, result retrieval, cancellation — see cmd/simra-jobs and
+// DESIGN.md §11); GET /healthz, /metrics.
+// Append ?raw=1 to a POST to receive the rendered
 // output bytes alone — for workload requests byte-identical to
 // simra-work's stdout, for sweeps the rendered figure table (simra-char's
 // output minus its text-mode timing lines):
@@ -43,6 +46,16 @@ func main() {
 		"max executions waiting for a slot before shedding with 503 (0 = 64)")
 	flag.IntVar(&cfg.Workers, "workers", 0,
 		"engine shard workers per run (0 = GOMAXPROCS; never affects response bytes)")
+	flag.IntVar(&cfg.JobWorkers, "job-workers", 0,
+		"async job executor pool size (0 = 2)")
+	flag.IntVar(&cfg.JobQueue, "job-queue", 0,
+		"max queued jobs before shedding submissions with 503 (0 = 64)")
+	flag.DurationVar(&cfg.JobTTL, "job-ttl", 0,
+		"how long a finished job stays queryable (0 = 15m)")
+	flag.IntVar(&cfg.MaxSSE, "sse-max", 0,
+		"max concurrent job event-stream subscribers (0 = 32)")
+	flag.IntVar(&cfg.WarmpoolPerKey, "warmpool", 0,
+		"idle warm module instances kept per module identity (0 = 4)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -47,6 +47,16 @@ type Config struct {
 	// sampling bounds and seed, so a memoized sweep is bit-identical to an
 	// uncached one. nil disables memoization.
 	ShardMemo engine.Memo[[]core.GroupOutcome]
+	// Stats, when non-nil, is the runner's progress accumulator — shared
+	// with the caller so the job tier can poll live per-shard progress
+	// while a figure runs. nil keeps a runner-private accumulator. Never
+	// affects result bytes.
+	Stats *engine.Stats
+	// Pool, when non-nil, supplies the runner's fleet instances (the job
+	// executor's warmpool); callers that set it must Release the runner
+	// when done. Pooled instances are reset before reuse, so results are
+	// bit-identical to freshly built modules.
+	Pool dram.ModulePool
 }
 
 // DefaultConfig returns the standard reduced-scale configuration used by
@@ -72,7 +82,7 @@ func DefaultConfig() Config {
 type Runner struct {
 	cfg   Config
 	mods  []*dram.Module
-	stats engine.Stats
+	stats *engine.Stats
 }
 
 // NewRunner instantiates the fleet of the configuration.
@@ -83,15 +93,26 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("charexp: trials must be positive")
 	}
-	mods, err := fleet.Build(cfg.Fleet, cfg.Params)
+	mods, err := fleet.BuildFrom(cfg.Pool, cfg.Fleet, cfg.Params)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, mods: mods}, nil
+	st := cfg.Stats
+	if st == nil {
+		st = new(engine.Stats)
+	}
+	return &Runner{cfg: cfg, mods: mods, stats: st}, nil
 }
 
 // Modules exposes the instantiated fleet (used by the case studies).
 func (r *Runner) Modules() []*dram.Module { return r.mods }
+
+// Release returns the runner's fleet instances to Config.Pool (a no-op
+// without one). The runner must not be used afterwards.
+func (r *Runner) Release() {
+	fleet.Release(r.cfg.Pool, r.mods)
+	r.mods = nil
+}
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }

@@ -146,7 +146,7 @@ func (r *Runner) PerModule() (PerModuleResult, error) {
 			return perOp, nil
 		}
 	}
-	outcomes, err := engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+	outcomes, err := engine.Run(context.Background(), r.cfg.Engine, r.stats, tasks)
 	if err != nil {
 		return PerModuleResult{}, err
 	}

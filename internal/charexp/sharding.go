@@ -122,11 +122,11 @@ func (r *Runner) runShards(sc core.SweepConfig, shards []sweepShard) ([][]core.G
 		}
 	}
 	if r.cfg.ShardMemo == nil {
-		return engine.Run(context.Background(), r.cfg.Engine, &r.stats, tasks)
+		return engine.Run(context.Background(), r.cfg.Engine, r.stats, tasks)
 	}
 	keys := make([]engine.ShardKey, len(shards))
 	for i, sh := range shards {
 		keys[i] = sh.key
 	}
-	return engine.RunKeyed(context.Background(), r.cfg.Engine, &r.stats, r.cfg.ShardMemo, keys, tasks)
+	return engine.RunKeyed(context.Background(), r.cfg.Engine, r.stats, r.cfg.ShardMemo, keys, tasks)
 }

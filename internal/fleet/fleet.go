@@ -152,15 +152,43 @@ func ByManufacturer(entries []Entry, name string) []Entry {
 
 // Build instantiates the modules of the given entries.
 func Build(entries []Entry, params analog.Params) ([]*dram.Module, error) {
+	return BuildFrom(nil, entries, params)
+}
+
+// BuildFrom is Build drawing instances from a module pool (nil = fresh
+// construction). On error the already-checked-out instances are returned
+// to the pool; on success the caller owns every instance and is
+// responsible for Put-ting them back when done.
+func BuildFrom(pool dram.ModulePool, entries []Entry, params analog.Params) ([]*dram.Module, error) {
 	out := make([]*dram.Module, 0, len(entries))
 	for _, e := range entries {
-		m, err := dram.NewModule(e.Spec, params)
+		var m *dram.Module
+		var err error
+		if pool != nil {
+			m, err = pool.Get(e.Spec, params)
+		} else {
+			m, err = dram.NewModule(e.Spec, params)
+		}
 		if err != nil {
+			Release(pool, out)
 			return nil, fmt.Errorf("fleet: module %s: %w", e.Spec.ID, err)
 		}
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// Release returns a batch of BuildFrom instances to the pool (nil pool or
+// nil slice entries are ignored).
+func Release(pool dram.ModulePool, mods []*dram.Module) {
+	if pool == nil {
+		return
+	}
+	for _, m := range mods {
+		if m != nil {
+			pool.Put(m)
+		}
+	}
 }
 
 // Representative returns a small deterministic subset of the fleet — one

@@ -1,0 +1,68 @@
+package invariance
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Path is one route to the same logical result — e.g. the CLI's shared
+// render pipeline, the blocking HTTP route and the async job tier all
+// produce one scenario report. CheckPaths asserts the routes are
+// byte-equivalent under every execution configuration, which is what
+// makes the job tier's results interchangeable with the blocking API's
+// and the CLI's (DESIGN.md §11).
+type Path struct {
+	Name string
+	// Run executes this path under v and returns its rendered bytes.
+	// Paths that own their execution environment (HTTP servers) apply
+	// v.Workers when building it; v.Store, when non-nil, backs the shard
+	// memo of paths that honour external caches.
+	Run func(t *testing.T, v Variant) string
+}
+
+// CheckPaths runs every path under workers=1, workers=8, and (when
+// useCache) both against a shared shard memo, asserting all outputs are
+// byte-identical to the first path's workers=1 output. One store is
+// shared across paths within a cached variant, so a path warming the
+// memo must not change any sibling's bytes.
+func CheckPaths(t *testing.T, name string, useCache bool, paths []Path) {
+	t.Helper()
+	if len(paths) < 2 {
+		t.Fatalf("%s: CheckPaths needs at least two paths", name)
+	}
+	variants := []struct {
+		name string
+		v    Variant
+	}{
+		{"workers=1", Variant{Workers: 1}},
+		{"workers=8", Variant{Workers: 8}},
+	}
+	if useCache {
+		variants = append(variants,
+			struct {
+				name string
+				v    Variant
+			}{"workers=1/cached", Variant{Workers: 1, Store: cache.New(0)}},
+			struct {
+				name string
+				v    Variant
+			}{"workers=8/cached", Variant{Workers: 8, Store: cache.New(0)}},
+		)
+	}
+	base := paths[0].Run(t, variants[0].v)
+	if base == "" {
+		t.Fatalf("%s: path %s produced empty output", name, paths[0].Name)
+	}
+	for _, vr := range variants {
+		vr := vr
+		t.Run(vr.name, func(t *testing.T) {
+			for _, p := range paths {
+				if got := p.Run(t, vr.v); got != base {
+					t.Fatalf("%s: path %q under %s diverged from %q under workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+						name, p.Name, vr.name, paths[0].Name, got, base)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package invariance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCheckPathsAgreement exercises the harness with two deterministic
+// paths that agree (and honour the worker knob without changing bytes),
+// mirroring how the server's job-vs-blocking suite uses it.
+func TestCheckPathsAgreement(t *testing.T) {
+	render := func(v Variant) string {
+		// A worker-invariant computation: the variant must not leak into
+		// the bytes, like the real engines.
+		sum := 0
+		for i := 0; i < 100; i++ {
+			sum += i * i
+		}
+		if v.Store != nil {
+			// Cached variants share the store across paths; the bytes stay
+			// the same regardless.
+			v.Store.Put([32]byte{1}, sum, 8)
+		}
+		return fmt.Sprintf("sum=%d\n", sum)
+	}
+	CheckPaths(t, "toy", true, []Path{
+		{Name: "direct", Run: func(t *testing.T, v Variant) string { return render(v) }},
+		{Name: "indirect", Run: func(t *testing.T, v Variant) string { return render(v) }},
+	})
+}
+
+// TestCheckPathsVariantPlumbing asserts each declared variant reaches
+// every path with the right worker count and store presence.
+func TestCheckPathsVariantPlumbing(t *testing.T) {
+	type call struct {
+		workers int
+		cached  bool
+	}
+	var calls []call
+	record := func(t *testing.T, v Variant) string {
+		calls = append(calls, call{v.Workers, v.Store != nil})
+		return "ok"
+	}
+	CheckPaths(t, "plumbing", true, []Path{
+		{Name: "a", Run: record},
+		{Name: "b", Run: record},
+	})
+	// Base probe + 4 variants × 2 paths.
+	if len(calls) != 9 {
+		t.Fatalf("%d path invocations, want 9", len(calls))
+	}
+	sawCached := 0
+	for _, c := range calls {
+		if c.workers != 1 && c.workers != 8 {
+			t.Fatalf("unexpected worker count %d", c.workers)
+		}
+		if c.cached {
+			sawCached++
+		}
+	}
+	if sawCached != 4 {
+		t.Fatalf("%d cached invocations, want 4", sawCached)
+	}
+}

@@ -1,0 +1,87 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Event is one entry of a job's progress stream. IDs are assigned
+// sequentially from 1 when the event is appended, so a reconnecting
+// subscriber can resume from its Last-Event-ID without missing a tick.
+type Event struct {
+	// ID is the event's position in the job's stream (1-based).
+	ID int64
+	// Type is the SSE event name: "state", "progress", "result" or "done".
+	Type string
+	// Data is the event payload, pre-marshaled JSON.
+	Data string
+}
+
+// eventLog is an append-only per-job event history with change
+// notification: subscribers poll since with their cursor and park on the
+// returned channel until the next append. The full history is retained
+// for Last-Event-ID replay — progress events are coalesced by the
+// monitor's poll interval and the job store's TTL bounds a log's
+// lifetime, so the log stays small.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	changed chan struct{}
+	closed  bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// append marshals data and appends it as the next event. Appends after
+// close are dropped (the stream has already announced its end).
+func (l *eventLog) append(typ string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		// Event payloads are plain structs; a marshal failure is a
+		// programming error, reported in-band so the stream stays ordered.
+		payload = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, Event{
+		ID:   int64(len(l.events) + 1),
+		Type: typ,
+		Data: string(payload),
+	})
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// close ends the stream: subscribers drain the remaining events and
+// return instead of parking.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// since returns every event with ID > after, a channel closed on the next
+// append or close, and whether the stream has ended. A subscriber loop
+// alternates since and a select on the channel (or its own context).
+func (l *eventLog) since(after int64) (evs []Event, changed <-chan struct{}, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if after < int64(len(l.events)) {
+		evs = append(evs, l.events[after:]...)
+	}
+	return evs, l.changed, l.closed
+}

@@ -1,0 +1,78 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEventLogSequentialIDsAndReplay(t *testing.T) {
+	l := newEventLog()
+	l.append("state", map[string]string{"state": "queued"})
+	l.append("progress", Progress{ShardsDone: 1, ShardsTotal: 4})
+	l.append("progress", Progress{ShardsDone: 4, ShardsTotal: 4})
+
+	evs, _, closed := l.since(0)
+	if closed {
+		t.Fatal("log should still be open")
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d, want %d", i, e.ID, i+1)
+		}
+		if !json.Valid([]byte(e.Data)) {
+			t.Fatalf("event %d payload is not JSON: %q", i, e.Data)
+		}
+	}
+
+	// Replay from a Last-Event-ID cursor skips already-seen events.
+	evs, _, _ = l.since(2)
+	if len(evs) != 1 || evs[0].ID != 3 || evs[0].Type != "progress" {
+		t.Fatalf("since(2) = %+v, want just event 3", evs)
+	}
+	// Cursors past the end (and negative ones) are tolerated.
+	if evs, _, _ := l.since(99); len(evs) != 0 {
+		t.Fatalf("since(99) returned %d events", len(evs))
+	}
+	if evs, _, _ := l.since(-5); len(evs) != 3 {
+		t.Fatalf("since(-5) returned %d events, want full replay", len(evs))
+	}
+}
+
+func TestEventLogChangeNotification(t *testing.T) {
+	l := newEventLog()
+	_, changed, _ := l.since(0)
+	select {
+	case <-changed:
+		t.Fatal("change channel closed before any append")
+	default:
+	}
+	l.append("state", map[string]string{"state": "running"})
+	select {
+	case <-changed:
+	default:
+		t.Fatal("append did not signal the change channel")
+	}
+}
+
+func TestEventLogClose(t *testing.T) {
+	l := newEventLog()
+	l.append("done", map[string]string{"state": "succeeded"})
+	_, changed, _ := l.since(0)
+	l.close()
+	select {
+	case <-changed:
+	default:
+		t.Fatal("close did not signal the change channel")
+	}
+	if _, _, closed := l.since(0); !closed {
+		t.Fatal("log should report closed")
+	}
+	l.append("state", nil) // dropped
+	if evs, _, _ := l.since(0); len(evs) != 1 {
+		t.Fatalf("append after close extended the log: %d events", len(evs))
+	}
+	l.close() // idempotent
+}

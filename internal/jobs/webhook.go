@@ -1,0 +1,153 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WebhookSpec is a job's completion callback: the terminal Status is
+// POSTed to URL as JSON, signed with Secret.
+type WebhookSpec struct {
+	URL string `json:"url"`
+	// Secret keys the HMAC-SHA256 body signature carried in
+	// X-Simra-Signature ("sha256=<hex>"). Empty means unsigned.
+	Secret string `json:"secret,omitempty"`
+}
+
+// WebhookConfig bounds delivery.
+type WebhookConfig struct {
+	// MaxAttempts bounds delivery tries per callback (default 3).
+	MaxAttempts int
+	// Backoff is the wait before the first retry; it doubles per retry
+	// (default 250ms).
+	Backoff time.Duration
+	// Timeout bounds each delivery request (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject one; default
+	// http.DefaultClient with Timeout applied per request).
+	Client *http.Client
+}
+
+func (c WebhookConfig) withDefaults() WebhookConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Sign computes the hex HMAC-SHA256 of body under secret — the value
+// carried (prefixed "sha256=") in X-Simra-Signature. Receivers recompute
+// it to authenticate the callback.
+func Sign(secret string, body []byte) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// webhookSender delivers terminal-status callbacks with bounded retry.
+type webhookSender struct {
+	cfg WebhookConfig
+	wg  sync.WaitGroup
+
+	mu         sync.Mutex
+	deliveries int64
+	retries    int64
+	failures   int64
+}
+
+func newWebhookSender(cfg WebhookConfig) *webhookSender {
+	return &webhookSender{cfg: cfg.withDefaults()}
+}
+
+func (s *webhookSender) counts() (deliveries, retries, failures int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deliveries, s.retries, s.failures
+}
+
+// wait blocks until in-flight deliveries settle (manager shutdown).
+func (s *webhookSender) wait() { s.wg.Wait() }
+
+// deliver dispatches the callback asynchronously: attempts are retried
+// with doubling backoff until a 2xx, the attempt budget is spent, or ctx
+// is cancelled.
+func (s *webhookSender) deliver(ctx context.Context, spec WebhookSpec, status Status) {
+	body, err := json.Marshal(status)
+	if err != nil {
+		s.mu.Lock()
+		s.failures++
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		backoff := s.cfg.Backoff
+		for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				s.mu.Lock()
+				s.retries++
+				s.mu.Unlock()
+			}
+			if s.post(ctx, spec, status, body) {
+				s.mu.Lock()
+				s.deliveries++
+				s.mu.Unlock()
+				return
+			}
+			if attempt == s.cfg.MaxAttempts {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.failures++
+				s.mu.Unlock()
+				return
+			case <-time.After(backoff):
+				backoff *= 2
+			}
+		}
+		s.mu.Lock()
+		s.failures++
+		s.mu.Unlock()
+	}()
+}
+
+// post performs one delivery attempt; true means acknowledged 2xx.
+func (s *webhookSender) post(ctx context.Context, spec WebhookSpec, status Status, body []byte) bool {
+	reqCtx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, spec.URL, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Simra-Job", status.ID)
+	req.Header.Set("X-Simra-Event", string(status.State))
+	if spec.Secret != "" {
+		req.Header.Set("X-Simra-Signature", "sha256="+Sign(spec.Secret, body))
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

@@ -1,0 +1,152 @@
+package jobs
+
+import (
+	"context"
+	"crypto/hmac"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sinkHit is one delivery observed by the test sink.
+type sinkHit struct {
+	body      []byte
+	signature string
+	job       string
+	event     string
+}
+
+// webhookSink records deliveries, failing the first fail requests.
+type webhookSink struct {
+	mu   sync.Mutex
+	fail int
+	hits []sinkHit
+}
+
+func (s *webhookSink) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.fail > 0 {
+			s.fail--
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		s.hits = append(s.hits, sinkHit{
+			body:      body,
+			signature: r.Header.Get("X-Simra-Signature"),
+			job:       r.Header.Get("X-Simra-Job"),
+			event:     r.Header.Get("X-Simra-Event"),
+		})
+	}
+}
+
+func (s *webhookSink) snapshot() []sinkHit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]sinkHit(nil), s.hits...)
+}
+
+func TestWebhookDeliverySignedAndVerified(t *testing.T) {
+	sink := &webhookSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := newWebhookSender(WebhookConfig{MaxAttempts: 1})
+	status := Status{ID: "trng-1", Kind: "trng", State: StateSucceeded}
+	s.deliver(context.Background(), WebhookSpec{URL: srv.URL, Secret: "s3cret"}, status)
+	s.wait()
+
+	hits := sink.snapshot()
+	if len(hits) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(hits))
+	}
+	h := hits[0]
+	if h.job != "trng-1" || h.event != "succeeded" {
+		t.Fatalf("headers job=%q event=%q", h.job, h.event)
+	}
+	want := "sha256=" + Sign("s3cret", h.body)
+	if !hmac.Equal([]byte(h.signature), []byte(want)) {
+		t.Fatalf("signature %q, want %q", h.signature, want)
+	}
+	var got Status
+	if err := json.Unmarshal(h.body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != status.ID || got.State != status.State {
+		t.Fatalf("payload %+v", got)
+	}
+	if d, r, f := s.counts(); d != 1 || r != 0 || f != 0 {
+		t.Fatalf("counts %d/%d/%d", d, r, f)
+	}
+}
+
+func TestWebhookRetriesWithBackoffThenSucceeds(t *testing.T) {
+	sink := &webhookSink{fail: 2}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := newWebhookSender(WebhookConfig{MaxAttempts: 3, Backoff: time.Millisecond})
+	s.deliver(context.Background(), WebhookSpec{URL: srv.URL}, Status{ID: "j", State: StateFailed})
+	s.wait()
+
+	if hits := sink.snapshot(); len(hits) != 1 {
+		t.Fatalf("got %d successful deliveries, want 1", len(hits))
+	} else if hits[0].signature != "" {
+		t.Fatal("unsigned webhook carried a signature")
+	}
+	if d, r, f := s.counts(); d != 1 || r != 2 || f != 0 {
+		t.Fatalf("counts deliveries=%d retries=%d failures=%d, want 1/2/0", d, r, f)
+	}
+}
+
+func TestWebhookGivesUpAfterMaxAttempts(t *testing.T) {
+	sink := &webhookSink{fail: 99}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	s := newWebhookSender(WebhookConfig{MaxAttempts: 2, Backoff: time.Millisecond})
+	s.deliver(context.Background(), WebhookSpec{URL: srv.URL}, Status{ID: "j"})
+	s.wait()
+	if d, r, f := s.counts(); d != 0 || r != 1 || f != 1 {
+		t.Fatalf("counts deliveries=%d retries=%d failures=%d, want 0/1/1", d, r, f)
+	}
+}
+
+func TestWebhookStopsOnContextCancel(t *testing.T) {
+	sink := &webhookSink{fail: 99}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := newWebhookSender(WebhookConfig{MaxAttempts: 10, Backoff: time.Hour})
+	s.deliver(ctx, WebhookSpec{URL: srv.URL}, Status{ID: "j"})
+	cancel()
+	done := make(chan struct{})
+	go func() { s.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery goroutine did not stop on cancel")
+	}
+	if _, _, f := s.counts(); f != 1 {
+		t.Fatalf("failures %d, want 1", f)
+	}
+}
+
+func TestSignIsStable(t *testing.T) {
+	a := Sign("k", []byte("body"))
+	b := Sign("k", []byte("body"))
+	if a != b || len(a) != 64 || strings.ToLower(a) != a {
+		t.Fatalf("Sign not a stable lowercase hex digest: %q vs %q", a, b)
+	}
+	if Sign("k2", []byte("body")) == a {
+		t.Fatal("secret not mixed into signature")
+	}
+}

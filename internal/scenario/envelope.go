@@ -99,12 +99,12 @@ func (cfg Config) runEnvelope(ctx context.Context, mods []*dram.Module) (*Result
 		return nil, fmt.Errorf("scenario: no module in the fleet can run any envelope base point")
 	}
 
-	var st engine.Stats
+	st := cfg.statsAccumulator()
 	tasks := make([]engine.Task[EnvelopeCell], len(outer))
 	for i, ot := range outer {
 		ot := ot
 		tasks[i] = func(ctx context.Context) (EnvelopeCell, error) {
-			return cfg.bisectModule(ctx, ot.point, cfg.Fleet[ot.mi].Spec, env, &st)
+			return cfg.bisectModule(ctx, ot.point, cfg.Fleet[ot.mi].Spec, env, st)
 		}
 	}
 	cells, err := engine.Run(ctx, cfg.Engine, nil, tasks)
@@ -120,11 +120,12 @@ func (cfg Config) runEnvelope(ctx context.Context, mods []*dram.Module) (*Result
 // an inner sequential engine run over the module's (bank, subarray)
 // shards, served from the shard memo when warm.
 func (cfg Config) evalPoint(ctx context.Context, spec dram.Spec, p Point, st *engine.Stats) (float64, error) {
-	mod, err := dram.NewModule(spec, cfg.Params)
+	mod, release, err := dram.PoolModule(cfg.Pool, spec, cfg.Params)
 	if err != nil {
 		return 0, err
 	}
 	samples := cfg.samples(mod)
+	release() // only needed for sampling; shard work checks out its own
 	if len(samples) == 0 {
 		return 0, fmt.Errorf("scenario: module %s sampled no subarrays", spec.ID)
 	}

@@ -81,12 +81,14 @@ type pointShard struct {
 // private module instance: shards never share mutable subarray state, so
 // every cell of the matrix can execute concurrently. The subarray's
 // static tables derive deterministically from the spec seed, so a private
-// instance is bit-identical to a shared one.
+// instance is bit-identical to a shared one — and, with Config.Pool set,
+// to a recycled warmpool instance (pools reset dynamic state on Put).
 func (cfg Config) runShard(sh pointShard, st *engine.Stats) ([]core.GroupOutcome, error) {
-	mod, err := dram.NewModule(sh.spec, cfg.Params)
+	mod, release, err := dram.PoolModule(cfg.Pool, sh.spec, cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: module %s: %w", sh.spec.ID, err)
 	}
+	defer release()
 	tester, err := core.NewTester(mod,
 		core.WithEnv(sh.point.Env()), core.WithTrials(cfg.Trials),
 		core.WithSeed(cfg.Seed), core.WithWorkers(1))
@@ -101,6 +103,16 @@ func (cfg Config) runShard(sh pointShard, st *engine.Stats) ([]core.GroupOutcome
 		st.AddActivations(len(out) * cfg.Trials)
 	}
 	return out, nil
+}
+
+// statsAccumulator returns the run's progress accumulator: the externally
+// supplied Config.Stats when set (live job-tier progress), otherwise a
+// fresh run-private one.
+func (cfg Config) statsAccumulator() *engine.Stats {
+	if cfg.Stats != nil {
+		return cfg.Stats
+	}
+	return new(engine.Stats)
 }
 
 // samples enumerates the deterministic (bank, subarray) samples of one
@@ -175,17 +187,17 @@ func (cfg Config) runGrid(ctx context.Context, mods []*dram.Module) (*Result, er
 		return nil, fmt.Errorf("scenario: no module in the fleet can run any scenario point")
 	}
 
-	var st engine.Stats
+	st := cfg.statsAccumulator()
 	tasks := make([]engine.Task[[]core.GroupOutcome], len(shards))
 	keys := make([]engine.ShardKey, len(shards))
 	for i, sh := range shards {
 		sh := sh
 		tasks[i] = func(context.Context) ([]core.GroupOutcome, error) {
-			return cfg.runShard(sh, &st)
+			return cfg.runShard(sh, st)
 		}
 		keys[i] = sh.key
 	}
-	outcomes, err := engine.RunKeyed(ctx, cfg.Engine, &st, cfg.Memo, keys, tasks)
+	outcomes, err := engine.RunKeyed(ctx, cfg.Engine, st, cfg.Memo, keys, tasks)
 	if err != nil {
 		return nil, err
 	}

@@ -259,6 +259,17 @@ type Config struct {
 	// (internal/cache.NewTyped over a shared cache satisfies it). nil
 	// disables memoization.
 	Memo engine.Memo[[]core.GroupOutcome]
+	// Stats, when non-nil, accumulates the run's engine progress counters
+	// in an externally observable place — the job tier polls it for live
+	// per-shard progress while the run executes. nil keeps a run-private
+	// accumulator. Never affects result bytes.
+	Stats *engine.Stats
+	// Pool, when non-nil, supplies the private module instances shard work
+	// runs on (the job executor's warmpool). Pooled instances are reset to
+	// the power-off state before reuse, so results are bit-identical to
+	// freshly built modules (verified by the job-vs-blocking invariance
+	// suite).
+	Pool dram.ModulePool
 }
 
 // DefaultConfig returns the standard reduced-scale scenario configuration.

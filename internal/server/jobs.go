@@ -1,0 +1,422 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/charexp"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/scenario"
+	"repro/internal/trng"
+	"repro/internal/workload"
+)
+
+// JobRequest submits one request family for asynchronous execution: the
+// discriminated payload mirrors BatchItem, plus an optional completion
+// webhook. The job's identity is the inner request's canonical cache key,
+// so a job and the corresponding blocking POST address the same cache
+// entry and produce byte-identical output.
+type JobRequest struct {
+	Kind     string           `json:"kind"` // "sweep", "workload", "trng" or "scenario"
+	Sweep    *SweepRequest    `json:"sweep,omitempty"`
+	Workload *WorkloadRequest `json:"workload,omitempty"`
+	TRNG     *TRNGRequest     `json:"trng,omitempty"`
+	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+	// Webhook, when set, receives the signed terminal job status (see
+	// DESIGN.md §11 for the signature scheme).
+	Webhook *jobs.WebhookSpec `json:"webhook,omitempty"`
+}
+
+// normalize validates the envelope and the inner request, reusing each
+// family's 422 contract.
+func (q JobRequest) normalize() (JobRequest, error) {
+	switch q.Kind {
+	case "sweep":
+		inner := SweepRequest{}
+		if q.Sweep != nil {
+			inner = *q.Sweep
+		}
+		n, err := inner.normalize()
+		if err != nil {
+			return q, err
+		}
+		q.Sweep = &n
+	case "workload":
+		inner := WorkloadRequest{}
+		if q.Workload != nil {
+			inner = *q.Workload
+		}
+		n, err := inner.normalize()
+		if err != nil {
+			return q, err
+		}
+		q.Workload = &n
+	case "trng":
+		inner := TRNGRequest{}
+		if q.TRNG != nil {
+			inner = *q.TRNG
+		}
+		n, err := inner.normalize()
+		if err != nil {
+			return q, err
+		}
+		q.TRNG = &n
+	case "scenario":
+		inner := ScenarioRequest{}
+		if q.Scenario != nil {
+			inner = *q.Scenario
+		}
+		n, err := inner.normalize()
+		if err != nil {
+			return q, err
+		}
+		q.Scenario = &n
+	default:
+		return q, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario", q.Kind)
+	}
+	if q.Webhook != nil && q.Webhook.URL == "" {
+		return q, fmt.Errorf("webhook needs a url")
+	}
+	return q, nil
+}
+
+// key returns the normalized inner request's cache key: the job's
+// content address, shared with the blocking route.
+func (q JobRequest) key() cache.Key {
+	switch q.Kind {
+	case "sweep":
+		return q.Sweep.key()
+	case "workload":
+		return q.Workload.key()
+	case "trng":
+		return q.TRNG.key()
+	default:
+		return q.Scenario.key()
+	}
+}
+
+// jobID derives the job identifier from the kind and content key.
+func jobID(kind string, key cache.Key) string {
+	return kind + "-" + cache.KeyString(key)
+}
+
+// kindExec is one request family's execution pipeline with the job tier's
+// observability hooks threaded through: st receives live shard progress,
+// pool supplies warm module instances. The blocking routes call it with
+// (nil, nil) — both hooks never affect result bytes.
+type kindExec func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) (string, error)
+
+// sweepExec builds the sweep pipeline for one normalized request.
+func (s *Server) sweepExec(q SweepRequest) kindExec {
+	return func(_ context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
+		cfg := q.config()
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.ShardMemo = s.sweepMemo
+		cfg.Stats = st
+		cfg.Pool = pool
+		runner, err := charexp.NewRunner(cfg)
+		if err != nil {
+			return "", err
+		}
+		defer runner.Release()
+		return runner.RunFigure(q.Figure, q.Sets, q.Format)
+	}
+}
+
+// workloadExec builds the workload pipeline for one normalized request.
+func (s *Server) workloadExec(q WorkloadRequest) kindExec {
+	return func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
+		cfg, err := q.options().Resolve()
+		if err != nil {
+			return "", err
+		}
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.Memo = s.workloadMemo
+		cfg.Stats = st
+		cfg.Pool = pool
+		results, err := workload.RunFleet(ctx, cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := workload.WriteReport(&b, results, q.Format); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+}
+
+// scenarioExec builds the scenario pipeline for one normalized request.
+func (s *Server) scenarioExec(q ScenarioRequest) kindExec {
+	return func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
+		cfg, err := q.options().Resolve()
+		if err != nil {
+			return "", err
+		}
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.Memo = s.sweepMemo
+		cfg.Stats = st
+		cfg.Pool = pool
+		res, err := scenario.Run(ctx, cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := scenario.WriteReport(&b, res, q.Format); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+}
+
+// trngExec builds the TRNG pipeline for one normalized request. The
+// generator runs on a private throwaway module, so the warmpool and
+// progress hooks don't apply.
+func (s *Server) trngExec(q TRNGRequest) kindExec {
+	return func(context.Context, *engine.Stats, dram.ModulePool) (string, error) {
+		out, err := trng.Generate(q.options())
+		if err != nil {
+			return "", err
+		}
+		return trng.FormatHex(out), nil
+	}
+}
+
+// exec maps the normalized job request onto its family pipeline.
+func (q JobRequest) exec(s *Server) kindExec {
+	switch q.Kind {
+	case "sweep":
+		return s.sweepExec(*q.Sweep)
+	case "workload":
+		return s.workloadExec(*q.Workload)
+	case "trng":
+		return s.trngExec(*q.TRNG)
+	default:
+		return s.scenarioExec(*q.Scenario)
+	}
+}
+
+// jobExec wraps a family pipeline for the job tier: it shares the
+// response cache and coalesces with blocking requests through the same
+// store.Do, incrementing the kind's executions counter only when this
+// call actually computes — so a job whose result another request already
+// produced (or is producing) completes without an execution, and the
+// second identical submission leaves executions_total unchanged. Unlike
+// the blocking path, no inflight slot is claimed: the job worker pool is
+// the job tier's concurrency bound.
+func (s *Server) jobExec(kind string, key cache.Key, run kindExec) jobs.Exec {
+	return func(ctx context.Context, st *engine.Stats) (string, error) {
+		v, err := s.store.Do(key, func() (any, int64, error) {
+			s.counters[kind].executions.Add(1)
+			out, err := run(ctx, st, s.pool)
+			if err != nil {
+				return nil, 0, err
+			}
+			return out, int64(len(out)), nil
+		})
+		if err != nil {
+			return "", err
+		}
+		return v.(string), nil
+	}
+}
+
+// submit validates and enqueues one job request (the shared path of the
+// HTTP handler and the in-process facade).
+func (s *Server) submit(q JobRequest) (*jobs.Job, bool, error) {
+	key := q.key()
+	req := jobs.Request{
+		ID:      jobID(q.Kind, key),
+		Kind:    q.Kind,
+		Exec:    s.jobExec(q.Kind, key, q.exec(s)),
+		Webhook: q.Webhook,
+	}
+	if v, ok := s.store.Get(key); ok {
+		out := v.(string)
+		req.Cached = &out
+	}
+	return s.jobs.Submit(req)
+}
+
+// SubmitJob validates and submits a job in-process (the facade's
+// surface); the HTTP handler shares its path.
+func (s *Server) SubmitJob(q JobRequest) (st jobs.Status, existing bool, err error) {
+	q, err = q.normalize()
+	if err != nil {
+		return jobs.Status{}, false, err
+	}
+	j, existing, err := s.submit(q)
+	if err != nil {
+		return jobs.Status{}, false, err
+	}
+	return j.Status(), existing, nil
+}
+
+// JobStatus returns a job's current status by ID.
+func (s *Server) JobStatus(id string) (jobs.Status, error) {
+	j, err := s.jobs.Get(id)
+	if err != nil {
+		return jobs.Status{}, err
+	}
+	return j.Status(), nil
+}
+
+// WaitJob blocks until the job is terminal or ctx is done.
+func (s *Server) WaitJob(ctx context.Context, id string) (jobs.Status, error) {
+	return s.jobs.Wait(ctx, id)
+}
+
+// handleSubmitJob is POST /v1/jobs: validate synchronously (the blocking
+// routes' 400/422 contract), then either complete instantly from the
+// response cache or enqueue. 202 for queued work, 200 when the job is
+// already terminal or deduped onto an existing one.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var q JobRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	q, err := q.normalize()
+	if err != nil {
+		writeError(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	j, existing, err := s.submit(q)
+	if err != nil {
+		if errors.Is(err, jobs.ErrBusy) {
+			err = fmt.Errorf("job queue full: %w", errBusy)
+		}
+		writeError(w, err, http.StatusInternalServerError)
+		return
+	}
+	st := j.Status()
+	code := http.StatusAccepted
+	if existing || st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleListJobs is GET /v1/jobs.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.Jobs()})
+}
+
+// handleGetJob is GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleCancelJob is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the raw rendered bytes,
+// byte-identical to the blocking route's ?raw=1 response for the same
+// request. A job still in flight is 202, a failed one 500, a canceled
+// one 410.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case jobs.StateSucceeded:
+		out, _ := j.Output()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Simra-Job", st.ID)
+		w.Header().Set("X-Simra-Cached", fmt.Sprint(st.Cached))
+		io.WriteString(w, out)
+	case jobs.StateFailed:
+		writeError(w, fmt.Errorf("job failed: %s", st.Error), http.StatusInternalServerError)
+	case jobs.StateCanceled:
+		writeError(w, fmt.Errorf("job canceled"), http.StatusGone)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// lastEventID parses the subscriber's replay cursor: the standard
+// Last-Event-ID header (set by reconnecting EventSource clients), with a
+// last_event_id query fallback for plain HTTP clients.
+func lastEventID(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 0 {
+		return 0
+	}
+	return id
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: the job's progress stream
+// as Server-Sent Events. Reconnects resume from Last-Event-ID; beyond
+// the connection cap the request sheds with 503 + Retry-After; the
+// stream ends after the "done" event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, http.StatusNotFound)
+		return
+	}
+	release, ok := s.jobs.AcquireSSE()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, fmt.Errorf("event stream connection cap reached"), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("streaming unsupported"), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Simra-Job", j.ID())
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	after := lastEventID(r)
+	for {
+		evs, changed, closed := j.EventsSince(after)
+		for _, e := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
+			after = e.ID
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"crypto/hmac"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// envelopeJobBody is the acceptance submission: the same envelope search
+// the committed simra-scan golden pins.
+const envelopeJobBody = `{"kind":"scenario","scenario":{"envelope":"t2","grid":"nominal","cols":128,"groups":2,"banks":1,"trials":2}}`
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	ID    int64
+	Type  string
+	Data  string
+	PData jobs.Progress
+}
+
+// readSSE consumes an SSE stream to its end, parsing frames and progress
+// payloads.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var ev sseEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &ev.ID)
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if ev.Type == "" && ev.Data == "" {
+				continue
+			}
+			if ev.Type == "progress" {
+				if err := json.Unmarshal([]byte(ev.Data), &ev.PData); err != nil {
+					t.Fatalf("progress payload %q: %v", ev.Data, err)
+				}
+			}
+			out = append(out, ev)
+			ev = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("SSE read: %v", err)
+	}
+	return out
+}
+
+// submitJob posts a job body and returns the decoded status.
+func submitJob(t *testing.T, url, body string) (int, jobs.Status) {
+	t.Helper()
+	code, resp := postJSON(t, url+"/v1/jobs", body)
+	var st jobs.Status
+	if code < 300 {
+		if err := json.Unmarshal([]byte(resp), &st); err != nil {
+			t.Fatalf("job status decode: %v (%s)", err, resp)
+		}
+	}
+	return code, st
+}
+
+// TestEnvelopeJobEndToEnd is the tentpole acceptance test: an
+// envelope-search job streams monotonically increasing shard progress
+// over SSE; its result bytes are identical to the blocking POST
+// /v1/scenario and to the committed simra-scan golden; and a second
+// identical submission completes instantly from the cache without a new
+// execution.
+func TestEnvelopeJobEndToEnd(t *testing.T) {
+	golden, err := os.ReadFile("../../cmd/simra-scan/testdata/envelope.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{JobPoll: time.Millisecond})
+
+	code, st := submitJob(t, ts.URL, envelopeJobBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if st.Kind != "scenario" || !strings.HasPrefix(st.ID, "scenario-") {
+		t.Fatalf("job identity %s/%s", st.ID, st.Kind)
+	}
+
+	// A second subscriber that disconnects mid-stream must not disturb the
+	// job or leak its SSE slot.
+	discCtx, disconnect := context.WithCancel(context.Background())
+	discReq, _ := http.NewRequestWithContext(discCtx, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	discResp, err := http.DefaultClient.Do(discReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer discResp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1)
+	if _, err := discResp.Body.Read(buf); err != nil {
+		t.Fatalf("disconnecting subscriber read nothing: %v", err)
+	}
+	disconnect()
+
+	events := readSSE(t, resp.Body)
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	for i, ev := range events {
+		if ev.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d; want sequential from 1", i, ev.ID)
+		}
+	}
+	var progress []jobs.Progress
+	for _, ev := range events {
+		if ev.Type == "progress" {
+			progress = append(progress, ev.PData)
+		}
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events in the stream")
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i].ShardsDone < progress[i-1].ShardsDone {
+			t.Fatalf("shard progress regressed: %d after %d",
+				progress[i].ShardsDone, progress[i-1].ShardsDone)
+		}
+	}
+	last := progress[len(progress)-1]
+	if last.ShardsDone == 0 || last.ShardsDone != last.ShardsTotal {
+		t.Fatalf("terminal progress %+v; want all shards done", last)
+	}
+	final := events[len(events)-1]
+	if final.Type != "done" || !strings.Contains(final.Data, string(jobs.StateSucceeded)) {
+		t.Fatalf("stream ended with %s %s", final.Type, final.Data)
+	}
+
+	// Result bytes: golden ≡ job result ≡ blocking route.
+	res, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", res.StatusCode, body)
+	}
+	if string(body) != string(golden) {
+		t.Fatal("job result bytes differ from the simra-scan envelope golden")
+	}
+	if got := s.Executions("scenario"); got != 1 {
+		t.Fatalf("scenario executions after job = %d, want 1", got)
+	}
+	blockCode, blockBody := postJSON(t, ts.URL+"/v1/scenario?raw=1",
+		`{"envelope":"t2","grid":"nominal","cols":128,"groups":2,"banks":1,"trials":2}`)
+	if blockCode != http.StatusOK {
+		t.Fatalf("blocking status %d", blockCode)
+	}
+	if blockBody != string(body) {
+		t.Fatal("blocking POST bytes differ from the job result")
+	}
+	if got := s.Executions("scenario"); got != 1 {
+		t.Fatalf("blocking POST after job re-executed: %d executions", got)
+	}
+
+	// Resubmission while the job is stored dedupes onto it.
+	code, dup := submitJob(t, ts.URL, envelopeJobBody)
+	if code != http.StatusOK || dup.ID != st.ID || dup.State != jobs.StateSucceeded {
+		t.Fatalf("dedupe: code %d, %s/%s", code, dup.ID, dup.State)
+	}
+
+	// After the job expires, a fresh submission completes instantly from
+	// the response cache: no queueing, no execution.
+	if n := s.jobs.SweepExpired(time.Now().Add(24 * time.Hour)); n == 0 {
+		t.Fatal("expiry sweep dropped nothing")
+	}
+	code, inst := submitJob(t, ts.URL, envelopeJobBody)
+	if code != http.StatusOK {
+		t.Fatalf("cached submit status %d, want 200", code)
+	}
+	if inst.State != jobs.StateSucceeded || !inst.Cached {
+		t.Fatalf("cached submit state %s cached=%v; want instant cached success", inst.State, inst.Cached)
+	}
+	if got := s.Executions("scenario"); got != 1 {
+		t.Fatalf("cached resubmission executed: %d executions, want 1", got)
+	}
+
+	// The disconnected subscriber's slot must have been released.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.JobMetrics().SSEConnections != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SSE connections still %d after streams closed", s.JobMetrics().SSEConnections)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// heavyGridBody is a deliberately slow (~hundreds of ms) scenario grid,
+// long enough for the monitor to stream live progress and for
+// cancellation to land mid-run.
+const heavyGridBody = `{"kind":"scenario","scenario":{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":30}}`
+
+// TestJobProgressStreaming attaches an SSE subscriber while a long grid
+// job is still executing and asserts the monitor streams monotonically
+// increasing shard progress live — several intermediate snapshots, not
+// just the terminal one.
+func TestJobProgressStreaming(t *testing.T) {
+	_, ts := testServer(t, Config{JobPoll: time.Millisecond})
+	code, st := submitJob(t, ts.URL, heavyGridBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body)
+	var progress []jobs.Progress
+	for _, ev := range events {
+		if ev.Type == "progress" {
+			progress = append(progress, ev.PData)
+		}
+	}
+	if len(progress) < 3 {
+		t.Fatalf("only %d progress events; want live intermediate snapshots", len(progress))
+	}
+	distinct := 1
+	for i := 1; i < len(progress); i++ {
+		if progress[i].ShardsDone < progress[i-1].ShardsDone {
+			t.Fatalf("shard progress regressed: %d after %d",
+				progress[i].ShardsDone, progress[i-1].ShardsDone)
+		}
+		if progress[i].ShardsDone > progress[i-1].ShardsDone {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatal("progress never advanced across events")
+	}
+	if final := events[len(events)-1]; final.Type != "done" || !strings.Contains(final.Data, string(jobs.StateSucceeded)) {
+		t.Fatalf("stream ended with %s %s", final.Type, final.Data)
+	}
+}
+
+// TestJobCancellation covers both cancellation paths: a queued job (the
+// single worker is busy) cancels instantly; the running job cancels via
+// its execution context. /result reflects cancellation with 410.
+func TestJobCancellation(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, JobPoll: time.Millisecond})
+	running := heavyGridBody
+	queued := `{"kind":"sweep","sweep":{"figure":"3","trials":1,"groups":1,"banks":1,"cols":64}}`
+
+	code, stRun := submitJob(t, ts.URL, running)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit running: %d", code)
+	}
+	code, stQueued := submitJob(t, ts.URL, queued)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued: %d", code)
+	}
+
+	del := func(id string) (int, jobs.Status) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st jobs.Status
+		json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+
+	if code, st := del(stQueued.ID); code != http.StatusOK || st.State != jobs.StateCanceled {
+		t.Fatalf("cancel queued: %d %s", code, st.State)
+	}
+	code, _ = del(stRun.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cancel running: %d", code)
+	}
+	// The running job settles as canceled once its context unwinds.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + stRun.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobs.Status
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State.Terminal() {
+			if st.State != jobs.StateCanceled {
+				t.Fatalf("running job settled as %s, want canceled", st.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("running job never settled after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + stQueued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusGone {
+		t.Fatalf("result of canceled job: %d, want 410", res.StatusCode)
+	}
+}
+
+// TestJobValidation pins the submission contract: malformed bodies 400,
+// unknown kinds and invalid inner requests 422 (reusing the blocking
+// routes' messages), unknown IDs 404 on every job route.
+func TestJobValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	if code, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"nope"}`); code != http.StatusUnprocessableEntity ||
+		!strings.Contains(body, "valid: sweep, workload, trng, scenario") {
+		t.Fatalf("unknown kind: %d %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"sweep","sweep":{"figure":"99"}}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown figure: %d %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"kind":"trng","trng":{"bytes":8},"webhook":{"secret":"s"}}`); code != http.StatusUnprocessableEntity ||
+		!strings.Contains(body, "webhook needs a url") {
+		t.Fatalf("webhook without url: %d %s", code, body)
+	}
+	for _, route := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", route, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobSSECapAndReplay pins the event-stream edge cases: beyond the
+// connection cap subscribers shed with 503 + Retry-After, and a
+// reconnecting subscriber resumes from Last-Event-ID without replaying
+// already-seen events.
+func TestJobSSECapAndReplay(t *testing.T) {
+	s, ts := testServer(t, Config{MaxSSE: 1})
+	code, st := submitJob(t, ts.URL, `{"kind":"trng","trng":{"bytes":16}}`)
+	if code >= 300 {
+		t.Fatalf("submit: %d", code)
+	}
+	if _, err := s.WaitJob(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	release, ok := s.jobs.AcquireSSE()
+	if !ok {
+		t.Fatal("test could not claim the only SSE slot")
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap subscriber got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-cap rejection missing Retry-After")
+	}
+	release()
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(full) < 2 {
+		t.Fatalf("full stream has %d events", len(full))
+	}
+
+	// Resume after the penultimate event: exactly the tail replays. Both
+	// the standard header and the query-parameter fallback work.
+	cursor := full[len(full)-2].ID
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(cursor))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(tail) != 1 || tail[0].ID != full[len(full)-1].ID || tail[0].Type != "done" {
+		t.Fatalf("header replay from %d returned %+v; want just the done event", cursor, tail)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?last_event_id=" + fmt.Sprint(cursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail = readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(tail) != 1 || tail[0].ID != full[len(full)-1].ID {
+		t.Fatalf("query replay from %d returned %+v", cursor, tail)
+	}
+	if s.JobMetrics().SSERejected == 0 {
+		t.Fatal("sse_rejected counter never moved")
+	}
+}
+
+// TestJobWebhookDelivery asserts the completion callback arrives signed:
+// the sink recomputes the HMAC over the received body and the payload
+// identifies the job and terminal state.
+func TestJobWebhookDelivery(t *testing.T) {
+	type delivery struct {
+		body []byte
+		sig  string
+		job  string
+	}
+	got := make(chan delivery, 1)
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		got <- delivery{body: body, sig: r.Header.Get("X-Simra-Signature"), job: r.Header.Get("X-Simra-Job")}
+	}))
+	defer sink.Close()
+
+	s, ts := testServer(t, Config{})
+	body := fmt.Sprintf(`{"kind":"trng","trng":{"bytes":16},"webhook":{"url":%q,"secret":"s3cret"}}`, sink.URL)
+	code, st := submitJob(t, ts.URL, body)
+	if code >= 300 {
+		t.Fatalf("submit: %d", code)
+	}
+	select {
+	case d := <-got:
+		want := "sha256=" + jobs.Sign("s3cret", d.body)
+		if !hmac.Equal([]byte(d.sig), []byte(want)) {
+			t.Fatalf("signature %q, want %q", d.sig, want)
+		}
+		if d.job != st.ID {
+			t.Fatalf("delivery names job %q, want %q", d.job, st.ID)
+		}
+		var payload jobs.Status
+		if err := json.Unmarshal(d.body, &payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.State != jobs.StateSucceeded {
+			t.Fatalf("payload state %s", payload.State)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.JobMetrics().WebhookDeliveries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("webhook delivery counter never moved")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobsListAndMetrics covers GET /v1/jobs and the /metrics additions.
+func TestJobsListAndMetrics(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	code, st := submitJob(t, ts.URL, `{"kind":"trng","trng":{"bytes":16}}`)
+	if code >= 300 {
+		t.Fatalf("submit: %d", code)
+	}
+	if _, err := s.WaitJob(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Fatalf("list %+v", list)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"simra_jobs_submitted_total 1",
+		"simra_jobs_completed_total 1",
+		"simra_jobs_queued 0",
+		"simra_jobs_running 0",
+		"simra_jobs_sse_connections 0",
+		"simra_serve_max_inflight",
+		"simra_serve_max_queue",
+		"simra_warmpool_misses_total",
+	} {
+		if !strings.Contains(string(page), metric) {
+			t.Fatalf("/metrics missing %q:\n%s", metric, page)
+		}
+	}
+}
+
+// TestSubmitJobFacade covers the in-process facade surface the root
+// package re-exports.
+func TestSubmitJobFacade(t *testing.T) {
+	s := New(Config{})
+	t.Cleanup(s.Close)
+	st, existing, err := s.SubmitJob(JobRequest{Kind: "trng", TRNG: &TRNGRequest{Bytes: 16}})
+	if err != nil || existing {
+		t.Fatalf("SubmitJob: existing=%v err=%v", existing, err)
+	}
+	final, err := s.WaitJob(context.Background(), st.ID)
+	if err != nil || final.State != jobs.StateSucceeded {
+		t.Fatalf("WaitJob: %+v, %v", final, err)
+	}
+	again, err := s.JobStatus(st.ID)
+	if err != nil || again.State != jobs.StateSucceeded {
+		t.Fatalf("JobStatus: %+v, %v", again, err)
+	}
+	if _, err := s.JobStatus("missing"); err == nil {
+		t.Fatal("JobStatus(unknown) succeeded")
+	}
+}

@@ -42,11 +42,9 @@ import (
 	"time"
 
 	"repro/internal/cache"
-	"repro/internal/charexp"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/scenario"
-	"repro/internal/trng"
+	"repro/internal/jobs"
 	"repro/internal/workload"
 )
 
@@ -72,6 +70,22 @@ type Config struct {
 	// Workers bounds each engine run's shard parallelism (0 = GOMAXPROCS).
 	// It never affects response bytes.
 	Workers int
+	// JobWorkers bounds the async job tier's executor pool (0 = 2). Jobs
+	// don't claim MaxInflight slots: this pool is their concurrency bound.
+	JobWorkers int
+	// JobQueue bounds admitted-but-not-executing jobs (0 = 64); beyond it
+	// submissions are shed with 503 + Retry-After.
+	JobQueue int
+	// JobTTL is how long a terminal job stays queryable (0 = 15m).
+	JobTTL time.Duration
+	// JobPoll is the progress monitor's sampling interval (0 = 100ms);
+	// SSE progress events coalesce to this rate.
+	JobPoll time.Duration
+	// MaxSSE caps concurrent job event-stream subscribers (0 = 32).
+	MaxSSE int
+	// WarmpoolPerKey caps idle warm module instances kept per module
+	// identity for job executions (0 = 4).
+	WarmpoolPerKey int
 }
 
 // withDefaults resolves zero-value fields.
@@ -126,6 +140,11 @@ type Server struct {
 	busy     atomic.Int64
 	counters map[string]*kindCounters
 	start    time.Time
+
+	// jobs is the async tier (POST /v1/jobs …); pool is its warmpool of
+	// reusable module instances.
+	jobs *jobs.Manager
+	pool *jobs.Warmpool
 }
 
 // New builds a serving instance.
@@ -152,8 +171,24 @@ func New(cfg Config) *Server {
 	for _, k := range kinds {
 		s.counters[k] = &kindCounters{}
 	}
+	s.pool = jobs.NewWarmpool(cfg.WarmpoolPerKey)
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueue,
+		TTL:        cfg.JobTTL,
+		Poll:       cfg.JobPoll,
+		MaxSSE:     cfg.MaxSSE,
+	})
 	return s
 }
+
+// Close stops the job tier: running jobs are cancelled, the executor
+// workers and GC loop exit, and pending webhook deliveries settle.
+func (s *Server) Close() { s.jobs.Close() }
+
+// JobMetrics exposes the job tier's counters (tests assert them; /metrics
+// renders them).
+func (s *Server) JobMetrics() jobs.Metrics { return s.jobs.Metrics() }
 
 // CacheStats exposes the shared cache's counters.
 func (s *Server) CacheStats() cache.Stats { return s.store.Stats() }
@@ -238,37 +273,12 @@ func (s *Server) respond(ctx context.Context, kind string, key cache.Key, exec f
 
 // runSweep executes one normalized sweep request.
 func (s *Server) runSweep(ctx context.Context, q SweepRequest) (Response, error) {
-	return s.respond(ctx, "sweep", q.key(), func(context.Context) (string, error) {
-		cfg := q.config()
-		cfg.Engine.Workers = s.cfg.Workers
-		cfg.ShardMemo = s.sweepMemo
-		runner, err := charexp.NewRunner(cfg)
-		if err != nil {
-			return "", err
-		}
-		return runner.RunFigure(q.Figure, q.Sets, q.Format)
-	})
+	return s.respond(ctx, "sweep", q.key(), blocking(s.sweepExec(q)))
 }
 
 // runWorkload executes one normalized workload request.
 func (s *Server) runWorkload(ctx context.Context, q WorkloadRequest) (Response, error) {
-	return s.respond(ctx, "workload", q.key(), func(execCtx context.Context) (string, error) {
-		cfg, err := q.options().Resolve()
-		if err != nil {
-			return "", err
-		}
-		cfg.Engine.Workers = s.cfg.Workers
-		cfg.Memo = s.workloadMemo
-		results, err := workload.RunFleet(execCtx, cfg)
-		if err != nil {
-			return "", err
-		}
-		var b strings.Builder
-		if err := workload.WriteReport(&b, results, q.Format); err != nil {
-			return "", err
-		}
-		return b.String(), nil
-	})
+	return s.respond(ctx, "workload", q.key(), blocking(s.workloadExec(q)))
 }
 
 // runScenario executes one normalized scenario request. Point shards are
@@ -276,34 +286,22 @@ func (s *Server) runWorkload(ctx context.Context, q WorkloadRequest) (Response, 
 // under distinct key families), so an envelope search warms later grid
 // scans and vice versa.
 func (s *Server) runScenario(ctx context.Context, q ScenarioRequest) (Response, error) {
-	return s.respond(ctx, "scenario", q.key(), func(execCtx context.Context) (string, error) {
-		cfg, err := q.options().Resolve()
-		if err != nil {
-			return "", err
-		}
-		cfg.Engine.Workers = s.cfg.Workers
-		cfg.Memo = s.sweepMemo
-		res, err := scenario.Run(execCtx, cfg)
-		if err != nil {
-			return "", err
-		}
-		var b strings.Builder
-		if err := scenario.WriteReport(&b, res, q.Format); err != nil {
-			return "", err
-		}
-		return b.String(), nil
-	})
+	return s.respond(ctx, "scenario", q.key(), blocking(s.scenarioExec(q)))
 }
 
 // runTRNG executes one normalized TRNG request.
 func (s *Server) runTRNG(ctx context.Context, q TRNGRequest) (Response, error) {
-	return s.respond(ctx, "trng", q.key(), func(context.Context) (string, error) {
-		out, err := trng.Generate(q.options())
-		if err != nil {
-			return "", err
-		}
-		return trng.FormatHex(out), nil
-	})
+	return s.respond(ctx, "trng", q.key(), blocking(s.trngExec(q)))
+}
+
+// blocking adapts a family pipeline to the blocking routes: no progress
+// accumulator, no warmpool — neither affects result bytes, so the
+// blocking response, the job-tier result and the CLI stdout stay
+// byte-identical (the invariance suite asserts it).
+func blocking(run kindExec) func(ctx context.Context) (string, error) {
+	return func(ctx context.Context) (string, error) {
+		return run(ctx, nil, nil)
+	}
 }
 
 // decodeJSON strictly parses the request body.
@@ -325,6 +323,13 @@ func writeResponse(w http.ResponseWriter, r *http.Request, resp Response) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// writeJSON renders v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }
 
 // writeError maps an execution error onto an HTTP status.
@@ -397,6 +402,12 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
 	}))
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f}\n", time.Since(s.start).Seconds())
@@ -487,8 +498,29 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(&b, "simra_serve_errors_total{kind=%q} %d\n", k, c.errors.Load())
 	}
 	fmt.Fprintf(&b, "simra_serve_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(&b, "simra_serve_max_inflight %d\n", s.cfg.MaxInflight)
 	fmt.Fprintf(&b, "simra_serve_queued %d\n", s.queued.Load())
+	fmt.Fprintf(&b, "simra_serve_max_queue %d\n", s.cfg.MaxQueue)
 	fmt.Fprintf(&b, "simra_serve_shed_total %d\n", s.busy.Load())
+	jm := s.jobs.Metrics()
+	fmt.Fprintf(&b, "simra_jobs_submitted_total %d\n", jm.Submitted)
+	fmt.Fprintf(&b, "simra_jobs_deduped_total %d\n", jm.Deduped)
+	fmt.Fprintf(&b, "simra_jobs_cache_hits_total %d\n", jm.CacheHits)
+	fmt.Fprintf(&b, "simra_jobs_queued %d\n", jm.Queued)
+	fmt.Fprintf(&b, "simra_jobs_running %d\n", jm.Running)
+	fmt.Fprintf(&b, "simra_jobs_completed_total %d\n", jm.Completed)
+	fmt.Fprintf(&b, "simra_jobs_failed_total %d\n", jm.Failed)
+	fmt.Fprintf(&b, "simra_jobs_canceled_total %d\n", jm.Canceled)
+	fmt.Fprintf(&b, "simra_jobs_sse_connections %d\n", jm.SSEConnections)
+	fmt.Fprintf(&b, "simra_jobs_sse_rejected_total %d\n", jm.SSERejected)
+	fmt.Fprintf(&b, "simra_jobs_webhook_deliveries_total %d\n", jm.WebhookDeliveries)
+	fmt.Fprintf(&b, "simra_jobs_webhook_retries_total %d\n", jm.WebhookRetries)
+	fmt.Fprintf(&b, "simra_jobs_webhook_failures_total %d\n", jm.WebhookFailures)
+	ws := s.pool.Stats()
+	fmt.Fprintf(&b, "simra_warmpool_hits_total %d\n", ws.Hits)
+	fmt.Fprintf(&b, "simra_warmpool_misses_total %d\n", ws.Misses)
+	fmt.Fprintf(&b, "simra_warmpool_discarded_total %d\n", ws.Discarded)
+	fmt.Fprintf(&b, "simra_warmpool_idle %d\n", ws.Idle)
 	cs := s.store.Stats()
 	fmt.Fprintf(&b, "simra_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(&b, "simra_cache_misses_total %d\n", cs.Misses)
@@ -507,6 +539,7 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 // if non-nil, receives the bound address once listening — tests and
 // scripts use it instead of polling.
 func (s *Server) ListenAndServe(ctx context.Context, ready chan<- string) error {
+	defer s.Close()
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err

@@ -53,6 +53,14 @@ type FleetConfig struct {
 	// to a recomputed one under any fleet composition. nil disables
 	// memoization.
 	Memo engine.Memo[[]Result]
+	// Stats, when non-nil, accumulates engine progress counters in an
+	// externally observable place — the job tier polls it for live
+	// per-module progress. Never affects result bytes.
+	Stats *engine.Stats
+	// Pool, when non-nil, supplies the module instances shard work runs on
+	// (the job executor's warmpool). Pooled instances are reset before
+	// reuse, so results are bit-identical to freshly built modules.
+	Pool dram.ModulePool
 }
 
 // DefaultFleetConfig returns the standard reduced-scale configuration: the
@@ -142,7 +150,7 @@ func RunFleet(ctx context.Context, cfg FleetConfig) ([]Result, error) {
 			keys[mi] = shardKey(e, cfg)
 		}
 	}
-	perModule, err := engine.RunKeyed(ctx, cfg.Engine, nil, cfg.Memo, keys, tasks)
+	perModule, err := engine.RunKeyed(ctx, cfg.Engine, cfg.Stats, cfg.Memo, keys, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -176,10 +184,11 @@ func runModule(e fleet.Entry, cfg FleetConfig, shardSeed uint64) ([]Result, erro
 		}
 		return out, nil
 	}
-	mod, err := dram.NewModule(e.Spec, cfg.Params)
+	mod, release, err := dram.PoolModule(cfg.Pool, e.Spec, cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)
 	}
+	defer release()
 	sa, err := mod.Subarray(0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/cache"
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -28,6 +29,14 @@ type (
 	ScenarioRequest = server.ScenarioRequest
 	BatchRequest    = server.BatchRequest
 	ServeResponse   = server.Response
+	// JobRequest submits one request family for asynchronous execution on
+	// the job tier (POST /v1/jobs); JobStatus is a job's observable
+	// snapshot, JobWebhook its optional signed completion callback, and
+	// JobMetrics the tier's counter snapshot (DESIGN.md §11).
+	JobRequest = server.JobRequest
+	JobStatus  = jobs.Status
+	JobWebhook = jobs.WebhookSpec
+	JobMetrics = jobs.Metrics
 )
 
 // DefaultServeConfig returns the standard serving configuration
@@ -44,4 +53,22 @@ func NewServer(cfg ServeConfig) *ServeServer { return server.New(cfg) }
 // once listening.
 func Serve(ctx context.Context, cfg ServeConfig, ready chan<- string) error {
 	return server.New(cfg).ListenAndServe(ctx, ready)
+}
+
+// SubmitJob submits a request for asynchronous execution on s's job tier
+// — the in-process equivalent of POST /v1/jobs. existing reports that an
+// equivalent live or succeeded job was joined instead of starting a new
+// one.
+func SubmitJob(s *ServeServer, req JobRequest) (st JobStatus, existing bool, err error) {
+	return s.SubmitJob(req)
+}
+
+// JobState returns the current status of a job by ID — the in-process
+// equivalent of GET /v1/jobs/{id}.
+func JobState(s *ServeServer, id string) (JobStatus, error) { return s.JobStatus(id) }
+
+// WaitJob blocks until the job is terminal (or ctx is done) and returns
+// its final status.
+func WaitJob(ctx context.Context, s *ServeServer, id string) (JobStatus, error) {
+	return s.WaitJob(ctx, id)
 }
