@@ -99,10 +99,13 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// webhooks holds every completion callback registered for this job:
+	// the submission's own spec plus any attached by deduped
+	// resubmissions. All fire on the terminal state.
+	webhooks []WebhookSpec
 
-	exec    Exec
-	webhook *WebhookSpec
-	done    chan struct{}
+	exec Exec
+	done chan struct{}
 }
 
 func newJob(id, kind string, exec Exec, webhook *WebhookSpec) *Job {
@@ -112,9 +115,11 @@ func newJob(id, kind string, exec Exec, webhook *WebhookSpec) *Job {
 		stats:   new(engine.Stats),
 		log:     newEventLog(),
 		exec:    exec,
-		webhook: webhook,
 		created: time.Now(),
 		done:    make(chan struct{}),
+	}
+	if webhook != nil {
+		j.webhooks = append(j.webhooks, *webhook)
 	}
 	j.transitionLocked(StateQueued, "submitted")
 	return j
@@ -215,9 +220,14 @@ func (j *Job) start(cancel context.CancelFunc) bool {
 
 // finish records the execution outcome, emits the final events and closes
 // the stream. A requested cancellation wins over the execution error it
-// induced.
+// induced. An already-terminal job (e.g. one Cancel settled while it was
+// still queued) is left untouched.
 func (j *Job) finish(output string, err error) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.finished = time.Now()
 	j.cancel = nil
 	switch {
@@ -238,6 +248,10 @@ func (j *Job) finish(output string, err error) {
 // cache at submission: no execution, instant terminal state.
 func (j *Job) completeCached(output string) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.cached = true
 	j.output = output
 	j.finished = time.Now()
@@ -250,6 +264,10 @@ func (j *Job) completeCached(output string) {
 // it up.
 func (j *Job) cancelQueued() {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.finished = time.Now()
 	j.transitionLocked(StateCanceled, "canceled before execution")
 	j.finishLocked()
@@ -269,20 +287,45 @@ func (j *Job) finishLocked() {
 }
 
 // requestCancel marks the job canceled and interrupts a running
-// execution. It reports whether the request took effect (false once
-// terminal).
-func (j *Job) requestCancel() bool {
+// execution. It returns the state it observed when setting the flag and
+// whether the request took effect (false once terminal). The observation
+// and the flag set share one critical section, so a caller that sees
+// (StateQueued, true) knows no worker will ever start this job — start
+// checks the flag under the same lock — and may settle it itself.
+func (j *Job) requestCancel() (State, bool) {
 	j.mu.Lock()
 	if j.state.Terminal() {
+		s := j.state
 		j.mu.Unlock()
-		return false
+		return s, false
 	}
 	j.canceled = true
+	prior := j.state
 	cancel := j.cancel
-	running := j.state == StateRunning
 	j.mu.Unlock()
-	if running && cancel != nil {
+	if prior == StateRunning && cancel != nil {
 		cancel()
 	}
+	return prior, true
+}
+
+// addWebhook registers an additional completion callback on a live job
+// (a deduped resubmission carrying a webhook). It reports false when the
+// job is already terminal: no future notify will run, so the caller must
+// deliver the callback itself.
+func (j *Job) addWebhook(spec WebhookSpec) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.webhooks = append(j.webhooks, spec)
 	return true
+}
+
+// webhookSpecs snapshots the registered completion callbacks.
+func (j *Job) webhookSpecs() []WebhookSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]WebhookSpec(nil), j.webhooks...)
 }

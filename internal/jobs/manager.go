@@ -118,6 +118,12 @@ type Manager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// whCtx governs webhook deliveries. It is separate from base so
+	// Close can cancel running jobs yet still let in-flight terminal
+	// callbacks (bounded by attempts × timeout + backoff) complete.
+	whCtx    context.Context
+	whCancel context.CancelFunc
+
 	counters struct {
 		submitted, deduped          int64
 		completed, failed, canceled int64
@@ -131,13 +137,16 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
+	whCtx, whCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		webhook: newWebhookSender(cfg.Webhook),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		base:    base,
-		cancel:  cancel,
+		cfg:      cfg,
+		webhook:  newWebhookSender(cfg.Webhook),
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		base:     base,
+		cancel:   cancel,
+		whCtx:    whCtx,
+		whCancel: whCancel,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -149,7 +158,10 @@ func NewManager(cfg Config) *Manager {
 }
 
 // Close cancels running jobs, stops the workers and the GC loop, and
-// waits for in-flight webhook deliveries to settle.
+// waits for in-flight webhook deliveries to settle. Deliveries run under
+// their own context (not the one Close cancels), so terminal callbacks
+// racing shutdown still complete — bounded by the webhook attempt
+// budget, backoff and per-request timeout.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -161,6 +173,7 @@ func (m *Manager) Close() {
 	m.cancel()
 	m.wg.Wait()
 	m.webhook.wait()
+	m.whCancel()
 }
 
 // Submit registers the request. When a live or succeeded job already
@@ -183,6 +196,12 @@ func (m *Manager) Submit(req Request) (*Job, bool, error) {
 		if s := prev.State(); s != StateFailed && s != StateCanceled {
 			m.counters.submitted++
 			m.counters.deduped++
+			// A deduped resubmission's webhook must still fire: attach it
+			// to the live job, or — when the job is already terminal, so
+			// no future notify will run — deliver its status now.
+			if req.Webhook != nil && !prev.addWebhook(*req.Webhook) {
+				m.webhook.deliver(m.whCtx, *req.Webhook, prev.Status())
+			}
 			return prev, true, nil
 		}
 	}
@@ -241,14 +260,19 @@ func (m *Manager) Jobs() []Status {
 
 // Cancel requests cancellation. Queued jobs finish as canceled
 // immediately; running jobs have their context cancelled and settle
-// through the worker. Terminal jobs return ErrNotFound-free false.
+// through the worker. Cancel of a terminal job is a no-op.
 func (m *Manager) Cancel(id string) (Status, error) {
 	j, err := m.Get(id)
 	if err != nil {
 		return Status{}, err
 	}
-	wasQueued := j.State() == StateQueued
-	if j.requestCancel() && wasQueued {
+	// requestCancel observes the state and sets the canceled flag in one
+	// critical section: (StateQueued, true) guarantees no worker will
+	// start this job (start checks the flag under the same lock), so
+	// settling it here cannot race a concurrent finish. Deciding from a
+	// separate State() read would allow a worker to start the job in
+	// between, double-settling it when the execution returned.
+	if prior, ok := j.requestCancel(); ok && prior == StateQueued {
 		// The worker that eventually drains the queue entry sees the
 		// canceled flag and skips it; settle the job now so watchers and
 		// webhooks don't wait for that drain.
@@ -419,10 +443,13 @@ func (m *Manager) monitor(j *Job, stop <-chan struct{}) {
 	}
 }
 
-// notify dispatches the terminal webhook, if the job registered one.
+// notify dispatches the terminal status to every webhook the job
+// registered (its own submission's plus any attached by deduped
+// resubmissions).
 func (m *Manager) notify(j *Job) {
-	if j.webhook != nil {
-		m.webhook.deliver(m.base, *j.webhook, j.Status())
+	st := j.Status()
+	for _, spec := range j.webhookSpecs() {
+		m.webhook.deliver(m.whCtx, spec, st)
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -244,6 +247,122 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 	if m.Metrics().Canceled != 1 {
 		t.Fatalf("canceled counter %d", m.Metrics().Canceled)
+	}
+}
+
+// TestCancelStartRaceSettlesOnce hammers the Cancel-vs-worker-start
+// window: with the cancel decision and flag set split across two lock
+// acquisitions, a worker starting the job in between double-settled it
+// (close of closed done channel → panic) and double-adjusted the
+// counters. Every job must settle exactly once, in exactly one terminal
+// state, with the gauges back at zero.
+func TestCancelStartRaceSettlesOnce(t *testing.T) {
+	m := testManager(t, Config{Workers: 4, QueueDepth: 256})
+	const n = 200
+	submitted := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, _, err := m.Submit(Request{ID: fmt.Sprintf("race-%d", i), Kind: "trng",
+			Exec: func(context.Context, *engine.Stats) (string, error) { return "ok", nil }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted = append(submitted, j)
+		go m.Cancel(j.ID())
+	}
+	for _, j := range submitted {
+		select {
+		case <-j.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("job %s never settled (state %s)", j.ID(), j.State())
+		}
+		if st := j.Status(); st.State != StateSucceeded && st.State != StateCanceled {
+			t.Fatalf("job %s settled %s (error %q)", j.ID(), st.State, st.Error)
+		}
+	}
+	met := m.Metrics()
+	if met.Queued != 0 || met.Running != 0 {
+		t.Fatalf("gauges queued=%d running=%d after all jobs settled", met.Queued, met.Running)
+	}
+	if total := met.Completed + met.Canceled + met.Failed; total != n {
+		t.Fatalf("terminal counters sum %d (completed=%d canceled=%d failed=%d), want %d",
+			total, met.Completed, met.Canceled, met.Failed, n)
+	}
+}
+
+// waitHits polls the sink until it has recorded want deliveries.
+func waitHits(t *testing.T, sink *webhookSink, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sink.snapshot()) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("webhook deliveries %d, want %d", len(sink.snapshot()), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDedupedResubmissionWebhookFires covers the webhook path through
+// dedupe: a resubmission that joins a live job attaches its webhook (it
+// fires on completion alongside any the job already had), and one that
+// joins an already-terminal job gets its callback delivered immediately.
+func TestDedupedResubmissionWebhookFires(t *testing.T) {
+	sink := &webhookSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+	m := testManager(t, Config{})
+	release := make(chan struct{})
+	exec := func(context.Context, *engine.Stats) (string, error) { <-release; return "x", nil }
+	if _, _, err := m.Submit(Request{ID: "d", Kind: "trng", Exec: exec}); err != nil {
+		t.Fatal(err)
+	}
+	j, existing, err := m.Submit(Request{ID: "d", Kind: "trng", Exec: exec,
+		Webhook: &WebhookSpec{URL: srv.URL}})
+	if err != nil || !existing {
+		t.Fatalf("live dedupe: existing=%v err=%v", existing, err)
+	}
+	close(release)
+	waitState(t, j, StateSucceeded)
+	waitHits(t, sink, 1)
+	if _, existing, err := m.Submit(Request{ID: "d", Kind: "trng", Exec: exec,
+		Webhook: &WebhookSpec{URL: srv.URL}}); err != nil || !existing {
+		t.Fatalf("terminal dedupe: existing=%v err=%v", existing, err)
+	}
+	waitHits(t, sink, 2)
+	for i, h := range sink.snapshot() {
+		if h.job != "d" || h.event != "succeeded" {
+			t.Fatalf("delivery %d: job=%q event=%q", i, h.job, h.event)
+		}
+	}
+}
+
+// TestCloseAllowsInflightWebhookToComplete pins the Close contract:
+// deliveries run under their own context, so a terminal callback racing
+// shutdown completes instead of being abandoned by the base-context
+// cancel.
+func TestCloseAllowsInflightWebhookToComplete(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	m := NewManager(Config{})
+	cached := "x"
+	if _, _, err := m.Submit(Request{ID: "c", Kind: "trng", Cached: &cached,
+		Webhook: &WebhookSpec{URL: srv.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("deliveries completed at Close return: %d, want 1", hits)
+	}
+	if d, _, f := m.webhook.counts(); d != 1 || f != 0 {
+		t.Fatalf("counts deliveries=%d failures=%d, want 1/0", d, f)
 	}
 }
 

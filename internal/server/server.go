@@ -241,24 +241,46 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 // coalesced waiters share it, so one client's disconnect must not fail
 // the others (or waste the nearly finished result). The returned Cached
 // flag reports whether this call avoided executing.
+//
+// The shared store is also the job tier's, and a job execution runs
+// under its job's cancelable context — so a blocking request can
+// coalesce onto an execution that a DELETE /v1/jobs/{id} then kills.
+// That cancellation is the job's, not this caller's: when a coalesced
+// wait ends in context.Canceled while our own caller is still live, we
+// re-enter the store and compute (detached, as always) ourselves.
 func (s *Server) respond(ctx context.Context, kind string, key cache.Key, exec func(ctx context.Context) (string, error)) (Response, error) {
 	s.counters[kind].requests.Add(1)
-	executed := false
 	detached := context.WithoutCancel(ctx)
-	v, err := s.store.Do(key, func() (any, int64, error) {
-		executed = true
-		release, err := s.acquire(detached)
-		if err != nil {
-			return nil, 0, err
+	var (
+		v        any
+		err      error
+		executed bool
+	)
+	for {
+		executed = false
+		v, err = s.store.Do(key, func() (any, int64, error) {
+			executed = true
+			release, err := s.acquire(detached)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer release()
+			s.counters[kind].executions.Add(1)
+			out, err := exec(detached)
+			if err != nil {
+				return nil, 0, err
+			}
+			return out, int64(len(out)), nil
+		})
+		if err != nil && !executed && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// Inherited from a canceled job execution we coalesced onto.
+			// Our own execution can't be canceled (it runs detached), so
+			// retrying terminates: either we hit the cache, coalesce onto
+			// a live execution, or become the executor ourselves.
+			continue
 		}
-		defer release()
-		s.counters[kind].executions.Add(1)
-		out, err := exec(detached)
-		if err != nil {
-			return nil, 0, err
-		}
-		return out, int64(len(out)), nil
-	})
+		break
+	}
 	if err != nil {
 		s.counters[kind].errors.Add(1)
 		return Response{Kind: kind, Key: cache.KeyString(key)}, err

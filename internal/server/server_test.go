@@ -12,7 +12,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/cache"
 	"repro/internal/scenario"
 )
 
@@ -306,6 +308,57 @@ func TestBackpressure(t *testing.T) {
 	}
 	if s.inflight.Load() != 0 {
 		t.Fatalf("inflight = %d after releases; want 0", s.inflight.Load())
+	}
+}
+
+// TestBlockingRetriesWhenCoalescedExecutionCanceled pins the blocking
+// path's coalescing guarantee against the job tier: a job execution runs
+// under its job's cancelable context in the same store, so a blocking
+// request that coalesces onto it inherits context.Canceled when the job
+// is DELETEd. The blocking caller must not surface that foreign
+// cancellation — it re-enters the store and computes itself.
+func TestBlockingRetriesWhenCoalescedExecutionCanceled(t *testing.T) {
+	s := New(Config{})
+	t.Cleanup(s.Close)
+	key := cache.Key{0xca}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Stand in for a job execution holding the key that ends canceled.
+	go s.store.Do(key, func() (any, int64, error) {
+		close(started)
+		<-release
+		return nil, 0, context.Canceled
+	})
+	<-started
+	type result struct {
+		resp Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := s.respond(context.Background(), "trng", key,
+			func(context.Context) (string, error) { return "recomputed", nil })
+		done <- result{resp, err}
+	}()
+	// Only release the fake execution once the blocking request has
+	// coalesced onto it, so the retry path is actually exercised.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.store.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocking request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("blocking request inherited the job's cancellation: %v", r.err)
+	}
+	if r.resp.Output != "recomputed" {
+		t.Fatalf("output %q, want %q", r.resp.Output, "recomputed")
+	}
+	if got := s.Executions("trng"); got != 1 {
+		t.Fatalf("executions = %d; want 1 (the retry's own compute)", got)
 	}
 }
 
