@@ -11,7 +11,12 @@
 //	simra-jobs [-server URL] watch <job-id>       # SSE to completion
 //	simra-jobs [-server URL] result <job-id>      # raw bytes to stdout
 //	simra-jobs [-server URL] cancel <job-id>
+//	simra-jobs [-server URL] version              # server build + API revision
+//	simra-jobs [-server URL] health               # cluster role + peer health
 //	simra-jobs sink -addr 127.0.0.1:0 -secret s3cret -n 1
+//
+// A global -token adds "Authorization: Bearer <token>" to every request
+// (including the SSE stream) for servers running with -auth-tokens.
 //
 // submit prints the job's status JSON (just the ID with -q); with -wait
 // it blocks until the job is terminal. watch exits 0 when the job
@@ -51,7 +56,7 @@ func fail(stderr io.Writer, err error) int {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: simra-jobs [-server URL] {submit|status|watch|result|cancel|sink} ...")
+	fmt.Fprintln(stderr, "usage: simra-jobs [-server URL] [-token T] {submit|status|watch|result|cancel|version|health|sink} ...")
 	return 2
 }
 
@@ -60,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	global := flag.NewFlagSet("simra-jobs", flag.ContinueOnError)
 	global.SetOutput(stderr)
 	server := global.String("server", "http://127.0.0.1:8077", "simra-serve base URL")
+	token := global.String("token", "", "bearer token sent on every request (servers with -auth-tokens)")
 	if err := global.Parse(args); err != nil {
 		return 2
 	}
@@ -67,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 0 {
 		return usage(stderr)
 	}
-	c := &client{base: strings.TrimRight(*server, "/"), http: &http.Client{}}
+	c := &client{base: strings.TrimRight(*server, "/"), token: *token, http: &http.Client{}}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
 	case "submit":
@@ -80,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdResult(c, rest, stdout, stderr)
 	case "cancel":
 		return cmdCancel(c, rest, stdout, stderr)
+	case "version":
+		return cmdServerJSON(c, "/v1/version", stdout, stderr)
+	case "health":
+		return cmdServerJSON(c, "/healthz", stdout, stderr)
 	case "sink":
 		return cmdSink(rest, stdout, stderr)
 	default:
@@ -90,8 +100,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // client talks to one simra-serve instance.
 type client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
+}
+
+// authorize attaches the bearer token, when configured.
+func (c *client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // getJSON decodes a JSON endpoint, reporting non-2xx bodies as errors.
@@ -103,6 +121,7 @@ func (c *client) getJSON(method, path string, body []byte, v any) error {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -262,7 +281,12 @@ func cmdResult(c *client, args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		return 2
 	}
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/result")
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	c.authorize(req)
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -299,6 +323,7 @@ func cmdWatch(c *client, args []string, stdout, stderr io.Writer) int {
 	if *lastID > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprint(*lastID))
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fail(stderr, err)
@@ -356,6 +381,19 @@ func streamEvents(r io.Reader, stdout io.Writer, quiet bool) (string, error) {
 		}
 	}
 	return final, sc.Err()
+}
+
+// cmdServerJSON pretty-prints one GET endpoint's JSON document — the
+// version and health subcommands.
+func cmdServerJSON(c *client, path string, stdout, stderr io.Writer) int {
+	var doc map[string]any
+	if err := c.getJSON(http.MethodGet, path, nil, &doc); err != nil {
+		return fail(stderr, err)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+	return 0
 }
 
 // cmdSink runs a local webhook receiver: it verifies each delivery's

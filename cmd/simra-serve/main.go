@@ -11,7 +11,8 @@
 // Endpoints: POST /v1/sweep, /v1/workload, /v1/trng, /v1/batch;
 // the async job tier under /v1/jobs (submit, status, SSE progress
 // streaming, result retrieval, cancellation — see cmd/simra-jobs and
-// DESIGN.md §11); GET /healthz, /metrics.
+// DESIGN.md §11); GET /v1/version, /healthz, /metrics. The full route
+// and error-envelope contract is documented in docs/api-spec.md.
 // Append ?raw=1 to a POST to receive the rendered
 // output bytes alone — for workload requests byte-identical to
 // simra-work's stdout, for sweeps the rendered figure table (simra-char's
@@ -19,6 +20,17 @@
 //
 //	curl -s -X POST 'localhost:8077/v1/sweep?raw=1' \
 //	     -d '{"figure":"3","format":"text"}'
+//
+// Multi-node fleets (DESIGN.md §12): start workers pointing their shared
+// cache tier at the coordinator, then the coordinator fanning shards out
+// to them. Results are byte-identical to a single node's.
+//
+//	simra-serve -addr :8078 -cache-peer http://coord:8077 -cluster-token s3
+//	simra-serve -addr :8077 -peers http://worker:8078 -cluster-token s3
+//
+// Production middleware: -auth-tokens enables per-client bearer auth,
+// -rate/-burst a per-client token bucket shared across the fleet's cache
+// tier, -audit-log an append-only JSON request log.
 //
 // The process shuts down cleanly on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -30,10 +42,39 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	simra "repro"
 )
+
+// parseAuthTokens parses "token=client[,token=client...]" into the
+// server's token → client map.
+func parseAuthTokens(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		tok, client, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || tok == "" || client == "" {
+			return nil, fmt.Errorf("bad -auth-tokens entry %q; want token=client", pair)
+		}
+		m[tok] = client
+	}
+	return m, nil
+}
+
+// splitPeers parses a comma-separated peer list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var cfg simra.ServeConfig
@@ -56,7 +97,40 @@ func main() {
 		"max concurrent job event-stream subscribers (0 = 32)")
 	flag.IntVar(&cfg.WarmpoolPerKey, "warmpool", 0,
 		"idle warm module instances kept per module identity (0 = 4)")
+	flag.IntVar(&cfg.Groups, "groups", 0,
+		"in-process worker groups for shard fan-out (0/1 = no fan-out)")
+	peers := flag.String("peers", "",
+		"comma-separated worker base URLs to fan shards out to")
+	flag.StringVar(&cfg.CachePeer, "cache-peer", "",
+		"base URL of the node hosting the fleet's shared cache tier")
+	flag.StringVar(&cfg.ClusterToken, "cluster-token", "",
+		"shared secret authorizing fleet-internal routes")
+	authTokens := flag.String("auth-tokens", "",
+		"client bearer tokens as token=client[,token=client...]; empty = no auth")
+	flag.Float64Var(&cfg.RatePerSec, "rate", 0,
+		"per-client request rate limit in requests/second (0 = unlimited)")
+	flag.IntVar(&cfg.RateBurst, "burst", 0,
+		"per-client rate-limit burst (0 = max(1, ceil(rate)))")
+	auditPath := flag.String("audit-log", "",
+		"append-only JSON audit log file (empty = disabled)")
 	flag.Parse()
+
+	cfg.Peers = splitPeers(*peers)
+	tokens, err := parseAuthTokens(*authTokens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simra-serve:", err)
+		os.Exit(2)
+	}
+	cfg.AuthTokens = tokens
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simra-serve:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.AuditLog = f
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

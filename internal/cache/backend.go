@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is a remote cache tier: a byte-oriented key-value store shared
+// by the nodes of a serving fleet. Implementations must be safe for
+// concurrent use and best-effort — a Get that fails (network error,
+// remote down) reports a miss, and a Put that fails is silently dropped.
+// Correctness never depends on the backend: keys are content addresses,
+// so the worst a lost entry costs is a recomputation, and the engine's
+// determinism contract makes any stored value bit-identical to a fresh
+// one.
+type Backend interface {
+	Get(k Key) ([]byte, bool)
+	Put(k Key, v []byte)
+}
+
+// MemBackend is an in-memory Backend: the fake remote tier used by tests
+// and by a node hosting the fleet's shared tier in-process. The zero
+// value is not usable; create with NewMemBackend.
+type MemBackend struct {
+	mu      sync.RWMutex
+	entries map[Key][]byte
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{entries: make(map[Key][]byte)}
+}
+
+// Get returns the stored bytes for k.
+func (m *MemBackend) Get(k Key) ([]byte, bool) {
+	m.mu.RLock()
+	v, ok := m.entries[k]
+	m.mu.RUnlock()
+	if !ok {
+		m.misses.Add(1)
+		return nil, false
+	}
+	m.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under k, copying it so callers may reuse the slice.
+func (m *MemBackend) Put(k Key, v []byte) {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	m.mu.Lock()
+	m.entries[k] = cp
+	m.mu.Unlock()
+}
+
+// Len returns the number of stored entries.
+func (m *MemBackend) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Tiered layers a local Cache over an optional remote Backend for
+// string-valued response entries: Get and Do check the local LRU first,
+// then the remote tier, and only then compute. Singleflight coalescing is
+// preserved — the remote lookup runs inside the local cache's inflight
+// section, so concurrent identical requests still cost at most one remote
+// round trip or one computation. A remote hit inside Do short-circuits
+// the caller's compute function entirely: the caller observes a cached
+// result (its compute never ran), which is what keeps a fleet-wide cache
+// hit from counting as an execution. A nil Backend makes Tiered a
+// transparent view of the local cache.
+type Tiered struct {
+	local        *Cache
+	remote       Backend
+	remoteHits   atomic.Int64
+	remoteMisses atomic.Int64
+}
+
+// NewTiered layers local over remote (remote may be nil).
+func NewTiered(local *Cache, remote Backend) *Tiered {
+	return &Tiered{local: local, remote: remote}
+}
+
+// Local returns the underlying local cache.
+func (t *Tiered) Local() *Cache { return t.local }
+
+// Get returns the value for k from the local tier, falling back to the
+// remote tier (promoting a remote hit into the local LRU).
+func (t *Tiered) Get(k Key) (any, bool) {
+	if v, ok := t.local.Get(k); ok {
+		return v, true
+	}
+	if t.remote == nil {
+		return nil, false
+	}
+	b, ok := t.remote.Get(k)
+	if !ok {
+		t.remoteMisses.Add(1)
+		return nil, false
+	}
+	t.remoteHits.Add(1)
+	s := string(b)
+	t.local.Put(k, s, int64(len(s)))
+	return s, true
+}
+
+// Do returns the value for k with the Cache.Do contract (singleflight,
+// error passthrough), consulting the remote tier before running compute.
+// A successful computation is written through to both tiers; a remote hit
+// is promoted locally without running compute.
+func (t *Tiered) Do(k Key, compute func() (any, int64, error)) (any, error) {
+	if t.remote == nil {
+		return t.local.Do(k, compute)
+	}
+	return t.local.Do(k, func() (any, int64, error) {
+		if b, ok := t.remote.Get(k); ok {
+			t.remoteHits.Add(1)
+			s := string(b)
+			return s, int64(len(s)), nil
+		}
+		t.remoteMisses.Add(1)
+		v, size, err := compute()
+		if err == nil {
+			if s, ok := v.(string); ok {
+				t.remote.Put(k, []byte(s))
+			}
+		}
+		return v, size, err
+	})
+}
+
+// Stats returns the local cache's counters with the remote-tier counters
+// filled in.
+func (t *Tiered) Stats() Stats {
+	s := t.local.Stats()
+	s.RemoteHits = t.remoteHits.Load()
+	s.RemoteMisses = t.remoteMisses.Load()
+	return s
+}

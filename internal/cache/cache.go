@@ -19,6 +19,9 @@ type Stats struct {
 	Errors int64
 	// Evictions counts entries dropped to respect the byte budget.
 	Evictions int64
+	// RemoteHits and RemoteMisses count remote-tier lookups by a Tiered
+	// store (always zero on a plain Cache).
+	RemoteHits, RemoteMisses int64
 	// Entries and Bytes describe the current contents; Capacity is the
 	// configured byte budget (0 = unbounded).
 	Entries  int

@@ -47,6 +47,13 @@ type Config struct {
 	// sampling bounds and seed, so a memoized sweep is bit-identical to an
 	// uncached one. nil disables memoization.
 	ShardMemo engine.Memo[[]core.GroupOutcome]
+	// Dispatch, when non-nil, routes shard execution through a worker
+	// fleet (internal/cluster's Coordinator satisfies it) instead of
+	// running shard bodies in-process. Shards travel as serialized
+	// core.ShardSpec values keyed by the same content hashes ShardMemo
+	// uses, so a dispatched run is bit-identical to a local one. nil
+	// executes every shard in-process.
+	Dispatch engine.Dispatcher
 	// Stats, when non-nil, is the runner's progress accumulator — shared
 	// with the caller so the job tier can poll live per-shard progress
 	// while a figure runs. nil keeps a runner-private accumulator. Never

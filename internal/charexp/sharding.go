@@ -2,6 +2,7 @@ package charexp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/analog"
@@ -14,12 +15,15 @@ import (
 
 // sweepShard binds one engine shard to the module tester and subarray
 // sample that execute it. key is the shard's content hash for the
-// optional ShardMemo.
+// optional ShardMemo and for cluster dispatch; spec is the serialized
+// form dispatched to remote workers (filled only when Config.Dispatch is
+// set).
 type sweepShard struct {
 	shard  engine.Shard
 	tester *core.Tester
 	sample bender.SubarraySample
 	key    cache.Key
+	spec   core.ShardSpec
 }
 
 // shardKey hashes everything one sweep shard's outcome depends on: the
@@ -92,8 +96,19 @@ func (r *Runner) sweepShards(sc core.SweepConfig, env analog.Env, mfr string) (s
 				tester: tester,
 				sample: s,
 			}
-			if r.cfg.ShardMemo != nil {
+			if r.cfg.ShardMemo != nil || r.cfg.Dispatch != nil {
 				sh.key = r.shardKey(mod.Spec(), sc, env, s)
+			}
+			if r.cfg.Dispatch != nil {
+				sh.spec = core.ShardSpec{
+					Spec:   mod.Spec(),
+					Params: r.cfg.Params,
+					Env:    env,
+					Sweep:  sc,
+					Trials: r.cfg.Trials,
+					Seed:   r.cfg.Seed,
+					Sample: s,
+				}
 			}
 			shards = append(shards, sh)
 		}
@@ -104,12 +119,30 @@ func (r *Runner) sweepShards(sc core.SweepConfig, env analog.Env, mfr string) (s
 // runShards executes the shards on the engine's worker pool and returns
 // the per-shard group outcomes in enumeration order. With a ShardMemo
 // configured, previously computed shards are served from it without
-// re-simulating (engine.RunKeyed); activations are only accounted for
-// shards that actually execute.
+// re-simulating (engine.RunKeyed); with Config.Dispatch set, shard misses
+// fan out to the worker fleet instead of executing in-process — both are
+// bit-identical to a plain local run. Activations are only accounted for
+// shards that actually execute (locally or via dispatch).
 func (r *Runner) runShards(sc core.SweepConfig, shards []sweepShard) ([][]core.GroupOutcome, error) {
 	tasks := make([]engine.Task[[]core.GroupOutcome], len(shards))
 	for i, sh := range shards {
 		sh := sh
+		if d := r.cfg.Dispatch; d != nil {
+			tasks[i] = func(ctx context.Context) ([]core.GroupOutcome, error) {
+				b, err := d.ExecShard(ctx, sh.key, "core", sh.spec)
+				if err != nil {
+					return nil, fmt.Errorf("charexp: module %s: %w", sh.spec.Spec.ID, err)
+				}
+				var out []core.GroupOutcome
+				if err := json.Unmarshal(b, &out); err != nil {
+					return nil, fmt.Errorf("charexp: module %s: decode shard: %w", sh.spec.Spec.ID, err)
+				}
+				// One APA per trial per characterized group (§3.1).
+				r.stats.AddActivations(len(out) * r.cfg.Trials)
+				return out, nil
+			}
+			continue
+		}
 		tasks[i] = func(context.Context) ([]core.GroupOutcome, error) {
 			out, err := sh.tester.SweepShard(sc, sh.sample)
 			if err != nil {

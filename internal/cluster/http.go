@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// ShardPath is the internal shard-execution route every node serves.
+const ShardPath = "/v1/internal/shard"
+
+// CachePathPrefix is the internal shared-tier route: GET/PUT
+// {prefix}{hex key}.
+const CachePathPrefix = "/v1/internal/cache/"
+
+// Peer is the HTTP client side of a remote worker: it executes shards by
+// POSTing them to the peer's internal shard route, authenticated with the
+// fleet's cluster token and carrying the originating request's ID.
+type Peer struct {
+	base   string
+	token  string
+	client *http.Client
+}
+
+// NewPeer builds a worker client for the peer at base (scheme://host:port;
+// trailing slashes are trimmed). token is the fleet's shared cluster
+// bearer token ("" = unauthenticated fleet).
+func NewPeer(base, token string) *Peer {
+	return &Peer{
+		base:   strings.TrimRight(base, "/"),
+		token:  token,
+		client: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Name implements Worker: the peer's base URL, which doubles as its
+// stable placement name.
+func (p *Peer) Name() string { return p.base }
+
+// Exec implements Worker over HTTP.
+func (p *Peer) Exec(ctx context.Context, req Request) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if p.token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+p.token)
+	}
+	if req.RequestID != "" {
+		hreq.Header.Set("X-Request-ID", req.RequestID)
+	}
+	resp, err := p.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", p.base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", p.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: worker %s: %s: %s",
+			p.base, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+// Health probes the peer's liveness endpoint.
+func (p *Peer) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// RemoteCache is a cache.Backend over HTTP: the client side of a node
+// hosting the fleet's shared tier. Per the Backend contract it is
+// best-effort — any transport or status failure degrades to a miss (Get)
+// or a dropped write (Put), never an error, so a down cache host costs
+// recomputation, not availability.
+type RemoteCache struct {
+	base   string
+	token  string
+	client *http.Client
+}
+
+// NewRemoteCache builds a shared-tier client for the host at base. token
+// is the fleet's cluster bearer token ("" = unauthenticated fleet).
+func NewRemoteCache(base, token string) *RemoteCache {
+	return &RemoteCache{
+		base:   strings.TrimRight(base, "/"),
+		token:  token,
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (r *RemoteCache) request(method string, k cache.Key, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, r.base+CachePathPrefix+cache.KeyString(k), body)
+	if err != nil {
+		return nil, err
+	}
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
+	}
+	return req, nil
+}
+
+// Get implements cache.Backend.
+func (r *RemoteCache) Get(k cache.Key) ([]byte, bool) {
+	req, err := r.request(http.MethodGet, k, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put implements cache.Backend.
+func (r *RemoteCache) Put(k cache.Key, v []byte) {
+	req, err := r.request(http.MethodPut, k, bytes.NewReader(v))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/timing"
+)
+
+// testShardSpec builds a small but non-trivial shard spec.
+func testShardSpec(t *testing.T) ShardSpec {
+	t.Helper()
+	fc := fleet.DefaultConfig()
+	fc.Columns = 128
+	entry := fleet.Representative(fc)[0]
+	params := analog.DefaultParams()
+	mod, err := dram.NewModule(entry.Spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := bender.SampleSubarrays(mod, 1, 0xd5a)
+	if len(samples) == 0 {
+		t.Fatal("no subarray samples")
+	}
+	env := analog.NominalEnv()
+	env.TempC = 60.5
+	return ShardSpec{
+		Spec:   entry.Spec,
+		Params: params,
+		Env:    env,
+		Sweep: SweepConfig{
+			Op: OpManyRowActivation, X: 0, N: 4,
+			Timings:          timing.APATimings{T1: 4.5, T2: 1.5},
+			SubarraysPerBank: 1, GroupsPerSubarray: 3, Banks: 1,
+		},
+		Trials: 2,
+		Seed:   0xd5a,
+		Sample: samples[0],
+	}
+}
+
+// TestShardSpecExecMatchesDirect: Exec must reproduce the same outcomes
+// as a directly constructed tester over the same cell.
+func TestShardSpecExecMatchesDirect(t *testing.T) {
+	s := testShardSpec(t)
+	got, err := s.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dram.NewModule(s.Spec, s.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewTester(mod,
+		WithEnv(s.Env), WithTrials(s.Trials), WithSeed(s.Seed), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tester.SweepShard(s.Sweep, s.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shard spec exec diverged from direct run\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestShardSpecJSONRoundTrip: the wire codec must be exact — a
+// deserialized spec recomputes bit-identical outcomes, and the result
+// encoding itself round-trips.
+func TestShardSpecJSONRoundTrip(t *testing.T) {
+	s := testShardSpec(t)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("spec round trip drifted\n got: %+v\nwant: %+v", back, s)
+	}
+	want, err := s.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatal("outcome bytes diverge after the spec round trip")
+	}
+	var decoded []GroupOutcome
+	if err := json.Unmarshal(wb, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatal("outcome JSON round trip drifted")
+	}
+}

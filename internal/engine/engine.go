@@ -98,6 +98,18 @@ type Memo[T any] interface {
 	Put(key ShardKey, v T)
 }
 
+// Dispatcher routes the execution of one keyed shard to a worker fleet
+// (in-process worker groups or remote peers — internal/cluster's
+// Coordinator satisfies the interface). kind discriminates the
+// serialized spec ("core" or "workload"); the returned bytes are the
+// canonical JSON encoding of the shard's result. Because shard work is
+// deterministic and keys capture every input, a dispatched shard is
+// bit-identical to a locally executed one regardless of which worker
+// runs it. Implementations must be safe for concurrent use.
+type Dispatcher interface {
+	ExecShard(ctx context.Context, key ShardKey, kind string, spec any) ([]byte, error)
+}
+
 // Stats accumulates progress counters across the runs of one harness
 // instance. All methods are safe for concurrent use; the zero value is
 // ready to use.

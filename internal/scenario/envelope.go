@@ -133,14 +133,13 @@ func (cfg Config) evalPoint(ctx context.Context, spec dram.Spec, p Point, st *en
 	keys := make([]engine.ShardKey, len(samples))
 	for i, s := range samples {
 		sh := pointShard{point: p, spec: spec, sample: s}
-		if cfg.Memo != nil {
-			keys[i] = shardKey(spec, cfg.Params, cfg.Op, p,
+		if cfg.Memo != nil || cfg.Dispatch != nil {
+			sh.key = shardKey(spec, cfg.Params, cfg.Op, p,
 				cfg.Trials, cfg.SubarraysPerBank, cfg.GroupsPerSubarray, cfg.Banks,
 				cfg.Seed, s)
+			keys[i] = sh.key
 		}
-		tasks[i] = func(context.Context) ([]core.GroupOutcome, error) {
-			return cfg.runShard(sh, st)
-		}
+		tasks[i] = cfg.shardTask(sh, st)
 	}
 	outcomes, err := engine.RunKeyed(ctx, engine.Config{Workers: 1}, st, cfg.Memo, keys, tasks)
 	if err != nil {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/analog"
@@ -105,6 +106,43 @@ func (cfg Config) runShard(sh pointShard, st *engine.Stats) ([]core.GroupOutcome
 	return out, nil
 }
 
+// shardTask builds the engine task of one point shard: the in-process
+// shard body, or — with Config.Dispatch set — a fan-out to the worker
+// fleet carrying the shard's serialized core.ShardSpec. Both paths
+// produce bit-identical outcomes (the cluster invariance suite asserts
+// it).
+func (cfg Config) shardTask(sh pointShard, st *engine.Stats) engine.Task[[]core.GroupOutcome] {
+	d := cfg.Dispatch
+	if d == nil {
+		return func(context.Context) ([]core.GroupOutcome, error) {
+			return cfg.runShard(sh, st)
+		}
+	}
+	spec := core.ShardSpec{
+		Spec:   sh.spec,
+		Params: cfg.Params,
+		Env:    sh.point.Env(),
+		Sweep:  cfg.sweepConfig(sh.point),
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+		Sample: sh.sample,
+	}
+	return func(ctx context.Context) ([]core.GroupOutcome, error) {
+		b, err := d.ExecShard(ctx, sh.key, "core", spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: module %s: %w", sh.spec.ID, err)
+		}
+		var out []core.GroupOutcome
+		if err := json.Unmarshal(b, &out); err != nil {
+			return nil, fmt.Errorf("scenario: module %s: decode shard: %w", sh.spec.ID, err)
+		}
+		if st != nil {
+			st.AddActivations(len(out) * cfg.Trials)
+		}
+		return out, nil
+	}
+}
+
 // statsAccumulator returns the run's progress accumulator: the externally
 // supplied Config.Stats when set (live job-tier progress), otherwise a
 // fresh run-private one.
@@ -174,7 +212,7 @@ func (cfg Config) runGrid(ctx context.Context, mods []*dram.Module) (*Result, er
 			applicable++
 			for _, s := range cfg.samples(mod) {
 				sh := pointShard{pi: pi, mi: mi, point: p, spec: mod.Spec(), sample: s}
-				if cfg.Memo != nil {
+				if cfg.Memo != nil || cfg.Dispatch != nil {
 					sh.key = shardKey(mod.Spec(), cfg.Params, cfg.Op, p,
 						cfg.Trials, cfg.SubarraysPerBank, cfg.GroupsPerSubarray, cfg.Banks,
 						cfg.Seed, s)
@@ -191,10 +229,7 @@ func (cfg Config) runGrid(ctx context.Context, mods []*dram.Module) (*Result, er
 	tasks := make([]engine.Task[[]core.GroupOutcome], len(shards))
 	keys := make([]engine.ShardKey, len(shards))
 	for i, sh := range shards {
-		sh := sh
-		tasks[i] = func(context.Context) ([]core.GroupOutcome, error) {
-			return cfg.runShard(sh, st)
-		}
+		tasks[i] = cfg.shardTask(sh, st)
 		keys[i] = sh.key
 	}
 	outcomes, err := engine.RunKeyed(ctx, cfg.Engine, st, cfg.Memo, keys, tasks)

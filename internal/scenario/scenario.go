@@ -259,6 +259,14 @@ type Config struct {
 	// (internal/cache.NewTyped over a shared cache satisfies it). nil
 	// disables memoization.
 	Memo engine.Memo[[]core.GroupOutcome]
+	// Dispatch, when non-nil, routes point-shard execution through a
+	// worker fleet (internal/cluster's Coordinator satisfies it) instead
+	// of running shard bodies in-process. Shards travel as serialized
+	// core.ShardSpec values keyed by the same `scenario/point-shard/v1`
+	// content hashes Memo uses, so a dispatched run — grid scan or
+	// envelope search — is bit-identical to a local one. nil executes
+	// every shard in-process.
+	Dispatch engine.Dispatcher
 	// Stats, when non-nil, accumulates the run's engine progress counters
 	// in an externally observable place — the job tier polls it for live
 	// per-shard progress while the run executes. nil keeps a run-private

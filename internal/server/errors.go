@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// ErrorBody is the versioned error payload every non-2xx JSON response
+// carries, uniform across 400/401/403/404/405/410/422/429/503 on every
+// route (blocking, batch, jobs, SSE, internal).
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier for the status class
+	// (see errorCode).
+	Code string `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"message"`
+	// RequestID echoes the request's ID (the X-Request-ID header), tying
+	// the response to the audit trail.
+	RequestID string `json:"request_id"`
+	// ValidOptions lists the accepted values when the error names an
+	// unknown option (the repository-wide "; valid: a, b, c" convention).
+	ValidOptions []string `json:"valid_options,omitempty"`
+}
+
+// ErrorEnvelope is the error response document: {"error": {...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// errorCode maps an HTTP status onto its stable error code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusUnprocessableEntity:
+		return "invalid_argument"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// validOptions extracts the accepted values from an error message using
+// the repository-wide "; valid: a, b, c" convention (nil when absent).
+func validOptions(msg string) []string {
+	i := strings.LastIndex(msg, "valid: ")
+	if i < 0 {
+		return nil
+	}
+	var opts []string
+	for _, o := range strings.Split(msg[i+len("valid: "):], ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			opts = append(opts, o)
+		}
+	}
+	return opts
+}
+
+// writeError renders err as the versioned error envelope. Shed load
+// (errBusy) is remapped to 503 + Retry-After regardless of the caller's
+// status, preserving the backpressure contract.
+func writeError(w http.ResponseWriter, r *http.Request, err error, status int) {
+	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	}
+	msg := err.Error()
+	body := ErrorBody{
+		Code:         errorCode(status),
+		Message:      msg,
+		RequestID:    RequestIDFrom(r.Context()),
+		ValidOptions: validOptions(msg),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: body})
+}

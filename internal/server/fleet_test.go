@@ -1,0 +1,253 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// trngBody is a cheap deterministic request reused across fleet tests.
+const trngBody = `{"bytes":64,"seed":2024,"rows":32}`
+
+// TestFleetWideCacheHit: two nodes sharing a cache backend — the second
+// node answers an already-computed request from the shared tier without
+// executing.
+func TestFleetWideCacheHit(t *testing.T) {
+	shared := cache.NewMemBackend()
+	a, tsA := testServer(t, Config{Backend: shared})
+	b, tsB := testServer(t, Config{Backend: shared})
+
+	status, bodyA := postJSON(t, tsA.URL+"/v1/trng", trngBody)
+	if status != http.StatusOK {
+		t.Fatalf("node A: status %d (%s)", status, bodyA)
+	}
+	if a.Executions("trng") != 1 {
+		t.Fatalf("node A executions = %d; want 1", a.Executions("trng"))
+	}
+	status, bodyB := postJSON(t, tsB.URL+"/v1/trng", trngBody)
+	if status != http.StatusOK {
+		t.Fatalf("node B: status %d (%s)", status, bodyB)
+	}
+	if b.Executions("trng") != 0 {
+		t.Fatalf("node B executions = %d; want 0 (fleet-wide hit)", b.Executions("trng"))
+	}
+	var ra, rb Response
+	if err := json.Unmarshal([]byte(bodyA), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(bodyB), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Cached {
+		t.Fatal("node B response not marked cached")
+	}
+	if ra.Output != rb.Output || ra.Key != rb.Key {
+		t.Fatal("fleet-wide hit returned different bytes than the computing node")
+	}
+	if st := b.CacheStats(); st.RemoteHits == 0 {
+		t.Fatalf("node B tier stats %+v; want at least one remote hit", st)
+	}
+}
+
+// TestFleetWideRateLimit: the token bucket lives in the shared cache
+// tier, so a client's budget spans nodes — exhausting it on A throttles
+// the same client on B.
+func TestFleetWideRateLimit(t *testing.T) {
+	shared := cache.NewMemBackend()
+	cfg := Config{Backend: shared, RatePerSec: 0.001, RateBurst: 2}
+	_, tsA := testServer(t, cfg)
+	_, tsB := testServer(t, cfg)
+
+	if resp, _ := doReq(t, http.MethodGet, tsA.URL+"/v1/jobs", "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("A first request: %d; want 200", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodGet, tsB.URL+"/v1/jobs", "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("B second request: %d; want 200", resp.StatusCode)
+	}
+	resp, body := doReq(t, http.MethodGet, tsA.URL+"/v1/jobs", "", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("A third request: %d (%s); want 429 — bucket must be fleet-wide", resp.StatusCode, body)
+	}
+}
+
+// TestVersionEndpoint pins the /v1/version document.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/version", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+	var v VersionInfo
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Service != "simra-serve" || v.APIRevision != "v1" || v.GoVersion == "" {
+		t.Fatalf("version document %+v; want service/api_revision/go_version filled", v)
+	}
+}
+
+// TestHealthRoles: /healthz reports each node's cluster role and group
+// count.
+func TestHealthRoles(t *testing.T) {
+	readHealth := func(url string) healthResponse {
+		t.Helper()
+		resp, body := doReq(t, http.MethodGet, url+"/healthz", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %d (%s)", resp.StatusCode, body)
+		}
+		var h healthResponse
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Status != "ok" {
+			t.Fatalf("status %q; want ok", h.Status)
+		}
+		return h
+	}
+
+	_, tsSingle := testServer(t, Config{})
+	if h := readHealth(tsSingle.URL); h.Role != "single" || h.Groups != 1 {
+		t.Fatalf("single node health %+v; want role single, 1 group", h)
+	}
+
+	_, tsMulti := testServer(t, Config{Groups: 2})
+	if h := readHealth(tsMulti.URL); h.Role != "coordinator" || h.Groups != 2 {
+		t.Fatalf("multi-group health %+v; want role coordinator, 2 groups", h)
+	}
+
+	// A coordinator with peers probes them.
+	_, tsWorker := testServer(t, Config{CachePeer: tsSingle.URL})
+	if h := readHealth(tsWorker.URL); h.Role != "worker" {
+		t.Fatalf("worker health %+v; want role worker", h)
+	}
+	_, tsCoord := testServer(t, Config{Peers: []string{tsWorker.URL}})
+	h := readHealth(tsCoord.URL)
+	if h.Role != "coordinator" || len(h.Peers) != 1 {
+		t.Fatalf("coordinator health %+v; want role coordinator with 1 peer", h)
+	}
+	if !h.Peers[0].Healthy {
+		t.Fatalf("peer %+v reported unhealthy", h.Peers[0])
+	}
+	// A dead peer degrades the peer entry, never the node itself.
+	_, tsLonely := testServer(t, Config{Peers: []string{"http://127.0.0.1:1"}})
+	h = readHealth(tsLonely.URL)
+	if len(h.Peers) != 1 || h.Peers[0].Healthy {
+		t.Fatalf("health with dead peer %+v; want the peer marked unhealthy", h)
+	}
+}
+
+// TestGroupsByteIdentity: a multi-group coordinator must answer public
+// requests byte-identically to a plain single node.
+func TestGroupsByteIdentity(t *testing.T) {
+	_, tsPlain := testServer(t, Config{})
+	_, tsFleet := testServer(t, Config{Groups: 3})
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/sweep", smallSweep()},
+		{"/v1/workload", `{"workloads":"bitmap-scan","modules":"representative","cols":64,"maxx":3,"format":"csv"}`},
+	} {
+		stP, bodyP := postJSON(t, tsPlain.URL+tc.path, tc.body)
+		stF, bodyF := postJSON(t, tsFleet.URL+tc.path, tc.body)
+		if stP != http.StatusOK || stF != http.StatusOK {
+			t.Fatalf("%s: plain %d fleet %d (%s)", tc.path, stP, stF, bodyF)
+		}
+		var rp, rf Response
+		if err := json.Unmarshal([]byte(bodyP), &rp); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(bodyF), &rf); err != nil {
+			t.Fatal(err)
+		}
+		if rp.Output != rf.Output || rp.Key != rf.Key {
+			t.Fatalf("%s: multi-group output diverged from single-node", tc.path)
+		}
+	}
+}
+
+// TestPeerTopology drives a real two-node HTTP fleet: a worker whose
+// shared tier points at a cache host, and a coordinator fanning shards
+// to the worker over the internal shard route. The coordinator's answer
+// must be byte-identical to a plain single node's, and the computed
+// shards must be visible fleet-wide afterwards.
+func TestPeerTopology(t *testing.T) {
+	_, tsHost := testServer(t, Config{Groups: 2}) // hosts a shared tier
+	w, tsWorker := testServer(t, Config{CachePeer: tsHost.URL, ClusterToken: "fleet-secret"})
+	c, tsCoord := testServer(t, Config{
+		CachePeer:    tsHost.URL,
+		Peers:        []string{tsWorker.URL},
+		ClusterToken: "fleet-secret",
+	})
+	_, tsPlain := testServer(t, Config{})
+
+	stP, bodyP := postJSON(t, tsPlain.URL+"/v1/sweep", smallSweep())
+	stC, bodyC := postJSON(t, tsCoord.URL+"/v1/sweep", smallSweep())
+	if stP != http.StatusOK || stC != http.StatusOK {
+		t.Fatalf("plain %d coordinator %d (%s)", stP, stC, bodyC)
+	}
+	var rp, rc Response
+	if err := json.Unmarshal([]byte(bodyP), &rp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(bodyC), &rc); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Output != rc.Output || rp.Key != rc.Key {
+		t.Fatal("two-node fleet output diverged from single-node")
+	}
+	cs := c.ClusterStats()
+	var remote int64
+	for name, n := range cs.Dispatched {
+		if name != "group-0" {
+			remote += n
+		}
+	}
+	if remote == 0 {
+		t.Fatalf("coordinator dispatched nothing to the HTTP peer: %+v", cs.Dispatched)
+	}
+	if got := w.worker.Stats().Requests; got == 0 {
+		t.Fatal("worker group served no shard requests")
+	}
+
+	// The same request against the worker's public route is now a
+	// fleet-wide cache hit: shards were written through to the host tier.
+	stW, bodyW := postJSON(t, tsWorker.URL+"/v1/sweep", smallSweep())
+	if stW != http.StatusOK {
+		t.Fatalf("worker public request: %d (%s)", stW, bodyW)
+	}
+	if got := w.Executions("sweep"); got != 0 {
+		t.Fatalf("worker executed %d sweeps; want 0 — shard bytes should come from the shared tier", got)
+	}
+	var rw Response
+	if err := json.Unmarshal([]byte(bodyW), &rw); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Output != rp.Output {
+		t.Fatal("worker's tier-served output diverged")
+	}
+}
+
+// TestInternalShardErrors pins the internal route's error surface.
+func TestInternalShardErrors(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, body := postJSON(t, ts.URL+"/v1/internal/shard", "not json")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d (%s); want 400", status, body)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/internal/shard", `{"key":"zz","kind":"core","spec":{}}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad key: %d (%s); want 400", status, body)
+	}
+	key := "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	status, body = postJSON(t, ts.URL+"/v1/internal/shard", `{"key":"`+key+`","kind":"martian","spec":{}}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown kind: %d (%s); want 422", status, body)
+	}
+	var e ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != "invalid_argument" || len(e.Error.ValidOptions) == 0 {
+		t.Fatalf("422 envelope %+v; want invalid_argument with valid_options", e.Error)
+	}
+}

@@ -116,10 +116,11 @@ type kindExec func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) 
 
 // sweepExec builds the sweep pipeline for one normalized request.
 func (s *Server) sweepExec(q SweepRequest) kindExec {
-	return func(_ context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
+	return func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
 		cfg := q.config()
 		cfg.Engine.Workers = s.cfg.Workers
 		cfg.ShardMemo = s.sweepMemo
+		cfg.Dispatch = s.dispatch(ctx)
 		cfg.Stats = st
 		cfg.Pool = pool
 		runner, err := charexp.NewRunner(cfg)
@@ -140,6 +141,7 @@ func (s *Server) workloadExec(q WorkloadRequest) kindExec {
 		}
 		cfg.Engine.Workers = s.cfg.Workers
 		cfg.Memo = s.workloadMemo
+		cfg.Dispatch = s.dispatch(ctx)
 		cfg.Stats = st
 		cfg.Pool = pool
 		results, err := workload.RunFleet(ctx, cfg)
@@ -163,6 +165,7 @@ func (s *Server) scenarioExec(q ScenarioRequest) kindExec {
 		}
 		cfg.Engine.Workers = s.cfg.Workers
 		cfg.Memo = s.sweepMemo
+		cfg.Dispatch = s.dispatch(ctx)
 		cfg.Stats = st
 		cfg.Pool = pool
 		res, err := scenario.Run(ctx, cfg)
@@ -214,7 +217,7 @@ func (q JobRequest) exec(s *Server) kindExec {
 // the job tier's concurrency bound.
 func (s *Server) jobExec(kind string, key cache.Key, run kindExec) jobs.Exec {
 	return func(ctx context.Context, st *engine.Stats) (string, error) {
-		v, err := s.store.Do(key, func() (any, int64, error) {
+		v, err := s.tier.Do(key, func() (any, int64, error) {
 			s.counters[kind].executions.Add(1)
 			out, err := run(ctx, st, s.pool)
 			if err != nil {
@@ -239,7 +242,7 @@ func (s *Server) submit(q JobRequest) (*jobs.Job, bool, error) {
 		Exec:    s.jobExec(q.Kind, key, q.exec(s)),
 		Webhook: q.Webhook,
 	}
-	if v, ok := s.store.Get(key); ok {
+	if v, ok := s.tier.Get(key); ok {
 		out := v.(string)
 		req.Cached = &out
 	}
@@ -281,12 +284,12 @@ func (s *Server) WaitJob(ctx context.Context, id string) (jobs.Status, error) {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var q JobRequest
 	if err := decodeJSON(r, &q); err != nil {
-		writeError(w, err, http.StatusBadRequest)
+		writeError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	q, err := q.normalize()
 	if err != nil {
-		writeError(w, err, http.StatusUnprocessableEntity)
+		writeError(w, r, err, http.StatusUnprocessableEntity)
 		return
 	}
 	j, existing, err := s.submit(q)
@@ -294,7 +297,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, jobs.ErrBusy) {
 			err = fmt.Errorf("job queue full: %w", errBusy)
 		}
-		writeError(w, err, http.StatusInternalServerError)
+		writeError(w, r, err, http.StatusInternalServerError)
 		return
 	}
 	st := j.Status()
@@ -314,7 +317,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err, http.StatusNotFound)
+		writeError(w, r, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -324,7 +327,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	st, err := s.jobs.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err, http.StatusNotFound)
+		writeError(w, r, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -337,7 +340,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err, http.StatusNotFound)
+		writeError(w, r, err, http.StatusNotFound)
 		return
 	}
 	st := j.Status()
@@ -349,9 +352,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Simra-Cached", fmt.Sprint(st.Cached))
 		io.WriteString(w, out)
 	case jobs.StateFailed:
-		writeError(w, fmt.Errorf("job failed: %s", st.Error), http.StatusInternalServerError)
+		writeError(w, r, fmt.Errorf("job failed: %s", st.Error), http.StatusInternalServerError)
 	case jobs.StateCanceled:
-		writeError(w, fmt.Errorf("job canceled"), http.StatusGone)
+		writeError(w, r, fmt.Errorf("job canceled"), http.StatusGone)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
 	}
@@ -379,19 +382,19 @@ func lastEventID(r *http.Request) int64 {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err, http.StatusNotFound)
+		writeError(w, r, err, http.StatusNotFound)
 		return
 	}
 	release, ok := s.jobs.AcquireSSE()
 	if !ok {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, fmt.Errorf("event stream connection cap reached"), http.StatusServiceUnavailable)
+		writeError(w, r, fmt.Errorf("event stream connection cap reached"), http.StatusServiceUnavailable)
 		return
 	}
 	defer release()
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, fmt.Errorf("streaming unsupported"), http.StatusInternalServerError)
+		writeError(w, r, fmt.Errorf("streaming unsupported"), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

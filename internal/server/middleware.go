@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// ctxKey namespaces the middleware's context values.
+type ctxKey int
+
+const (
+	ridCtxKey ctxKey = iota
+	clientCtxKey
+	auditCtxKey
+)
+
+// RequestIDFrom returns the request ID injected by the middleware chain
+// ("" outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridCtxKey).(string)
+	return id
+}
+
+// ClientFrom returns the authenticated client identity ("anonymous" when
+// auth is disabled, "" outside a request).
+func ClientFrom(ctx context.Context) string {
+	c, _ := ctx.Value(clientCtxKey).(string)
+	return c
+}
+
+// newRequestID generates a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID is the outermost middleware: it honors a syntactically sane
+// incoming X-Request-ID (propagation from an upstream proxy or a
+// coordinator's cross-node shard call), generates one otherwise, stores
+// it in the context for handlers, the audit log and error envelopes, and
+// echoes it on the response.
+func requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 || strings.ContainsAny(id, " \t\r\n\"") {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridCtxKey, id)))
+	})
+}
+
+// statusRecorder captures the response status for the audit log while
+// forwarding http.Flusher — the SSE route requires flushing through the
+// whole middleware chain.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	rec.status = code
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (rec *statusRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// auditEntry is one append-only audit-log line. The auth middleware
+// (which runs inside audit) fills Client via the context pointer.
+type auditEntry struct {
+	Time       string `json:"time"`
+	RequestID  string `json:"request_id"`
+	Client     string `json:"client,omitempty"`
+	Method     string `json:"method"`
+	Path       string `json:"path"`
+	Status     int    `json:"status"`
+	DurationMS int64  `json:"duration_ms"`
+}
+
+// audit wraps the chain in append-only JSON-line audit logging. It sits
+// outside auth and rate limiting so rejected requests (401/403/429) are
+// recorded too; the entry carries the request ID and, once auth ran, the
+// client identity. A nil Config.AuditLog disables it.
+func (s *Server) audit(next http.Handler) http.Handler {
+	if s.cfg.AuditLog == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		e := &auditEntry{
+			RequestID: RequestIDFrom(r.Context()),
+			Method:    r.Method,
+			Path:      r.URL.Path,
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), auditCtxKey, e)))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		e.Time = start.UTC().Format(time.RFC3339Nano)
+		e.Status = rec.status
+		e.DurationMS = time.Since(start).Milliseconds()
+		line, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		s.auditMu.Lock()
+		fmt.Fprintf(s.cfg.AuditLog, "%s\n", line)
+		s.auditMu.Unlock()
+	})
+}
+
+// auditClient records the authenticated client on the in-flight audit
+// entry (a no-op without audit logging).
+func auditClient(ctx context.Context, client string) {
+	if e, ok := ctx.Value(auditCtxKey).(*auditEntry); ok {
+		e.Client = client
+	}
+}
+
+// isPublicPath reports whether the path bypasses auth and rate limiting
+// (liveness and metrics must stay scrapeable without credentials).
+func isPublicPath(p string) bool { return p == "/healthz" || p == "/metrics" }
+
+// isInternalPath reports whether the path is fleet-internal (shard
+// execution, shared cache tier): cluster-token auth, no client rate
+// limiting — one public request may legitimately fan out into many
+// internal ones.
+func isInternalPath(p string) bool { return strings.HasPrefix(p, "/v1/internal/") }
+
+// tokenEqual compares secrets in constant time.
+func tokenEqual(a, b string) bool {
+	return len(a) == len(b) && subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}
+
+// bearerToken extracts the Authorization bearer token ("" when absent).
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+// auth enforces bearer-token authentication with per-client identity.
+// Public paths pass through; internal paths require the fleet's cluster
+// token (a valid client token there is authenticated but not authorized:
+// 403); every other /v1 route requires one of Config.AuthTokens when any
+// are configured. Rejections happen before the rate limiter runs, so an
+// unauthenticated request never spends a client's tokens.
+func (s *Server) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isPublicPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tok := bearerToken(r)
+		if isInternalPath(r.URL.Path) {
+			if s.cfg.ClusterToken == "" || tokenEqual(tok, s.cfg.ClusterToken) {
+				auditClient(r.Context(), "cluster")
+				next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), clientCtxKey, "cluster")))
+				return
+			}
+			if client, ok := s.lookupClient(tok); ok {
+				// Authenticated as a client, but client tokens don't grant
+				// fleet-internal access.
+				auditClient(r.Context(), client)
+				writeError(w, r, fmt.Errorf("client %q is not authorized for fleet-internal routes", client),
+					http.StatusForbidden)
+				return
+			}
+			writeError(w, r, fmt.Errorf("fleet-internal routes require the cluster token"),
+				http.StatusUnauthorized)
+			return
+		}
+		if len(s.cfg.AuthTokens) == 0 {
+			auditClient(r.Context(), "anonymous")
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), clientCtxKey, "anonymous")))
+			return
+		}
+		client, ok := s.lookupClient(tok)
+		if !ok {
+			msg := "missing bearer token"
+			if tok != "" {
+				msg = "invalid bearer token"
+			}
+			writeError(w, r, fmt.Errorf("%s", msg), http.StatusUnauthorized)
+			return
+		}
+		auditClient(r.Context(), client)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), clientCtxKey, client)))
+	})
+}
+
+// lookupClient resolves a bearer token to its client identity in
+// constant time per candidate.
+func (s *Server) lookupClient(tok string) (string, bool) {
+	if tok == "" {
+		return "", false
+	}
+	client, ok := "", false
+	for t, c := range s.cfg.AuthTokens {
+		if tokenEqual(tok, t) {
+			client, ok = c, true
+		}
+	}
+	return client, ok
+}
+
+// bucketState is the serialized token-bucket state of one client, stored
+// in the shared cache tier so the limit holds fleet-wide.
+type bucketState struct {
+	Tokens   float64 `json:"tokens"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
+// rateLimiter is a per-client token bucket backed by a cache.Backend.
+// With the fleet's shared tier as the store, every node debits the same
+// bucket, so the limit is enforced across the fleet. The read-modify-
+// write is serialized per node but best-effort across nodes (two nodes
+// racing may each admit a request — an approximation DESIGN.md §12
+// documents); the bucket converges because every node writes
+// monotonically advancing timestamps.
+type rateLimiter struct {
+	mu    sync.Mutex
+	store cache.Backend
+	rate  float64
+	burst float64
+}
+
+// newRateLimiter builds a limiter admitting rate requests/second with
+// the given burst (min 1).
+func newRateLimiter(store cache.Backend, rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &rateLimiter{store: store, rate: rate, burst: b}
+}
+
+// clientBucketKey addresses a client's bucket in the shared tier.
+func clientBucketKey(client string) cache.Key {
+	return cache.NewHasher().Str("ratelimit/v1").Str(client).Sum()
+}
+
+// allow debits one token from the client's bucket, reporting the
+// Retry-After seconds when the bucket is empty.
+func (l *rateLimiter) allow(client string, now time.Time) (retryAfter int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := clientBucketKey(client)
+	st := bucketState{Tokens: l.burst, UnixNano: now.UnixNano()}
+	if b, found := l.store.Get(key); found {
+		var prev bucketState
+		if err := json.Unmarshal(b, &prev); err == nil && prev.UnixNano > 0 {
+			elapsed := float64(now.UnixNano()-prev.UnixNano) / float64(time.Second)
+			if elapsed < 0 {
+				elapsed = 0
+			}
+			st.Tokens = math.Min(l.burst, prev.Tokens+elapsed*l.rate)
+		}
+	}
+	if st.Tokens < 1 {
+		l.put(key, st)
+		return int(math.Max(1, math.Ceil((1-st.Tokens)/l.rate))), false
+	}
+	st.Tokens--
+	l.put(key, st)
+	return 0, true
+}
+
+func (l *rateLimiter) put(key cache.Key, st bucketState) {
+	if b, err := json.Marshal(st); err == nil {
+		l.store.Put(key, b)
+	}
+}
+
+// rateLimit enforces the per-client token bucket on every public /v1
+// route. It runs inside auth, so only authenticated requests spend
+// tokens; 429 responses carry Retry-After and the error envelope.
+func (s *Server) rateLimit(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isPublicPath(r.URL.Path) || isInternalPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		client := ClientFrom(r.Context())
+		if client == "" {
+			client = "anonymous"
+		}
+		if retry, ok := s.limiter.allow(client, time.Now()); !ok {
+			s.rateLimited.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprint(retry))
+			writeError(w, r, fmt.Errorf("client %q exceeded %g requests/second", client, s.limiter.rate),
+				http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a race-free audit-log sink for tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// doReq issues one request with optional bearer token and returns the
+// response.
+func doReq(t *testing.T, method, url, token, body string) (*http.Response, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// decodeEnvelope parses an error envelope body.
+func decodeEnvelope(t *testing.T, body string) ErrorBody {
+	t.Helper()
+	var e ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("body %q is not an error envelope: %v", body, err)
+	}
+	return e.Error
+}
+
+// TestRequestIDPropagation: the chain echoes a sane incoming
+// X-Request-ID, generates one otherwise, and stamps it into error
+// bodies.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/trng", strings.NewReader("not json"))
+	req.Header.Set("X-Request-ID", "my-trace-1234")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "my-trace-1234" {
+		t.Fatalf("echoed request ID %q; want the incoming one", got)
+	}
+	if e := decodeEnvelope(t, string(body)); e.RequestID != "my-trace-1234" {
+		t.Fatalf("error body request_id %q; want my-trace-1234", e.RequestID)
+	}
+	// Without an incoming ID, one is generated.
+	resp2, _ := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", "")
+	if got := resp2.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Fatalf("generated request ID %q; want 16 hex chars", got)
+	}
+	// A header with whitespace (log-injection shaped) is replaced.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	req3.Header.Set("X-Request-ID", "evil id")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-ID"); got == "evil id" || got == "" {
+		t.Fatalf("unsafe incoming ID echoed as %q; want a generated one", got)
+	}
+}
+
+// TestAuth pins the bearer-token surface: 401 without or with an unknown
+// token, per-client identity with a valid one, public paths open.
+func TestAuth(t *testing.T) {
+	_, ts := testServer(t, Config{
+		AuthTokens:   map[string]string{"alice-token": "alice"},
+		ClusterToken: "fleet-secret",
+	})
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: status %d; want 401", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, body); e.Code != "unauthorized" || e.RequestID == "" {
+		t.Fatalf("401 envelope %+v; want code unauthorized with a request_id", e)
+	}
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "wrong", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown token: status %d; want 401", resp.StatusCode)
+	}
+	if resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "alice-token", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: status %d (%s); want 200", resp.StatusCode, body)
+	}
+	// Public paths stay open without credentials.
+	for _, p := range []string{"/healthz", "/metrics"} {
+		if resp, _ := doReq(t, http.MethodGet, ts.URL+p, "", ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without token: status %d; want 200 (public)", p, resp.StatusCode)
+		}
+	}
+	// /v1/version requires client auth like every versioned route.
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/version", "", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("GET /v1/version without token: status %d; want 401", resp.StatusCode)
+	}
+}
+
+// TestInternalRouteAuthorization: fleet-internal routes accept only the
+// cluster token — a valid *client* token is authenticated but not
+// authorized (403), anything else is 401.
+func TestInternalRouteAuthorization(t *testing.T) {
+	_, ts := testServer(t, Config{
+		AuthTokens:   map[string]string{"alice-token": "alice"},
+		ClusterToken: "fleet-secret",
+	})
+	key := strings.Repeat("ab", 32)
+	url := ts.URL + "/v1/internal/cache/" + key
+	resp, body := doReq(t, http.MethodGet, url, "alice-token", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("client token on internal route: status %d; want 403", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, body); e.Code != "forbidden" {
+		t.Fatalf("403 envelope code %q; want forbidden", e.Code)
+	}
+	if resp, _ := doReq(t, http.MethodGet, url, "", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token on internal route: status %d; want 401", resp.StatusCode)
+	}
+	// The cluster token passes auth; the empty hosted backend answers 404.
+	resp, body = doReq(t, http.MethodGet, url, "fleet-secret", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cluster token on internal route: status %d (%s); want 404 (authorized, empty tier)", resp.StatusCode, body)
+	}
+	if e := decodeEnvelope(t, body); e.Code != "not_found" {
+		t.Fatalf("404 envelope code %q; want not_found", e.Code)
+	}
+}
+
+// TestAuditLog: every request — served or rejected — lands as one JSON
+// line carrying the request ID, client identity, method, path and
+// status.
+func TestAuditLog(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{
+		AuthTokens: map[string]string{"alice-token": "alice"},
+		AuditLog:   log,
+	})
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	req.Header.Set("X-Request-ID", "audit-rid-1")
+	req.Header.Set("Authorization", "Bearer alice-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", "") // rejected: audited too
+
+	var entries []auditEntry
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		entries = entries[:0]
+		for _, line := range strings.Split(strings.TrimSpace(log.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var e auditEntry
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				t.Fatalf("audit line %q is not JSON: %v", line, err)
+			}
+			entries = append(entries, e)
+		}
+		if len(entries) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("audit log has %d entries; want 2:\n%s", len(entries), log.String())
+	}
+	ok := entries[0]
+	if ok.RequestID != "audit-rid-1" || ok.Client != "alice" || ok.Method != "GET" ||
+		ok.Path != "/v1/jobs" || ok.Status != http.StatusOK || ok.Time == "" {
+		t.Fatalf("audit entry %+v; want the authenticated request's identity", ok)
+	}
+	rejected := entries[1]
+	if rejected.Status != http.StatusUnauthorized || rejected.Client != "" {
+		t.Fatalf("rejected-request audit entry %+v; want status 401 with no client", rejected)
+	}
+}
+
+// TestRateLimit: the per-client bucket admits the burst then sheds with
+// 429 + Retry-After and the envelope.
+func TestRateLimit(t *testing.T) {
+	_, ts := testServer(t, Config{RatePerSec: 0.001, RateBurst: 2})
+	for i := 0; i < 2; i++ {
+		if resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s); want 200 (inside burst)", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst-exhausted request: status %d; want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if e := decodeEnvelope(t, body); e.Code != "rate_limited" || e.RequestID == "" {
+		t.Fatalf("429 envelope %+v; want code rate_limited with a request_id", e)
+	}
+	// Public paths are never limited.
+	for i := 0; i < 4; i++ {
+		if resp, _ := doReq(t, http.MethodGet, ts.URL+"/healthz", "", ""); resp.StatusCode != http.StatusOK {
+			t.Fatal("rate limiter throttled /healthz")
+		}
+	}
+}
+
+// TestAuthRejectsBeforeRateLimit pins the chain ordering: an
+// unauthenticated request must never spend a client's tokens.
+func TestAuthRejectsBeforeRateLimit(t *testing.T) {
+	_, ts := testServer(t, Config{
+		AuthTokens: map[string]string{"alice-token": "alice"},
+		RatePerSec: 0.001,
+		RateBurst:  1,
+	})
+	for i := 0; i < 5; i++ {
+		if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "", ""); resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("unauthenticated request %d: status %d; want 401 (never 429)", i, resp.StatusCode)
+		}
+	}
+	// Alice's single burst token is still unspent.
+	if resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "alice-token", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice's first request: status %d (%s); want 200 — 401s must not spend her tokens", resp.StatusCode, body)
+	}
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/jobs", "alice-token", ""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice's second request: status %d; want 429 (burst 1)", resp.StatusCode)
+	}
+}
+
+// TestSSEThroughMiddleware: the audit middleware's status recorder must
+// forward http.Flusher, or the jobs event stream dies with 500.
+func TestSSEThroughMiddleware(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{AuditLog: log})
+	status, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"trng","trng":{"bytes":16,"seed":7}}`)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit: status %d (%s)", status, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.ID == "" {
+		t.Fatalf("submit response %q carries no job id", body)
+	}
+	resp, events := doReq(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d (%s); want 200 — Flusher lost in the chain?", resp.StatusCode, events)
+	}
+	if !strings.Contains(events, "event: done") {
+		t.Fatalf("event stream %q never reached done", events)
+	}
+}
+
+// TestErrorCodeTable pins the status → code mapping and the
+// valid-options extraction of the envelope across every status the API
+// uses.
+func TestErrorCodeTable(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{http.StatusBadRequest, "bad_request"},
+		{http.StatusUnauthorized, "unauthorized"},
+		{http.StatusForbidden, "forbidden"},
+		{http.StatusNotFound, "not_found"},
+		{http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.StatusGone, "gone"},
+		{http.StatusUnprocessableEntity, "invalid_argument"},
+		{http.StatusTooManyRequests, "rate_limited"},
+		{http.StatusServiceUnavailable, "unavailable"},
+		{http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/x", nil)
+		req = req.WithContext(context.WithValue(req.Context(), ridCtxKey, "rid-table"))
+		writeError(rec, req, fmt.Errorf("boom"), c.status)
+		if rec.Code != c.status {
+			t.Errorf("status %d: wrote %d", c.status, rec.Code)
+		}
+		e := decodeEnvelope(t, rec.Body.String())
+		if e.Code != c.code || e.Message != "boom" || e.RequestID != "rid-table" {
+			t.Errorf("status %d: envelope %+v; want code %q", c.status, e, c.code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	writeError(rec, httptest.NewRequest(http.MethodGet, "/x", nil),
+		fmt.Errorf("unknown figure \"99\"; valid: 3, 4a, 4b"), http.StatusUnprocessableEntity)
+	e := decodeEnvelope(t, rec.Body.String())
+	if fmt.Sprint(e.ValidOptions) != fmt.Sprint([]string{"3", "4a", "4b"}) {
+		t.Fatalf("valid_options = %v; want [3 4a 4b]", e.ValidOptions)
+	}
+	// The busy sentinel remaps to 503 + Retry-After regardless of the
+	// caller's status.
+	rec = httptest.NewRecorder()
+	writeError(rec, httptest.NewRequest(http.MethodGet, "/x", nil),
+		fmt.Errorf("wrapped: %w", errBusy), http.StatusInternalServerError)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("busy error wrote %d (Retry-After %q); want 503 with Retry-After",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if e := decodeEnvelope(t, rec.Body.String()); e.Code != "unavailable" {
+		t.Fatalf("busy envelope code %q; want unavailable", e.Code)
+	}
+}
+
+// TestMethodNotAllowedEnvelope: even 405s speak the envelope.
+func TestMethodNotAllowedEnvelope(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/sweep", "", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/sweep: status %d; want 405", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, body); e.Code != "method_not_allowed" || e.RequestID == "" {
+		t.Fatalf("405 envelope %+v; want code method_not_allowed with request_id", e)
+	}
+}

@@ -38,11 +38,14 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/workload"
@@ -86,6 +89,42 @@ type Config struct {
 	// WarmpoolPerKey caps idle warm module instances kept per module
 	// identity for job executions (0 = 4).
 	WarmpoolPerKey int
+
+	// Groups is the number of in-process worker groups shard execution
+	// fans out over (each an independent cache domain with its own module
+	// pool). 0 keeps single-node in-process execution — no coordinator at
+	// all — unless Peers makes one necessary.
+	Groups int
+	// Peers are base URLs of remote worker nodes (e.g.
+	// "http://10.0.0.2:8077"); shards rendezvous-hash across the local
+	// group(s) and every peer. Results are byte-identical for every fleet
+	// composition.
+	Peers []string
+	// CachePeer, when set, is the base URL of the node hosting the fleet's
+	// shared cache tier; this node's misses consult it and its results are
+	// written through to it. Typically the coordinator's URL on workers.
+	CachePeer string
+	// Backend, when non-nil, is the shared cache tier directly (tests
+	// inject a cache.MemBackend two Servers share). Takes precedence over
+	// CachePeer. When neither is set and the node is part of a fleet
+	// (Groups > 1 or Peers non-empty), the node hosts its own in-process
+	// backend, which it also serves at /v1/internal/cache/{key}.
+	Backend cache.Backend
+	// ClusterToken authenticates fleet-internal routes (/v1/internal/*)
+	// and outgoing peer calls. Empty leaves internal routes open (dev
+	// fleets on a trusted network).
+	ClusterToken string
+	// AuthTokens maps bearer tokens to client identities. Empty disables
+	// client auth: every request is the "anonymous" client.
+	AuthTokens map[string]string
+	// RatePerSec, when > 0, rate-limits each client with a token bucket
+	// shared through the cache tier, so the limit holds fleet-wide.
+	RatePerSec float64
+	// RateBurst is the bucket capacity (0 = max(1, ceil(RatePerSec))).
+	RateBurst int
+	// AuditLog, when non-nil, receives one JSON line per request
+	// (append-only; writes are serialized).
+	AuditLog io.Writer
 }
 
 // withDefaults resolves zero-value fields.
@@ -128,6 +167,16 @@ type kindCounters struct {
 type Server struct {
 	cfg   Config
 	store *cache.Cache
+	// tier layers store over the fleet's shared cache backend (a
+	// transparent view of store on a single node): the response cache
+	// every request family goes through.
+	tier *cache.Tiered
+	// hosted is this node's in-process shared-tier store, served at
+	// /v1/internal/cache/{key} so other nodes can use this node as their
+	// CachePeer; backend is the tier this node itself reads/writes (nil,
+	// Config.Backend, a RemoteCache client, or hosted).
+	hosted  *cache.MemBackend
+	backend cache.Backend
 	// sweepMemo and workloadMemo are typed views of store used as engine
 	// shard memos, so shard results are shared across requests that only
 	// partially overlap (e.g. two figures sweeping the same cell).
@@ -145,6 +194,24 @@ type Server struct {
 	// reusable module instances.
 	jobs *jobs.Manager
 	pool *jobs.Warmpool
+
+	// groups are the in-process worker groups; worker (= groups[0]) serves
+	// /v1/internal/shard; coord fans shards across groups and peers (nil on
+	// a single node — families then execute shards in-process, exactly the
+	// pre-cluster path).
+	groups []*cluster.Group
+	worker *cluster.Group
+	coord  *cluster.Coordinator
+	peers  []*cluster.Peer
+	// shardSlots bounds concurrent fleet-internal shard executions
+	// (independent of MaxInflight, which bounds public-request runs).
+	shardSlots chan struct{}
+
+	// limiter enforces the per-client rate limit; auditMu serializes
+	// audit-log lines; rateLimited counts 429s.
+	limiter     *rateLimiter
+	auditMu     sync.Mutex
+	rateLimited atomic.Int64
 }
 
 // New builds a serving instance.
@@ -179,7 +246,76 @@ func New(cfg Config) *Server {
 		Poll:       cfg.JobPoll,
 		MaxSSE:     cfg.MaxSSE,
 	})
+
+	// Cluster wiring. The shared backend resolves by priority: an injected
+	// Backend (tests), a CachePeer client, or — when this node is part of a
+	// fleet — its own hosted in-process backend. A lone node gets none:
+	// tier stays a transparent view of store.
+	s.hosted = cache.NewMemBackend()
+	fleetNode := cfg.Groups > 1 || len(cfg.Peers) > 0
+	switch {
+	case cfg.Backend != nil:
+		s.backend = cfg.Backend
+	case cfg.CachePeer != "":
+		s.backend = cluster.NewRemoteCache(cfg.CachePeer, cfg.ClusterToken)
+	case fleetNode:
+		s.backend = s.hosted
+	}
+	s.tier = cache.NewTiered(store, s.backend)
+
+	// Worker groups: group-0 shares the server's store and warmpool (a
+	// lone worker node executes incoming shards against its main cache);
+	// further groups are independent cache domains with their own pools.
+	n := cfg.Groups
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		gstore, gpool := store, dram.ModulePool(s.pool)
+		if i > 0 {
+			gstore, gpool = cache.New(cfg.CacheBytes), jobs.NewWarmpool(cfg.WarmpoolPerKey)
+		}
+		s.groups = append(s.groups, cluster.NewGroup(fmt.Sprintf("group-%d", i), gstore, s.backend, gpool))
+	}
+	s.worker = s.groups[0]
+	s.shardSlots = make(chan struct{}, cfg.MaxInflight)
+
+	// A coordinator exists only when there is a fleet to coordinate
+	// (Groups >= 1 explicitly, or any peer). Groups == 0 with no peers
+	// keeps the families' in-process shard path.
+	if cfg.Groups >= 1 || len(cfg.Peers) > 0 {
+		workers := make([]cluster.Worker, 0, len(s.groups)+len(cfg.Peers))
+		for _, g := range s.groups {
+			workers = append(workers, g)
+		}
+		for _, p := range cfg.Peers {
+			pe := cluster.NewPeer(p, cfg.ClusterToken)
+			s.peers = append(s.peers, pe)
+			workers = append(workers, pe)
+		}
+		s.coord = cluster.New(s.worker, workers...)
+	}
+
+	if cfg.RatePerSec > 0 {
+		lstore := s.backend
+		if lstore == nil {
+			lstore = s.hosted
+		}
+		s.limiter = newRateLimiter(lstore, cfg.RatePerSec, cfg.RateBurst)
+	}
 	return s
+}
+
+// dispatch returns the engine dispatcher for an execution started under
+// ctx: nil on a single node (families run shards in-process), otherwise
+// the coordinator stamped with the originating request's ID so remote
+// workers' audit trails tie back to it. Detached execution contexts
+// preserve values, so coalesced and job executions resolve correctly.
+func (s *Server) dispatch(ctx context.Context) engine.Dispatcher {
+	if s.coord == nil {
+		return nil
+	}
+	return s.coord.WithRequestID(RequestIDFrom(ctx))
 }
 
 // Close stops the job tier: running jobs are cancelled, the executor
@@ -190,8 +326,18 @@ func (s *Server) Close() { s.jobs.Close() }
 // renders them).
 func (s *Server) JobMetrics() jobs.Metrics { return s.jobs.Metrics() }
 
-// CacheStats exposes the shared cache's counters.
-func (s *Server) CacheStats() cache.Stats { return s.store.Stats() }
+// CacheStats exposes the cache tier's counters (local store plus the
+// remote backend's hit/miss counts when one is configured).
+func (s *Server) CacheStats() cache.Stats { return s.tier.Stats() }
+
+// ClusterStats exposes the coordinator's per-worker dispatch counters
+// (zero-valued on a single node).
+func (s *Server) ClusterStats() cluster.Stats {
+	if s.coord == nil {
+		return cluster.Stats{Dispatched: map[string]int64{}}
+	}
+	return s.coord.Stats()
+}
 
 // Executions returns how many engine runs the given request kind has
 // actually executed (coalesced and cached requests excluded): the counter
@@ -258,7 +404,7 @@ func (s *Server) respond(ctx context.Context, kind string, key cache.Key, exec f
 	)
 	for {
 		executed = false
-		v, err = s.store.Do(key, func() (any, int64, error) {
+		v, err = s.tier.Do(key, func() (any, int64, error) {
 			executed = true
 			release, err := s.acquire(detached)
 			if err != nil {
@@ -354,23 +500,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps an execution error onto an HTTP status.
-func writeError(w http.ResponseWriter, err error, status int) {
-	if errors.Is(err, errBusy) {
-		w.Header().Set("Retry-After", "1")
-		status = http.StatusServiceUnavailable
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
 // post guards the mutation endpoints.
 func post(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			writeError(w, r, fmt.Errorf("%s not allowed; POST only", r.Method), http.StatusMethodNotAllowed)
 			return
 		}
 		h(w, r)
@@ -386,17 +521,17 @@ func endpoint[Q any](normalize func(Q) (Q, error), run func(context.Context, Q) 
 	return post(func(w http.ResponseWriter, r *http.Request) {
 		var q Q
 		if err := decodeJSON(r, &q); err != nil {
-			writeError(w, err, http.StatusBadRequest)
+			writeError(w, r, err, http.StatusBadRequest)
 			return
 		}
 		q, err := normalize(q)
 		if err != nil {
-			writeError(w, err, http.StatusUnprocessableEntity)
+			writeError(w, r, err, http.StatusUnprocessableEntity)
 			return
 		}
 		resp, err := run(r.Context(), q)
 		if err != nil {
-			writeError(w, err, http.StatusInternalServerError)
+			writeError(w, r, err, http.StatusInternalServerError)
 			return
 		}
 		writeResponse(w, r, resp)
@@ -413,7 +548,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", post(func(w http.ResponseWriter, r *http.Request) {
 		var batch BatchRequest
 		if err := decodeJSON(r, &batch); err != nil {
-			writeError(w, err, http.StatusBadRequest)
+			writeError(w, r, err, http.StatusBadRequest)
 			return
 		}
 		s.counters["batch"].requests.Add(1)
@@ -430,14 +565,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f}\n", time.Since(s.start).Seconds())
-	})
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("POST "+cluster.ShardPath, s.handleInternalShard)
+	mux.HandleFunc("GET "+cluster.CachePathPrefix+"{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT "+cluster.CachePathPrefix+"{key}", s.handleCachePut)
+	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.writeMetrics(w)
 	})
-	return mux
+	// The production middleware chain, outermost first: request-ID
+	// injection, audit logging, auth, rate limiting. Every route — blocking,
+	// batch, jobs, SSE, internal — passes through the whole chain.
+	return requestID(s.audit(s.auth(s.rateLimit(mux))))
 }
 
 // runBatchItem routes one batch item; failures are reported in-band so
@@ -543,7 +682,7 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "simra_warmpool_misses_total %d\n", ws.Misses)
 	fmt.Fprintf(&b, "simra_warmpool_discarded_total %d\n", ws.Discarded)
 	fmt.Fprintf(&b, "simra_warmpool_idle %d\n", ws.Idle)
-	cs := s.store.Stats()
+	cs := s.tier.Stats()
 	fmt.Fprintf(&b, "simra_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(&b, "simra_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(&b, "simra_cache_coalesced_total %d\n", cs.Coalesced)
@@ -553,6 +692,21 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "simra_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(&b, "simra_cache_bytes %d\n", cs.Bytes)
 	fmt.Fprintf(&b, "simra_cache_capacity_bytes %d\n", cs.Capacity)
+	fmt.Fprintf(&b, "simra_cache_remote_hits_total %d\n", cs.RemoteHits)
+	fmt.Fprintf(&b, "simra_cache_remote_misses_total %d\n", cs.RemoteMisses)
+	fmt.Fprintf(&b, "simra_serve_rate_limited_total %d\n", s.rateLimited.Load())
+	for _, g := range s.groups {
+		gs := g.Stats()
+		fmt.Fprintf(&b, "simra_cluster_group_requests_total{group=%q} %d\n", g.Name(), gs.Requests)
+		fmt.Fprintf(&b, "simra_cluster_group_executions_total{group=%q} %d\n", g.Name(), gs.Executions)
+	}
+	if s.coord != nil {
+		st := s.coord.Stats()
+		for _, name := range s.coord.Workers() {
+			fmt.Fprintf(&b, "simra_cluster_dispatched_total{worker=%q} %d\n", name, st.Dispatched[name])
+		}
+		fmt.Fprintf(&b, "simra_cluster_fallbacks_total %d\n", st.Fallbacks)
+	}
 	io.WriteString(w, b.String())
 }
 

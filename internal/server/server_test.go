@@ -385,10 +385,8 @@ func TestBusyMapsTo503(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("shed response carries no Retry-After header")
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+	var e ErrorEnvelope
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 		t.Fatalf("shed response body %q is not a JSON error envelope", body)
 	}
 }
@@ -450,15 +448,16 @@ func TestValidation(t *testing.T) {
 			t.Errorf("POST %s %s: status %d; want %d", c.path, c.body, status, c.want)
 			continue
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		var e ErrorEnvelope
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Message == "" {
 			t.Errorf("POST %s %s: error body %q is not a JSON error envelope", c.path, c.body, body)
 			continue
 		}
-		if c.errHas != "" && !strings.Contains(e.Error, c.errHas) {
-			t.Errorf("POST %s %s: error %q does not mention %q", c.path, c.body, e.Error, c.errHas)
+		if c.errHas != "" && !strings.Contains(e.Error.Message, c.errHas) {
+			t.Errorf("POST %s %s: error %q does not mention %q", c.path, c.body, e.Error.Message, c.errHas)
+		}
+		if e.Error.RequestID == "" {
+			t.Errorf("POST %s %s: error body carries no request_id", c.path, c.body)
 		}
 	}
 	resp, err := http.Get(ts.URL + "/v1/sweep")

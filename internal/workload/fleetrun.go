@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/analog"
@@ -53,6 +54,13 @@ type FleetConfig struct {
 	// to a recomputed one under any fleet composition. nil disables
 	// memoization.
 	Memo engine.Memo[[]Result]
+	// Dispatch, when non-nil, routes per-module shard execution through a
+	// worker fleet (internal/cluster's Coordinator satisfies it) instead
+	// of running shard bodies in-process. Shards travel as serialized
+	// ShardSpec values keyed by the same `workload/module-shard/v1`
+	// content hashes Memo uses, so a dispatched run is bit-identical to a
+	// local one. nil executes every shard in-process.
+	Dispatch engine.Dispatcher
 	// Stats, when non-nil, accumulates engine progress counters in an
 	// externally observable place — the job tier polls it for live
 	// per-module progress. Never affects result bytes.
@@ -140,14 +148,34 @@ func RunFleet(ctx context.Context, cfg FleetConfig) ([]Result, error) {
 	}
 	tasks := make([]engine.Task[[]Result], len(cfg.Entries))
 	keys := make([]engine.ShardKey, len(cfg.Entries))
+	names := make([]string, len(cfg.Workloads))
+	for i, w := range cfg.Workloads {
+		names[i] = w.Name()
+	}
 	for mi, e := range cfg.Entries {
 		seed := xrand.Hash(cfg.Seed, nameSeed(e.Spec.ID))
 		e := e
+		if cfg.Memo != nil || cfg.Dispatch != nil {
+			keys[mi] = shardKey(e, cfg)
+		}
+		if d := cfg.Dispatch; d != nil {
+			key := keys[mi]
+			spec := ShardSpec{Entry: e, Params: cfg.Params, Workloads: names, MaxX: cfg.MaxX, Seed: cfg.Seed}
+			tasks[mi] = func(ctx context.Context) ([]Result, error) {
+				b, err := d.ExecShard(ctx, key, "workload", spec)
+				if err != nil {
+					return nil, fmt.Errorf("workload: module %s: %w", e.Spec.ID, err)
+				}
+				var out []Result
+				if err := json.Unmarshal(b, &out); err != nil {
+					return nil, fmt.Errorf("workload: module %s: decode shard: %w", e.Spec.ID, err)
+				}
+				return out, nil
+			}
+			continue
+		}
 		tasks[mi] = func(context.Context) ([]Result, error) {
 			return runModule(e, cfg, seed)
-		}
-		if cfg.Memo != nil {
-			keys[mi] = shardKey(e, cfg)
 		}
 	}
 	perModule, err := engine.RunKeyed(ctx, cfg.Engine, cfg.Stats, cfg.Memo, keys, tasks)

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/xrand"
+)
+
+// testWorkloadSpec builds a shard spec over one representative module.
+func testWorkloadSpec() ShardSpec {
+	fc := fleet.DefaultConfig()
+	fc.Columns = 128
+	cfg := DefaultFleetConfig()
+	return ShardSpec{
+		Entry:     fleet.Representative(fc)[0],
+		Params:    cfg.Params,
+		Workloads: []string{All()[0].Name()},
+		MaxX:      cfg.MaxX,
+		Seed:      cfg.Seed,
+	}
+}
+
+// TestWorkloadShardSpecExecMatchesDirect: Exec must reproduce runModule's
+// results exactly, including the identity-keyed sub-seed derivation.
+func TestWorkloadShardSpecExecMatchesDirect(t *testing.T) {
+	s := testWorkloadSpec()
+	got, err := s.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFleetConfig()
+	cfg.Entries = []fleet.Entry{s.Entry}
+	cfg.Workloads = All()[:1]
+	want, err := runModule(s.Entry, cfg, xrand.Hash(cfg.Seed, nameSeed(s.Entry.Spec.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shard spec exec diverged from direct run\n got: %+v\nwant: %+v", got, want)
+	}
+	// And from the full RunFleet path over the same single-module fleet.
+	fleetResults, err := RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fleetResults) {
+		t.Fatal("shard spec exec diverged from RunFleet")
+	}
+}
+
+// TestWorkloadShardSpecJSONRoundTrip: the wire codec is exact — digests
+// (uint64), floats and counts survive serialization bit for bit.
+func TestWorkloadShardSpecJSONRoundTrip(t *testing.T) {
+	s := testWorkloadSpec()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("spec round trip drifted\n got: %+v\nwant: %+v", back, s)
+	}
+	want, err := s.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Result
+	if err := json.Unmarshal(wb, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatal("result JSON round trip drifted")
+	}
+	if len(want) == 0 || want[0].Digest == 0 {
+		t.Fatalf("result %+v carries no digest; round-trip assertion is vacuous", want)
+	}
+	if _, err := (ShardSpec{Entry: s.Entry, Workloads: []string{"martian"}, MaxX: 3, Seed: 1}).Exec(nil); err == nil {
+		t.Fatal("unknown workload name should fail")
+	}
+}
+
+// TestWorkloadShardSpecBadName pins the error surface for unresolvable
+// workload names.
+func TestWorkloadShardSpecBadName(t *testing.T) {
+	s := testWorkloadSpec()
+	s.Workloads = []string{"no-such-workload"}
+	if _, err := s.Exec(nil); err == nil {
+		t.Fatal("unresolvable workload name should fail Exec")
+	}
+}

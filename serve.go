@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/server"
 )
@@ -37,11 +38,29 @@ type (
 	JobStatus  = jobs.Status
 	JobWebhook = jobs.WebhookSpec
 	JobMetrics = jobs.Metrics
+	// VersionInfo is the GET /v1/version document: service identity, API
+	// revision and build provenance (DESIGN.md §12).
+	VersionInfo = server.VersionInfo
+	// CacheBackend is the shared cache tier's remote store interface; a
+	// fleet of in-process servers can share one (e.g. NewMemCacheBackend)
+	// via ServeConfig.Backend for fleet-wide cache hits and rate limits.
+	CacheBackend = cache.Backend
+	// ClusterStats counts the coordinator's per-worker shard dispatches
+	// and local fallbacks (DESIGN.md §12).
+	ClusterStats = cluster.Stats
 )
 
 // DefaultServeConfig returns the standard serving configuration
 // (127.0.0.1:8077, 64 MiB cache, GOMAXPROCS in-flight executions).
 func DefaultServeConfig() ServeConfig { return ServeConfig{} }
+
+// Version reports the build and served API revision of this module —
+// what a serving instance answers on GET /v1/version.
+func Version() VersionInfo { return server.Version() }
+
+// NewMemCacheBackend returns an in-memory shared cache backend, the
+// in-process stand-in for a fleet's remote cache tier.
+func NewMemCacheBackend() CacheBackend { return cache.NewMemBackend() }
 
 // NewServer builds a serving instance. Serve it with
 // ServeServer.ListenAndServe, or mount ServeServer.Handler in an existing
