@@ -127,9 +127,12 @@ func TestSubmitWaitAndCancel(t *testing.T) {
 		t.Fatalf("cancel terminal job: exit %d, %s", code, out)
 	}
 
-	// A long grid job cancels mid-run; watch reports exit code 2.
+	// A long grid job cancels mid-run; watch reports exit code 2. The
+	// distinct module seed keeps the job cold in the process-wide
+	// registries (tables, samplings, fills, shard memo), so it cannot
+	// finish off a sibling test's warm cache before the cancel lands.
 	code, out, errs = cli(t, base, "submit", "-q", "-kind", "scenario",
-		"-params", `{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":30}`)
+		"-params", `{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":600,"seed":888}`)
 	if code != 0 {
 		t.Fatalf("submit grid: exit %d, %s", code, errs)
 	}

@@ -8,8 +8,10 @@ package bender
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analog"
+	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/timing"
 	"repro/internal/xrand"
@@ -25,11 +27,67 @@ type Group struct {
 // N returns the number of simultaneously activated rows.
 func (g Group) N() int { return len(g.Rows) }
 
+// Sampling registry: SampleGroups and SampleSubarrays are pure functions
+// of the module's simulation identity (dram.Module.IdentityKey) and the
+// sampling coordinates, and the characterization harnesses re-enumerate
+// the identical samples for every sweep cell, scenario grid point and
+// warmpool recycle. The registry shares one enumeration process-wide,
+// mirroring dram's static-table registry. Cached slices (including each
+// Group.Rows) are handed out shared and are read-only by contract.
+type groupsRegKey struct {
+	mod      cache.Key
+	bank, sa int
+	n, count int
+	seed     uint64
+}
+
+type samplesRegKey struct {
+	mod     cache.Key
+	perBank int
+	seed    uint64
+}
+
+// samplingRegMax bounds each registry map; beyond it the map resets
+// (everything is recomputable, eviction only costs re-derivation).
+const samplingRegMax = 1 << 14
+
+var samplingReg = struct {
+	sync.Mutex
+	groups  map[groupsRegKey][]Group
+	samples map[samplesRegKey][]SubarraySample
+}{
+	groups:  make(map[groupsRegKey][]Group),
+	samples: make(map[samplesRegKey][]SubarraySample),
+}
+
 // SampleGroups deterministically samples `count` distinct row groups of
 // exactly n simultaneously activated rows in the given subarray. It
 // mirrors the paper's methodology of randomly testing 100 groups per
-// (subarray, N) combination.
+// (subarray, N) combination. Enumerations are shared process-wide by
+// module identity (see samplingReg); the returned slice and the groups'
+// Rows are read-only.
 func SampleGroups(sa *dram.Subarray, mod *dram.Module, n, count int, seed uint64) ([]Group, error) {
+	key := groupsRegKey{mod: mod.IdentityKey(), bank: sa.Bank(), sa: sa.Index(), n: n, count: count, seed: seed}
+	samplingReg.Lock()
+	cached, ok := samplingReg.groups[key]
+	samplingReg.Unlock()
+	if ok {
+		return cached, nil
+	}
+	groups, err := sampleGroupsUncached(sa, mod, n, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	samplingReg.Lock()
+	if len(samplingReg.groups) >= samplingRegMax {
+		samplingReg.groups = make(map[groupsRegKey][]Group)
+	}
+	samplingReg.groups[key] = groups
+	samplingReg.Unlock()
+	return groups, nil
+}
+
+func sampleGroupsUncached(sa *dram.Subarray, mod *dram.Module, n, count int, seed uint64) ([]Group, error) {
 	dec := mod.Decoder()
 	if n < 1 || n > dec.MaxSimultaneousRows() {
 		return nil, fmt.Errorf("bender: cannot activate %d rows (max %d)",
@@ -90,7 +148,16 @@ type SubarraySample struct {
 
 // SampleSubarrays picks `perBank` subarrays in each of the module's banks,
 // mirroring the paper's "three randomly selected subarrays in each bank".
+// Enumerations are shared process-wide by module identity; the returned
+// slice is read-only — callers that filter it must copy.
 func SampleSubarrays(mod *dram.Module, perBank int, seed uint64) []SubarraySample {
+	key := samplesRegKey{mod: mod.IdentityKey(), perBank: perBank, seed: seed}
+	samplingReg.Lock()
+	cached, ok := samplingReg.samples[key]
+	samplingReg.Unlock()
+	if ok {
+		return cached
+	}
 	spec := mod.Spec()
 	out := make([]SubarraySample, 0, spec.Banks*perBank)
 	for b := 0; b < spec.Banks; b++ {
@@ -99,6 +166,12 @@ func SampleSubarrays(mod *dram.Module, perBank int, seed uint64) []SubarraySampl
 			out = append(out, SubarraySample{Bank: b, Subarray: idx})
 		}
 	}
+	samplingReg.Lock()
+	if len(samplingReg.samples) >= samplingRegMax {
+		samplingReg.samples = make(map[samplesRegKey][]SubarraySample)
+	}
+	samplingReg.samples[key] = out
+	samplingReg.Unlock()
 	return out
 }
 

@@ -43,6 +43,16 @@ type Computer struct {
 	freeRegs []int
 	nextReg  int
 
+	// Reusable scratch. A Computer is single-threaded, so gates, copies
+	// and the construction-time probe all run allocation-free on these
+	// buffers: rowBufs backs operand staging (rows method), rowBuf is the
+	// single-row scratch for complemented/neutral fills, outBuf receives
+	// APA readbacks. Values handed out alias this storage and are only
+	// valid until the next operation.
+	rowBufs []bitvec.Vec
+	rowBuf  bitvec.Vec
+	outBuf  bitvec.Vec
+
 	zeroReg int // constant all-0s register
 	oneReg  int // constant all-1s register
 
@@ -86,11 +96,13 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 		return nil, err
 	}
 	c := &Computer{
-		sa:   sa,
-		mod:  mod,
-		env:  analog.NominalEnv(),
-		maxX: maxX,
-		regs: make(map[int]bool),
+		sa:     sa,
+		mod:    mod,
+		env:    analog.NominalEnv(),
+		maxX:   maxX,
+		regs:   make(map[int]bool),
+		rowBuf: bitvec.New(sa.Cols()),
+		outBuf: bitvec.New(sa.Cols()),
 	}
 	// Probe every candidate group at every width and pick the one
 	// supporting the widest majority with the most reliable columns — the
@@ -192,16 +204,14 @@ func (c *Computer) probeGroup(g bender.Group, x int) (bitvec.Vec, error) {
 			continue
 		}
 		expectOne := pop == winners
-		operands := make([]bitvec.Vec, x)
+		operands := c.rows(x)
 		winnerSlot := -1
 		for j := range operands {
 			bit := m>>j&1 == 1
 			if bit == expectOne && winnerSlot < 0 {
 				winnerSlot = j
 			}
-			row := bitvec.New(cols)
-			row.Fill(bit)
-			operands[j] = row
+			operands[j].Fill(bit)
 		}
 		// With replication available, probe two weakened variants (the
 		// handicap lands on different replica rows, so two independent
@@ -231,6 +241,16 @@ func (c *Computer) probeGroup(g bender.Group, x int) (bitvec.Vec, error) {
 		}
 	}
 	return mask, nil
+}
+
+// rows returns n reusable column-width scratch rows, growing the
+// computer's pool on demand. Contents are unspecified — callers overwrite
+// them — and the slice is only valid until the next rows call.
+func (c *Computer) rows(n int) []bitvec.Vec {
+	for len(c.rowBufs) < n {
+		c.rowBufs = append(c.rowBufs, bitvec.New(c.sa.Cols()))
+	}
+	return c.rowBufs[:n]
 }
 
 // popcount counts set bits.
@@ -351,11 +371,10 @@ func (c *Computer) execMAJWeakened(operands []bitvec.Vec, weakenRow int) (bitvec
 	n := c.group.N()
 	copies := n / x
 	fracOK := c.mod.Spec().Profile.FracSupported
-	cols := c.sa.Cols()
 	if weakenRow >= copies*x {
 		weakenRow = -1
 	}
-	scratch := bitvec.New(cols)
+	scratch := c.rowBuf
 	for i, r := range c.group.Rows {
 		switch {
 		case i == weakenRow:
@@ -392,11 +411,12 @@ func (c *Computer) execMAJWeakened(operands []bitvec.Vec, weakenRow int) (bitvec
 		return bitvec.Vec{}, false, err
 	}
 	c.sa.Precharge()
-	got, err := c.sa.ReadRowVec(c.group.RF)
-	if err != nil {
+	// The result aliases outBuf: callers consume it (mask fold, WriteRowVec)
+	// before the next operation.
+	if err := c.sa.ReadRowInto(c.outBuf, c.group.RF); err != nil {
 		return bitvec.Vec{}, false, err
 	}
-	return got, res.Viable, nil
+	return c.outBuf, res.Viable, nil
 }
 
 // MAJ computes dst = MAJX(srcs...) across all columns. len(srcs) must be
@@ -406,13 +426,11 @@ func (c *Computer) MAJ(dst int, srcs ...int) error {
 	if x < 3 || x%2 == 0 || x > c.maxX {
 		return fmt.Errorf("bitserial: MAJ%d unsupported (max %d)", x, c.maxX)
 	}
-	operands := make([]bitvec.Vec, x)
+	operands := c.rows(x)
 	for j, s := range srcs {
-		row, err := c.sa.ReadRowVec(s)
-		if err != nil {
+		if err := c.sa.ReadRowInto(operands[j], s); err != nil {
 			return err
 		}
-		operands[j] = row
 		c.counts.Stage++
 	}
 	got, _, err := c.execMAJ(operands)
@@ -426,8 +444,8 @@ func (c *Computer) MAJ(dst int, srcs ...int) error {
 // NOT computes dst = ¬src (an inverted row copy, as Ambit's dual-contact
 // rows provide; costed as one RowClone).
 func (c *Computer) NOT(dst, src int) error {
-	row, err := c.sa.ReadRowVec(src)
-	if err != nil {
+	row := c.rowBuf
+	if err := c.sa.ReadRowInto(row, src); err != nil {
 		return err
 	}
 	row.Not(row)
@@ -458,8 +476,8 @@ func (c *Computer) reduceWide(dst, fill int, srcs []int) error {
 		return fmt.Errorf("bitserial: empty reduction")
 	}
 	if len(srcs) == 1 {
-		row, err := c.sa.ReadRowVec(srcs[0])
-		if err != nil {
+		row := c.rowBuf
+		if err := c.sa.ReadRowInto(row, srcs[0]); err != nil {
 			return err
 		}
 		c.counts.Stage++
@@ -472,13 +490,13 @@ func (c *Computer) reduceWide(dst, fill int, srcs []int) error {
 		return err
 	}
 	defer c.FreeReg(tmp)
+	args := make([]int, 0, 2*fanIn-1)
 	for len(pending) > 1 {
 		k := fanIn
 		if k > len(pending) {
 			k = len(pending)
 		}
-		args := make([]int, 0, 2*k-1)
-		args = append(args, pending[:k]...)
+		args = append(args[:0], pending[:k]...)
 		for i := 0; i < k-1; i++ {
 			args = append(args, fill)
 		}

@@ -265,7 +265,11 @@ func Majority(dst Vec, vs []Vec) {
 	}
 	need := uint64(x/2 + 1)
 	planes := bits.Len(uint(x))
-	counter := make([]uint64, planes)
+	// The counter fits a fixed stack array for any realistic operand
+	// count (2^64-1 operands); sizing it statically keeps the hot loop
+	// allocation-free.
+	var counterBuf [64]uint64
+	counter := counterBuf[:planes]
 	for wi := range dst.w {
 		for i := range counter {
 			counter[i] = 0

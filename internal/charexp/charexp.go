@@ -90,6 +90,10 @@ type Runner struct {
 	cfg   Config
 	mods  []*dram.Module
 	stats *engine.Stats
+	// arenas is the run-scoped scratch pool handed to every tester the
+	// runner builds, so concurrent shard kernels reuse arenas within the
+	// run without contending with unrelated runs.
+	arenas *core.ArenaPool
 }
 
 // NewRunner instantiates the fleet of the configuration.
@@ -108,7 +112,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if st == nil {
 		st = new(engine.Stats)
 	}
-	return &Runner{cfg: cfg, mods: mods, stats: st}, nil
+	return &Runner{cfg: cfg, mods: mods, stats: st, arenas: core.NewArenaPool()}, nil
 }
 
 // Modules exposes the instantiated fleet (used by the case studies).

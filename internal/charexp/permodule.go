@@ -94,7 +94,7 @@ func (r *Runner) PerModule() (PerModuleResult, error) {
 		}
 		tester, err := core.NewTester(mod,
 			core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed),
-			core.WithWorkers(1))
+			core.WithWorkers(1), core.WithArenaPool(r.arenas))
 		if err != nil {
 			return PerModuleResult{}, err
 		}

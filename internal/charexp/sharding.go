@@ -86,7 +86,7 @@ func (r *Runner) sweepShards(sc core.SweepConfig, env analog.Env, mfr string) (s
 		// sequentially — parallelism lives at the shard level.
 		tester, err := core.NewTester(mod,
 			core.WithEnv(env), core.WithTrials(r.cfg.Trials), core.WithSeed(r.cfg.Seed),
-			core.WithWorkers(1))
+			core.WithWorkers(1), core.WithArenaPool(r.arenas))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+)
+
+// Arena is a per-shard scratch buffer set for the characterization
+// kernels: packed row vectors and one trial-plane stack, all of a single
+// column width. Kernels take vectors with vec() — handed out zeroed, in
+// deterministic order — and the whole arena rewinds with reset() when the
+// next kernel begins, so a shard's steady state allocates nothing.
+//
+// Ownership: an arena belongs to exactly one kernel invocation at a time
+// (Tester methods get one from the pool and put it back on return);
+// vectors obtained from it are invalid after the kernel returns. Arenas
+// are not safe for concurrent use — concurrency comes from the pool
+// handing distinct arenas to distinct shards.
+type Arena struct {
+	cols   int
+	vecs   []bitvec.Vec
+	next   int
+	planes bitvec.Planes
+}
+
+func newArena(cols int) *Arena { return &Arena{cols: cols} }
+
+// reset rewinds the arena: every previously handed-out vector becomes
+// free again (and will be re-zeroed before reuse).
+func (a *Arena) reset() { a.next = 0 }
+
+// vec hands out a zeroed packed vector of the arena's width.
+func (a *Arena) vec() bitvec.Vec {
+	if a.next == len(a.vecs) {
+		a.vecs = append(a.vecs, bitvec.New(a.cols))
+	}
+	v := a.vecs[a.next]
+	a.next++
+	v.Fill(false)
+	return v
+}
+
+// planeStack hands out a t-plane stack of the arena's width. Planes are
+// not zeroed: callers overwrite every plane they reduce. Only one stack
+// is live at a time (a later call invalidates the previous one), which is
+// all the kernels need — each asserted set's trials are materialized and
+// reduced before the next set begins.
+func (a *Arena) planeStack(t int) bitvec.Planes {
+	if a.planes.T() < t || a.planes.Len() != a.cols {
+		a.planes = bitvec.NewPlanes(t, a.cols)
+	}
+	return a.planes.Slice(t)
+}
+
+// ArenaPool shares arenas between shards, one free-list per column width.
+// The zero value is not usable; construct with NewArenaPool. Testers use
+// a process-shared default pool unless WithArenaPool overrides it (the
+// charexp runner owns one per run, so concurrent runs don't contend).
+type ArenaPool struct {
+	pools sync.Map // cols int -> *engine.Pool[*Arena]
+}
+
+// NewArenaPool returns an empty arena pool.
+func NewArenaPool() *ArenaPool { return &ArenaPool{} }
+
+func (p *ArenaPool) get(cols int) *Arena {
+	pl, ok := p.pools.Load(cols)
+	if !ok {
+		pl, _ = p.pools.LoadOrStore(cols, engine.NewPool(func() *Arena { return newArena(cols) }))
+	}
+	a := pl.(*engine.Pool[*Arena]).Get()
+	a.reset()
+	return a
+}
+
+func (p *ArenaPool) put(a *Arena) {
+	if pl, ok := p.pools.Load(a.cols); ok {
+		pl.(*engine.Pool[*Arena]).Put(a)
+	}
+}
+
+// sharedArenas is the default process-wide pool.
+var sharedArenas = NewArenaPool()

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/bender"
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// Arena-reuse safety: results must not depend on what a pooled arena's
+// buffers held before. The differential suite covers kernel correctness;
+// these tests pin the pooling itself — back-to-back characterizations on
+// one reused arena, and concurrent shards drawing from one shared pool
+// (run under -race in the nightly job).
+
+func arenaTester(t *testing.T, opts ...Option) *Tester {
+	t.Helper()
+	spec := dram.NewSpec("arena-test", dram.ProfileH, 0xa12e)
+	spec.Columns = 192
+	m, err := dram.NewModule(spec, analog.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewTester(m, append(opts, WithTrials(16), WithSeed(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tester
+}
+
+// TestArenaReuseBackToBack interleaves different characterizations on one
+// pooled arena (same tester, same private pool) and checks every result
+// against fresh-pool testers that never reuse a dirty arena.
+func TestArenaReuseBackToBack(t *testing.T) {
+	shared := arenaTester(t, WithArenaPool(NewArenaPool()))
+	sa, g := firstGroup(t, shared, 8)
+
+	type op func(*Tester, *dram.Subarray) (SuccessResult, error)
+	ops := []struct {
+		name string
+		run  op
+	}{
+		{"mra-share", func(ts *Tester, s *dram.Subarray) (SuccessResult, error) {
+			return ts.ManyRowActivation(s, g, timing.APATimings{T1: 6, T2: 3}, dram.PatternRandom)
+		}},
+		{"maj3", func(ts *Tester, s *dram.Subarray) (SuccessResult, error) {
+			return ts.MAJ(s, g, 3, timing.APATimings{T1: 6, T2: 3}, dram.PatternSplit)
+		}},
+		{"copy", func(ts *Tester, s *dram.Subarray) (SuccessResult, error) {
+			return ts.MultiRowCopy(s, g, timing.APATimings{T1: 40, T2: 3}, dram.Pattern00FF)
+		}},
+		{"mra-copy", func(ts *Tester, s *dram.Subarray) (SuccessResult, error) {
+			return ts.ManyRowActivation(s, g, timing.APATimings{T1: 40, T2: 3}, dram.PatternAll1)
+		}},
+	}
+
+	// Two full rounds: the second round runs every op on arena state left
+	// behind by a *different* op.
+	for round := 0; round < 2; round++ {
+		for _, o := range ops {
+			got, err := o.run(shared, sa)
+			if err != nil {
+				t.Fatal(o.name, err)
+			}
+			fresh := arenaTester(t, WithArenaPool(NewArenaPool()))
+			fsa, err := fresh.Module().Subarray(sa.Bank(), sa.Index())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := o.run(fresh, fsa)
+			if err != nil {
+				t.Fatal(o.name, err)
+			}
+			if got != want {
+				t.Fatalf("round %d %s: reused arena %+v != fresh arena %+v",
+					round, o.name, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaPoolConcurrentShards stresses one shared pool from concurrent
+// shard goroutines — distinct subarrays, same ArenaPool — and compares
+// every result with a sequential fresh-pool baseline. Meaningful under
+// -race: it would flag any arena accidentally handed to two shards.
+func TestArenaPoolConcurrentShards(t *testing.T) {
+	const shards = 8
+	pool := NewArenaPool()
+	tester := arenaTester(t, WithArenaPool(pool))
+
+	type shardResult struct {
+		mra, cp SuccessResult
+	}
+	run := func(ts *Tester, bank, idx int) (shardResult, error) {
+		sa, err := ts.Module().Subarray(bank, idx)
+		if err != nil {
+			return shardResult{}, err
+		}
+		groups, err := bender.SampleGroups(sa, ts.Module(), 8, 1, 31)
+		if err != nil {
+			return shardResult{}, err
+		}
+		var out shardResult
+		out.mra, err = ts.ManyRowActivation(sa, groups[0], timing.APATimings{T1: 6, T2: 3}, dram.PatternRandom)
+		if err != nil {
+			return shardResult{}, err
+		}
+		out.cp, err = ts.MultiRowCopy(sa, groups[0], timing.APATimings{T1: 40, T2: 3}, dram.PatternRandom)
+		return out, err
+	}
+
+	// Pre-allocate the lazily created subarrays: engine sweeps guard that
+	// map with the tester mutex, this test calls run() directly.
+	for i := 0; i < shards; i++ {
+		if _, err := tester.Module().Subarray(i%2, i/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	baseline := make([]shardResult, shards)
+	for i := 0; i < shards; i++ {
+		fresh := arenaTester(t, WithArenaPool(NewArenaPool()))
+		r, err := run(fresh, i%2, i/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = r
+	}
+
+	// Several rounds so arenas actually cycle through the pool while other
+	// goroutines are mid-kernel.
+	for round := 0; round < 4; round++ {
+		results := make([]shardResult, shards)
+		errs := make([]error, shards)
+		var wg sync.WaitGroup
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = run(tester, i%2, i/2)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < shards; i++ {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if results[i] != baseline[i] {
+				t.Fatalf("round %d shard %d: concurrent %+v != baseline %+v",
+					round, i, results[i], baseline[i])
+			}
+		}
+	}
+}

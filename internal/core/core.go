@@ -57,11 +57,27 @@ type Tester struct {
 	trials  int
 	seed    uint64
 	workers int
+	scalar  bool
+	arenas  *ArenaPool
 
 	// mu guards the module's lazy subarray allocation during parallel
-	// sweeps; distinct subarrays are otherwise independent.
+	// sweeps and the sampling caches below; distinct subarrays are
+	// otherwise independent.
 	mu sync.Mutex
+	// Sampling caches: group and subarray sampling are pure functions of
+	// (module, coordinates, bounds, seed), and a figure sweep re-enumerates
+	// the identical samples for every one of its cells. Cached slices are
+	// handed out aliased and are read-only by contract.
+	groupsCache  map[groupsCacheKey][]bender.Group
+	samplesCache map[samplesCacheKey][]bender.SubarraySample
 }
+
+// groupsCacheKey identifies one deterministic SampleGroups call on this
+// tester (the seed is the tester's own).
+type groupsCacheKey struct{ bank, sa, n, count int }
+
+// samplesCacheKey identifies one deterministic SweepSamples enumeration.
+type samplesCacheKey struct{ perBank, banks int }
 
 // Option configures a Tester.
 type Option func(*Tester)
@@ -81,12 +97,29 @@ func WithSeed(seed uint64) Option { return func(t *Tester) { t.seed = seed } }
 // 1 = sequential). Results are identical for every setting.
 func WithWorkers(n int) Option { return func(t *Tester) { t.workers = n } }
 
+// WithScalarKernel selects the scalar per-trial reference kernels instead
+// of the default trial-plane kernels. Both produce bit-identical results
+// (locked down by the differential test suite); the scalar path exists as
+// the executable specification the plane kernels are checked against.
+func WithScalarKernel() Option { return func(t *Tester) { t.scalar = true } }
+
+// WithArenaPool sets the scratch-arena pool the trial-plane kernels draw
+// from (default: a process-shared pool). Long-running harnesses pass
+// their own so concurrent runs with different widths don't contend.
+func WithArenaPool(p *ArenaPool) Option {
+	return func(t *Tester) {
+		if p != nil {
+			t.arenas = p
+		}
+	}
+}
+
 // NewTester builds a tester for the module.
 func NewTester(mod *dram.Module, opts ...Option) (*Tester, error) {
 	if mod == nil {
 		return nil, fmt.Errorf("core: nil module")
 	}
-	t := &Tester{mod: mod, env: analog.NominalEnv(), trials: 8, seed: 1}
+	t := &Tester{mod: mod, env: analog.NominalEnv(), trials: 8, seed: 1, arenas: sharedArenas}
 	for _, o := range opts {
 		o(t)
 	}
@@ -114,6 +147,16 @@ func (t *Tester) Trials() int { return t.trials }
 // pattern, then read every row of the group back with nominal timings. A
 // cell succeeds in a trial iff it stores the WR data.
 func (t *Tester) ManyRowActivation(sa *dram.Subarray, g bender.Group,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+	if t.scalar {
+		return t.manyRowActivationScalar(sa, g, at, p)
+	}
+	return t.manyRowActivationPlanes(sa, g, at, p)
+}
+
+// manyRowActivationScalar is the per-trial reference implementation of
+// ManyRowActivation.
+func (t *Tester) manyRowActivationScalar(sa *dram.Subarray, g bender.Group,
 	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
 
 	cols := sa.Cols()
@@ -161,6 +204,15 @@ func (t *Tester) ManyRowActivation(sa *dram.Subarray, g bender.Group,
 // are neutralized. A cell succeeds in a trial iff the group's rows end up
 // storing the bitwise majority of the X operands.
 func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+	if t.scalar {
+		return t.majScalar(sa, g, x, at, p)
+	}
+	return t.majPlanes(sa, g, x, at, p)
+}
+
+// majScalar is the per-trial reference implementation of MAJ.
+func (t *Tester) majScalar(sa *dram.Subarray, g bender.Group, x int,
 	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
 
 	if x < 3 || x%2 == 0 {
@@ -243,6 +295,16 @@ func (t *Tester) MAJ(sa *dram.Subarray, g bender.Group, x int,
 // and violated t2. A destination cell succeeds in a trial iff it stores
 // the source data.
 func (t *Tester) MultiRowCopy(sa *dram.Subarray, g bender.Group,
+	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
+	if t.scalar {
+		return t.multiRowCopyScalar(sa, g, at, p)
+	}
+	return t.multiRowCopyPlanes(sa, g, at, p)
+}
+
+// multiRowCopyScalar is the per-trial reference implementation of
+// MultiRowCopy.
+func (t *Tester) multiRowCopyScalar(sa *dram.Subarray, g bender.Group,
 	at timing.APATimings, p dram.Pattern) (SuccessResult, error) {
 
 	cols := sa.Cols()

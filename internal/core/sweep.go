@@ -117,12 +117,23 @@ func (c SweepConfig) validate() error {
 }
 
 // SweepSamples returns the deterministic (bank, subarray) samples a sweep
-// characterizes on this tester's module: one engine shard each.
+// characterizes on this tester's module: one engine shard each. The
+// enumeration is memoized per sampling bounds (every cell of a figure
+// re-enumerates the same samples); the returned slice is shared and
+// read-only.
 func (t *Tester) SweepSamples(cfg SweepConfig) []bender.SubarraySample {
 	cfg = cfg.withDefaults()
+	key := samplesCacheKey{perBank: cfg.SubarraysPerBank, banks: cfg.Banks}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cached, ok := t.samplesCache[key]; ok {
+		return cached
+	}
 	samples := bender.SampleSubarrays(t.mod, cfg.SubarraysPerBank, t.seed)
 	if cfg.Banks > 0 {
-		filtered := samples[:0]
+		// SampleSubarrays returns a shared read-only slice — filter into a
+		// fresh one.
+		filtered := make([]bender.SubarraySample, 0, len(samples))
 		for _, s := range samples {
 			if s.Bank < cfg.Banks {
 				filtered = append(filtered, s)
@@ -130,6 +141,10 @@ func (t *Tester) SweepSamples(cfg SweepConfig) []bender.SubarraySample {
 		}
 		samples = filtered
 	}
+	if t.samplesCache == nil {
+		t.samplesCache = make(map[samplesCacheKey][]bender.SubarraySample)
+	}
+	t.samplesCache[key] = samples
 	return samples
 }
 
@@ -183,7 +198,7 @@ func (t *Tester) sweepSubarray(cfg SweepConfig, s bender.SubarraySample) ([]Grou
 	if err != nil {
 		return nil, err
 	}
-	groups, err := bender.SampleGroups(sa, t.mod, cfg.N, cfg.GroupsPerSubarray, t.seed)
+	groups, err := t.sampleGroups(sa, cfg.N, cfg.GroupsPerSubarray)
 	if err != nil {
 		return nil, err
 	}
@@ -214,4 +229,26 @@ func (t *Tester) subarray(s bender.SubarraySample) (*dram.Subarray, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.mod.Subarray(s.Bank, s.Subarray)
+}
+
+// sampleGroups memoizes bender.SampleGroups per (subarray, n, count):
+// group sampling rederives the same decoder walk for every sweep cell of
+// a figure, which used to dominate the allocation profile. Groups are
+// shared and read-only (the kernels only read Group.Rows).
+func (t *Tester) sampleGroups(sa *dram.Subarray, n, count int) ([]bender.Group, error) {
+	key := groupsCacheKey{bank: sa.Bank(), sa: sa.Index(), n: n, count: count}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cached, ok := t.groupsCache[key]; ok {
+		return cached, nil
+	}
+	groups, err := bender.SampleGroups(sa, t.mod, n, count, t.seed)
+	if err != nil {
+		return nil, err
+	}
+	if t.groupsCache == nil {
+		t.groupsCache = make(map[groupsCacheKey][]bender.Group)
+	}
+	t.groupsCache[key] = groups
+	return groups, nil
 }

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/xrand"
@@ -101,6 +102,28 @@ func (p Pattern) Bit(seed uint64, rowOrdinal, col int) bool {
 	return xrand.Hash(seed, uint64(rowOrdinal), uint64(col), 0x9a7)&1 == 1
 }
 
+// Random-fill registry: PatternRandom hashes three mixes per column, and
+// the characterization harnesses re-fill the identical rows for every
+// sweep cell (the fill is a pure function of (seed, rowOrdinal, cols) —
+// the group data seed never depends on timings or environment). Sharing
+// the packed words process-wide turns the per-cell re-fill into a
+// few-word copy, mirroring the sampling and static-table registries.
+// Cached word slices are read-only.
+type fillRegKey struct {
+	seed uint64
+	row  int
+	cols int
+}
+
+// fillRegMax bounds the registry; beyond it the map resets (fills are
+// recomputable, eviction only costs re-derivation).
+const fillRegMax = 1 << 15
+
+var fillReg = struct {
+	sync.Mutex
+	m map[fillRegKey][]uint64
+}{m: make(map[fillRegKey][]uint64)}
+
 // FillRowVec materializes the pattern for one row as a packed vector.
 // Fixed byte-pair patterns and the split checkerboard are periodic, so
 // they fill whole 64-column words at a time; only Random hashes per
@@ -108,6 +131,13 @@ func (p Pattern) Bit(seed uint64, rowOrdinal, col int) bool {
 // Bit over every column.
 func (p Pattern) FillRowVec(seed uint64, rowOrdinal, cols int) bitvec.Vec {
 	out := bitvec.New(cols)
+	p.FillRowInto(out, seed, rowOrdinal)
+	return out
+}
+
+// FillRowInto is the allocation-free form of FillRowVec: it fills a
+// caller-owned vector (typically from a shard arena) with the same bits.
+func (p Pattern) FillRowInto(out bitvec.Vec, seed uint64, rowOrdinal int) {
 	if p == PatternSplit {
 		// Column checkerboard: even rows store 1s on even columns, odd
 		// rows the complement.
@@ -116,7 +146,7 @@ func (p Pattern) FillRowVec(seed uint64, rowOrdinal, cols int) bitvec.Vec {
 		} else {
 			out.FillWordPattern(0xaaaaaaaaaaaaaaaa)
 		}
-		return out
+		return
 	}
 	if b0, b1, ok := p.bytePair(); ok {
 		b := b0
@@ -124,13 +154,28 @@ func (p Pattern) FillRowVec(seed uint64, rowOrdinal, cols int) bitvec.Vec {
 			b = b1
 		}
 		out.FillByteMSB(b)
-		return out
+		return
 	}
-	// Random: a distinct uniform pattern per row.
+	// Random: a distinct uniform pattern per row, shared via fillReg.
+	key := fillRegKey{seed: seed, row: rowOrdinal, cols: out.Len()}
+	fillReg.Lock()
+	cached, ok := fillReg.m[key]
+	fillReg.Unlock()
+	if ok {
+		copy(out.Words(), cached)
+		return
+	}
+	rowChain := xrand.Begin().Mix(seed).Mix(uint64(rowOrdinal))
 	out.FillPattern(func(c int) bool {
-		return xrand.Hash(seed, uint64(rowOrdinal), uint64(c), 0x9a7)&1 == 1
+		return rowChain.Mix(uint64(c)).Mix(0x9a7).Sum()&1 == 1
 	})
-	return out
+	words := append([]uint64(nil), out.Words()...)
+	fillReg.Lock()
+	if len(fillReg.m) >= fillRegMax {
+		fillReg.m = make(map[fillRegKey][]uint64)
+	}
+	fillReg.m[key] = words
+	fillReg.Unlock()
 }
 
 // FillRow materializes the pattern for one row across cols columns.

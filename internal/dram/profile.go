@@ -180,6 +180,10 @@ type Module struct {
 	dec    *decoder.Decoder
 	params analog.Params
 	banks  map[int]*bank
+	// tabKey is the module's static-table identity (see saTables): two
+	// modules with equal tabKey have identical process variation, so their
+	// subarrays share derived tables.
+	tabKey cache.Key
 }
 
 type bank struct {
@@ -203,11 +207,19 @@ func NewModule(spec Spec, params analog.Params) (*Module, error) {
 		dec:    dec,
 		params: params,
 		banks:  make(map[int]*bank),
+		tabKey: spec.HashModule(cache.NewHasher().Str("dram/subarray-tables/v1"), params).Sum(),
 	}, nil
 }
 
 // Spec returns the module's identity.
 func (m *Module) Spec() Spec { return m.spec }
+
+// IdentityKey returns the module's simulation-identity digest: the same
+// spec + electrical-params hash the static-table registry shares
+// derivations by. Two modules with equal keys are bit-identical
+// simulations, so derived pure-function results (tables, samplings) can
+// be shared between them.
+func (m *Module) IdentityKey() cache.Key { return m.tabKey }
 
 // Decoder returns the module's subarray row decoder.
 func (m *Module) Decoder() *decoder.Decoder { return m.dec }

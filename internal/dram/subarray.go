@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/analog"
@@ -35,6 +36,11 @@ const chargeFrac = 0.5
 // the cache resets (entries are recomputable at any time).
 const couplingCacheMax = 1 << 12
 
+// copyMaskCacheMax bounds the per-(row, probability) copy fail-mask
+// cache: envelope searches sweep t1 continuously, so the probability
+// coordinate is unbounded. Entries are recomputable.
+const copyMaskCacheMax = 1 << 12
+
 // Subarray is one DRAM subarray: a rows×columns array of cells sharing
 // bitlines and sense amplifiers, addressed by a local row decoder. All PUD
 // operations take place within a single subarray.
@@ -46,76 +52,139 @@ const couplingCacheMax = 1 << 12
 // operate 64 columns per word; only the charge-sharing arithmetic of
 // share mode is per-column, and it reads its static process-variation
 // draws from precomputed tables instead of re-hashing every trial.
+//
+// Static process-variation tables are shared across every Subarray
+// instance with the same simulation identity (see saTables); the fields
+// below memoize the shared rows locally so the hot path never locks. The
+// hot path is also allocation-free: structural keys extend a precomputed
+// hash chain, decoder activation sets and weak-cell failure masks are
+// cached, and the kernels reuse per-subarray scratch (a subarray is
+// driven by one goroutine at a time; the engine shards per subarray).
 type Subarray struct {
 	mod      *Module
 	bankIdx  int
 	saIdx    int
 	rows     int
 	cols     int
-	words    int // uint64 words per row
+	words    int         // uint64 words per row
+	keyChain xrand.Chain // Hash(seed, bank, sa, ...) prefix
 	val      []uint64
 	frac     []uint64
 	asserted []int // rows left open by the last APA (until precharge)
 	copyMode bool  // whether the last APA latched the sense amps
 
-	// Static draws hoisted out of the trial loops. Per-column and per-row
-	// tables are built eagerly (they are O(rows+cols)); per-cell tables
-	// are built lazily one row at a time and per-group coupling rows are
-	// cached by group key. All entries are pure functions of structural
-	// coordinates, so caching never changes a result.
-	theta     []float64  // per-column reliable sensing threshold
-	saBias    bitvec.Vec // per-column sense-amp bias sign (Frac readout)
-	latchNorm []float64  // per-row predecoder latch draw
-	wlNorm    []float64  // per-row wordline settle draw
+	// Shared static tables plus local memos of their immutable rows.
+	tab           *saTables
+	gammaLocal    [][]float64
+	fracLocal     [][]float64
+	weakWRLocal   [][]float64
+	weakCopyLocal [][]float64
+	wbaseLocal    [][]float64
+	couplingLocal map[uint64][]float64
+	// Local memo of the drive-weighted rows, one slot per weight role
+	// (non-RF drive, RF weight); a slot resets when its weight changes
+	// (once per sweep cell at most).
+	wcW     [2]uint64
+	wcLocal [2][][]float64
 
-	gammaRows     [][]float64 // per-cell capacitance draws, by row
-	fracRows      [][]float64 // per-cell Frac residual draws, by row
-	weakWRRows    [][]float64 // per-cell weak-write uniforms, by row
-	weakCopyRows  [][]float64 // per-cell weak-copy uniforms, by row
-	couplingNorms map[uint64][]float64
+	// Derived caches: decoder activation sets per (rf, rs) and packed
+	// weak-cell failure masks per (row, probability coordinate). All are
+	// pure functions of structural coordinates.
+	actCache      map[uint64][]int
+	wrMaskCache   map[uint32][]uint64
+	copyMaskCache map[maskKey][]uint64
 
-	// Scratch reused by the kernels (a subarray is driven by one
-	// goroutine at a time; the engine shards per subarray).
-	numBuf, denBuf []float64
-	rowBuf         bitvec.Vec
-	failBuf        bitvec.Vec
+	// Cached charge-share denominators per asserted set (see
+	// shareDetMeta): the denominator accumulation is data-independent, so
+	// the sweeps' per-pattern calls over the same set reuse one pass. A
+	// small ring with exact (rf, rows, weight-bits) matching — never a
+	// hash — so a hit is guaranteed to be the identical accumulation.
+	denCache []denEntry
+	denNext  int
+
+	// Scratch reused by the kernels.
+	assertedBuf     []int
+	numBuf, denBuf  []float64
+	rowBuf, failBuf bitvec.Vec
+	detBuf, metaBuf bitvec.Vec
+
+	// PlanAPA scratch: a plan aliases these buffers and stays valid until
+	// the next PlanAPA call on this subarray.
+	planBuf    APAPlan
+	planSets   []AssertSet
+	planMasks  []uint64 // per-trial asserted bitmask
+	planUniq   []uint64 // distinct masks, first-seen order
+	planCounts []int    // trials per distinct mask
+	planTrials []int    // backing for the sets' Trials slices
+	planRows   []int    // backing for the sets' Rows slices
 }
+
+// maskKey addresses one cached weak-copy failure mask.
+type maskKey struct {
+	row   int
+	pBits uint64
+}
+
+// intsEqual reports whether two int slices are element-wise equal.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// denEntry is one cached charge-share denominator accumulation.
+type denEntry struct {
+	rf         int
+	rows       []int // copy of the asserted set, exact-match key
+	drive, rfW uint64
+	den        []float64
+}
+
+// denCacheCap bounds the per-subarray denominator ring: large enough to
+// cover every (group, set) of one sweep cell so the next pattern hits.
+const denCacheCap = 16
 
 func newSubarray(m *Module, bankIdx, saIdx int) *Subarray {
 	rows := m.dec.Rows()
 	cols := m.spec.Columns
 	words := bitvec.WordsFor(cols)
 	s := &Subarray{
-		mod:           m,
-		bankIdx:       bankIdx,
-		saIdx:         saIdx,
-		rows:          rows,
-		cols:          cols,
-		words:         words,
-		val:           make([]uint64, rows*words),
-		frac:          make([]uint64, rows*words),
-		theta:         make([]float64, cols),
-		saBias:        bitvec.New(cols),
-		latchNorm:     make([]float64, rows),
-		wlNorm:        make([]float64, rows),
-		gammaRows:     make([][]float64, rows),
-		fracRows:      make([][]float64, rows),
-		weakWRRows:    make([][]float64, rows),
-		weakCopyRows:  make([][]float64, rows),
-		couplingNorms: make(map[uint64][]float64),
-		numBuf:        make([]float64, cols),
-		denBuf:        make([]float64, cols),
-		rowBuf:        bitvec.New(cols),
-		failBuf:       bitvec.New(cols),
+		mod:      m,
+		bankIdx:  bankIdx,
+		saIdx:    saIdx,
+		rows:     rows,
+		cols:     cols,
+		words:    words,
+		keyChain: xrand.Begin().Mix(m.spec.Seed).Mix(uint64(bankIdx)).Mix(uint64(saIdx)),
+		val:      make([]uint64, rows*words),
+		frac:     make([]uint64, rows*words),
+
+		gammaLocal:    make([][]float64, rows),
+		fracLocal:     make([][]float64, rows),
+		weakWRLocal:   make([][]float64, rows),
+		weakCopyLocal: make([][]float64, rows),
+		wbaseLocal:    make([][]float64, rows),
+		couplingLocal: make(map[uint64][]float64),
+
+		actCache:      make(map[uint64][]int),
+		wrMaskCache:   make(map[uint32][]uint64),
+		copyMaskCache: make(map[maskKey][]uint64),
+
+		assertedBuf: make([]int, 0, m.dec.MaxSimultaneousRows()),
+		numBuf:      make([]float64, cols),
+		denBuf:      make([]float64, cols),
+		rowBuf:      bitvec.New(cols),
+		failBuf:     bitvec.New(cols),
+		detBuf:      bitvec.New(cols),
+		metaBuf:     bitvec.New(cols),
 	}
-	for c := 0; c < cols; c++ {
-		s.theta[c] = m.params.SenseThreshold(s.colNorm(c, tagTheta))
-		s.saBias.Set(c, s.colNorm(c, tagSABias) > 0)
-	}
-	for r := 0; r < rows; r++ {
-		s.latchNorm[r] = s.rowNorm(r, tagLatch)
-		s.wlNorm[r] = s.rowNorm(r, tagWL)
-	}
+	s.attachTables()
 	return s
 }
 
@@ -148,77 +217,174 @@ func (s *Subarray) rowFrac(row int) []uint64 {
 	return s.frac[row*s.words : (row+1)*s.words]
 }
 
-// key hashes a structural coordinate with the module seed.
-func (s *Subarray) key(parts ...uint64) uint64 {
-	all := append([]uint64{s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx)}, parts...)
-	return xrand.Hash(all...)
+// key2 and key3 hash structural coordinates with the module seed by
+// extending the precomputed (seed, bank, subarray) chain — equal to
+// xrand.Hash(seed, bank, sa, parts...) without building a parts slice.
+func (s *Subarray) key2(a, b uint64) uint64 {
+	return s.keyChain.Mix(a).Mix(b).Sum()
+}
+
+func (s *Subarray) key3(a, b, c uint64) uint64 {
+	return s.keyChain.Mix(a).Mix(b).Mix(c).Sum()
 }
 
 // cellNorm returns the static standard-normal draw for a cell and tag.
 func (s *Subarray) cellNorm(row, col int, tag uint64) float64 {
-	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
-		uint64(row), uint64(col), tag)
+	return xrand.NormOf(s.key3(uint64(row), uint64(col), tag))
 }
 
 // colNorm returns the static standard-normal draw for a column and tag.
 func (s *Subarray) colNorm(col int, tag uint64) float64 {
-	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
-		0xffff, uint64(col), tag)
+	return xrand.NormOf(s.key3(0xffff, uint64(col), tag))
 }
 
 // rowNorm returns the static standard-normal draw for a row and tag.
 func (s *Subarray) rowNorm(row int, tag uint64) float64 {
-	return xrand.Norm(s.mod.spec.Seed, uint64(s.bankIdx), uint64(s.saIdx),
-		uint64(row), 0xfffe, tag)
+	return xrand.NormOf(s.key3(uint64(row), 0xfffe, tag))
 }
 
-// cellRow lazily materializes one row of a per-cell static table.
-func (s *Subarray) cellRow(table [][]float64, row int, tag uint64, uniform bool) []float64 {
-	if t := table[row]; t != nil {
-		return t
-	}
-	t := make([]float64, s.cols)
-	for c := range t {
-		if uniform {
-			t[c] = xrand.Uniform(s.key(uint64(row), uint64(c), tag))
-		} else {
-			t[c] = s.cellNorm(row, c, tag)
-		}
-	}
-	table[row] = t
-	return t
-}
-
+// gammaRow returns the per-cell capacitance draws of one row, memoizing
+// the shared immutable row locally so later accesses skip the table lock.
 func (s *Subarray) gammaRow(row int) []float64 {
-	return s.cellRow(s.gammaRows, row, tagGamma, false)
+	if r := s.gammaLocal[row]; r != nil {
+		return r
+	}
+	r := s.tab.cellRow(s, s.tab.gammaRows, row, tagGamma, false)
+	s.gammaLocal[row] = r
+	return r
 }
 
 func (s *Subarray) fracRow(row int) []float64 {
-	return s.cellRow(s.fracRows, row, tagFrac, false)
+	if r := s.fracLocal[row]; r != nil {
+		return r
+	}
+	r := s.tab.cellRow(s, s.tab.fracRows, row, tagFrac, false)
+	s.fracLocal[row] = r
+	return r
+}
+
+func (s *Subarray) wbaseRow(row int) []float64 {
+	if r := s.wbaseLocal[row]; r != nil {
+		return r
+	}
+	r := s.tab.wbaseRow(s, row)
+	s.wbaseLocal[row] = r
+	return r
+}
+
+// wcRow returns the row's drive-weighted charge-share weights
+// (w·wbase[c]), memoizing the shared immutable rows locally per weight
+// slot so the accumulation loop's accesses skip the table lock.
+func (s *Subarray) wcRow(row int, w float64, slot int) []float64 {
+	wb := math.Float64bits(w)
+	if s.wcW[slot] != wb || s.wcLocal[slot] == nil {
+		s.wcW[slot] = wb
+		s.wcLocal[slot] = make([][]float64, s.rows)
+	}
+	if r := s.wcLocal[slot][row]; r != nil {
+		return r
+	}
+	r := s.tab.wcRow(s, row, w)
+	s.wcLocal[slot][row] = r
+	return r
 }
 
 func (s *Subarray) weakWRRow(row int) []float64 {
-	return s.cellRow(s.weakWRRows, row, tagWeakWR, true)
+	if r := s.weakWRLocal[row]; r != nil {
+		return r
+	}
+	r := s.tab.cellRow(s, s.tab.weakWRRows, row, tagWeakWR, true)
+	s.weakWRLocal[row] = r
+	return r
 }
 
 func (s *Subarray) weakCopyRow(row int) []float64 {
-	return s.cellRow(s.weakCopyRows, row, tagWeakCopy, true)
+	if r := s.weakCopyLocal[row]; r != nil {
+		return r
+	}
+	r := s.tab.cellRow(s, s.tab.weakCopyRows, row, tagWeakCopy, true)
+	s.weakCopyLocal[row] = r
+	return r
 }
 
 // couplingRow returns the per-column coupling-noise draws of one group.
 func (s *Subarray) couplingRow(groupKey uint64) []float64 {
-	if t, ok := s.couplingNorms[groupKey]; ok {
-		return t
+	if r, ok := s.couplingLocal[groupKey]; ok {
+		return r
 	}
-	if len(s.couplingNorms) >= couplingCacheMax {
-		s.couplingNorms = make(map[uint64][]float64)
+	if len(s.couplingLocal) >= couplingCacheMax {
+		s.couplingLocal = make(map[uint64][]float64)
 	}
-	t := make([]float64, s.cols)
-	for c := range t {
-		t[c] = xrand.Norm(groupKey, uint64(c), tagCoupling)
+	r := s.tab.couplingRow(s.cols, groupKey)
+	s.couplingLocal[groupKey] = r
+	return r
+}
+
+// activatedRows returns the decoder's activation set for the APA pair,
+// cached per subarray. The returned slice is shared: callers must not
+// mutate it.
+func (s *Subarray) activatedRows(rf, rs int) ([]int, error) {
+	k := uint64(rf)<<32 | uint64(uint32(rs))
+	if rows, ok := s.actCache[k]; ok {
+		return rows, nil
 	}
-	s.couplingNorms[groupKey] = t
-	return t
+	rows, err := s.mod.dec.ActivatedRows(rf, rs)
+	if err != nil {
+		return nil, err
+	}
+	s.actCache[k] = rows
+	return rows, nil
+}
+
+// uniformMask packs "uniform draw below p" per column into words: the
+// static weak-cell selection for probability p.
+func (s *Subarray) uniformMask(u []float64, p float64) []uint64 {
+	m := make([]uint64, s.words)
+	for wi := range m {
+		var word uint64
+		base := wi * 64
+		nb := s.cols - base
+		if nb > 64 {
+			nb = 64
+		}
+		for b := 0; b < nb; b++ {
+			if u[base+b] < p {
+				word |= 1 << uint(b)
+			}
+		}
+		m[wi] = word
+	}
+	return m
+}
+
+// wrFailMask returns the packed weak-write failure mask of one row under
+// a WR that overdrives nAsserted open rows. Pure function of the two
+// coordinates (the failure probability depends only on the open-row
+// count), cached; callers must not mutate the returned words.
+func (s *Subarray) wrFailMask(row, nAsserted int) []uint64 {
+	k := uint32(row)<<8 | uint32(nAsserted)
+	if m, ok := s.wrMaskCache[k]; ok {
+		return m
+	}
+	m := s.uniformMask(s.weakWRRow(row), s.mod.params.WriteFailProb(nAsserted))
+	s.wrMaskCache[k] = m
+	return m
+}
+
+// copyFailMask returns the packed weak-copy mask of one destination row
+// at failure probability p (one of the two per-bit-value probabilities).
+// Cached per (row, probability bits); callers must not mutate it.
+func (s *Subarray) copyFailMask(row int, p float64) []uint64 {
+	k := maskKey{row: row, pBits: math.Float64bits(p)}
+	if m, ok := s.copyMaskCache[k]; ok {
+		return m
+	}
+	if len(s.copyMaskCache) >= copyMaskCacheMax {
+		s.copyMaskCache = make(map[maskKey][]uint64)
+	}
+	m := s.uniformMask(s.weakCopyRow(row), p)
+	s.copyMaskCache[k] = m
+	return m
 }
 
 // WriteRowVec performs a nominal-timing activate + write + precharge of
@@ -285,7 +451,7 @@ func (s *Subarray) maskRowTail(w []uint64) {
 // "always biased to one or zero").
 func (s *Subarray) resolveRow(dst []uint64, row int) {
 	val, frac := s.rowVal(row), s.rowFrac(row)
-	bias := s.saBias.Words()
+	bias := s.tab.saBias.Words()
 	for i := range dst {
 		dst[i] = val[i]&^frac[i] | frac[i]&bias[i]
 	}
@@ -395,9 +561,13 @@ func (m Mode) String() string {
 // APAResult reports the outcome of one APA sequence.
 type APAResult struct {
 	Mode Mode
-	// Activated is the decoder's asserted-wordline set (sorted).
+	// Activated is the decoder's asserted-wordline set (sorted). The
+	// slice is shared with the subarray's caches: read-only, valid until
+	// the next APA.
 	Activated []int
 	// Asserted is the subset whose wordlines actually settled this trial.
+	// Like Activated it aliases reused storage: read-only, valid until
+	// the next APA.
 	Asserted []int
 	// Viable reports whether the majority group resolved deterministically
 	// (always true outside share mode or without a MAJSpec).
@@ -424,30 +594,26 @@ func (s *Subarray) APA(rf, rs int, opts APAOptions) (APAResult, error) {
 	// sequence is a normal back-to-back activation: only the second row
 	// ends up open.
 	if !t.ViolatesTRP(jedec) || s.mod.spec.Profile.APAGuarded {
-		s.asserted = []int{rs}
+		s.asserted = append(s.assertedBuf[:0], rs)
 		s.copyMode = false
-		return APAResult{Mode: ModeSingle, Activated: []int{rs}, Asserted: []int{rs}, Viable: true}, nil
+		return APAResult{Mode: ModeSingle, Activated: s.asserted, Asserted: s.asserted, Viable: true}, nil
 	}
 
-	activated, err := s.mod.dec.ActivatedRows(rf, rs)
+	activated, err := s.activatedRows(rf, rs)
 	if err != nil {
 		return APAResult{}, err
 	}
 
 	// Per-row wordline assertion: rf stays asserted from the first ACT;
 	// every other row in the set must win the settling race (§4 Obs. 2).
-	asserted := make([]int, 0, len(activated))
+	asserted := s.assertedBuf[:0]
 	n := len(activated)
 	for _, r := range activated {
 		if r == rf {
 			asserted = append(asserted, r)
 			continue
 		}
-		latchThresh := params.LatchThreshold(s.latchNorm[r], n, opts.Env)
-		wlThresh := params.WLThreshold(s.wlNorm[r])
-		jit := params.AssertTransientSigma *
-			xrand.Norm(s.key(uint64(r), uint64(opts.Trial), tagJitter))
-		if t.T2+jit >= latchThresh && t.Total()+jit >= wlThresh {
+		if s.rowAsserts(r, n, opts.Trial, t, opts.Env) {
 			asserted = append(asserted, r)
 		}
 	}
@@ -460,18 +626,28 @@ func (s *Subarray) APA(rf, rs int, opts APAOptions) (APAResult, error) {
 		res.Mode = ModeShare
 		res.Viable = s.applyShare(rf, rs, asserted, t, opts)
 	}
-	s.asserted = append([]int(nil), asserted...)
+	s.asserted = asserted
 	s.copyMode = res.Mode == ModeCopy
 	return res, nil
 }
 
-// applyCopy drives the sense amplifiers' latched data (the first row's
-// contents) into every asserted row. Weak destination cells keep their old
-// charge.
-func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts APAOptions) {
+// rowAsserts draws one row's wordline settling race for one trial. The
+// per-trial jitter draw comes from the shared jitRow cache — the same
+// value the hash would produce inline.
+func (s *Subarray) rowAsserts(r, nActivated, trial int, t timing.APATimings, env analog.Env) bool {
+	params := s.mod.params
+	latchThresh := params.LatchThreshold(s.tab.latchNorm[r], nActivated, env)
+	wlThresh := params.WLThreshold(s.tab.wlNorm[r])
+	jit := params.AssertTransientSigma * s.tab.jitRow(s, r, trial+1)[trial]
+	return t.T2+jit >= latchThresh && t.Total()+jit >= wlThresh
+}
+
+// copyProbs returns the per-driven-bit-value failure probabilities of a
+// latched copy into nAct open rows, reading the source row's current
+// pull-up load. Trial-invariant.
+func (s *Subarray) copyProbs(rf, nAct int, t timing.APATimings, opts APAOptions) (pTrue, pFalse float64) {
 	params := s.mod.params
 	jedec := timing.DDR4()
-	nAct := len(asserted)
 
 	// Collective pull-up droop counts the source cells at solid VDD;
 	// Frac cells sit at the midpoint and do not load the pull-ups, even
@@ -481,17 +657,24 @@ func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts A
 		ones += bits.OnesCount64(w)
 	}
 	onesFrac := float64(ones) / float64(s.cols)
+	pTrue = params.CopyFailProb(true, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
+	pFalse = params.CopyFailProb(false, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
+	return pTrue, pFalse
+}
+
+// applyCopy drives the sense amplifiers' latched data (the first row's
+// contents) into every asserted row. Weak destination cells keep their old
+// charge. The per-bit-value failure draws are static, so the weak-cell
+// masks come from the (row, probability) cache and the write collapses to
+// word ops.
+func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts APAOptions) {
+	pTrue, pFalse := s.copyProbs(rf, len(asserted), t, opts)
 
 	// Snapshot the resolved source bits (Frac cells take the amplifier
 	// bias) before any destination write lands.
 	src := s.rowBuf.Words()
 	s.resolveRow(src, rf)
 
-	// The failure probability is constant per driven bit value.
-	pTrue := params.CopyFailProb(true, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
-	pFalse := params.CopyFailProb(false, onesFrac, nAct, opts.Env, t.T1, jedec.TRAS)
-
-	fail := s.failBuf.Words()
 	for _, r := range asserted {
 		val, frac := s.rowVal(r), s.rowFrac(r)
 		if r == rf {
@@ -502,51 +685,26 @@ func (s *Subarray) applyCopy(rf int, asserted []int, t timing.APATimings, opts A
 		// Static weak-cell draws: a weak destination never takes the
 		// copy, so it fails every trial (matching the all-trials success
 		// metric).
-		u := s.weakCopyRow(r)
-		for wi := range fail {
-			var m uint64
-			sw := src[wi]
-			base := wi * 64
-			nb := s.cols - base
-			if nb > 64 {
-				nb = 64
-			}
-			for b := 0; b < nb; b++ {
-				p := pFalse
-				if sw>>uint(b)&1 == 1 {
-					p = pTrue
-				}
-				if u[base+b] < p {
-					m |= 1 << uint(b)
-				}
-			}
-			fail[wi] = m
-		}
+		mt := s.copyFailMask(r, pTrue)
+		mf := s.copyFailMask(r, pFalse)
 		for wi := range val {
-			val[wi] = src[wi]&^fail[wi] | val[wi]&fail[wi]
-			frac[wi] &= fail[wi]
+			fail := src[wi]&mt[wi] | ^src[wi]&mf[wi]
+			val[wi] = src[wi]&^fail | val[wi]&fail
+			frac[wi] &= fail
 		}
 	}
 }
 
-// applyShare performs charge-share (majority) resolution on every bitline
-// and writes the sensed value back into all asserted cells. It returns
-// whether the group was viable (see analog.Params.ViabilityZ); non-viable
-// groups resolve metastably, differently on every trial.
-//
-// The kernel accumulates the per-column perturbation numerator and
-// denominator row by row from the packed planes (reading the hoisted
-// gamma/Frac tables instead of hashing), then resolves sense amplifiers
-// one 64-column word block at a time, packing result bits directly.
-func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, opts APAOptions) bool {
+// shareViable draws the share-mode group viability: the group latch race
+// (Obs. 7's t2 cliff) and, for majority operations, the viability model.
+// Trial-invariant: both draws hash only group coordinates.
+func (s *Subarray) shareViable(rf, rs int, t timing.APATimings, opts APAOptions) bool {
 	params := s.mod.params
-	drive := params.DriveFactor(opts.Env)
-	rfWeight := params.RFWeight(t.Total()) * drive
 
 	// Share-mode group latch race: below the per-group t2 threshold the
 	// whole group's sensing is metastable (Obs. 7's t2 = 1.5 ns cliff).
 	shareThresh := params.ShareLatchThreshold(
-		xrand.Norm(s.key(uint64(rf), uint64(rs), tagShareLatch)))
+		xrand.Norm(s.key3(uint64(rf), uint64(rs), tagShareLatch)))
 	viable := t.T2 >= shareThresh
 
 	if viable && opts.MAJ != nil {
@@ -561,100 +719,198 @@ func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, o
 		}
 		z := params.ViabilityZ(opts.MAJ.X, opts.MAJ.Copies, t.Total(),
 			opts.PatternCoupling, bias)
-		viable = xrand.Norm(s.key(uint64(rf), uint64(rs), tagViab)) < z
+		viable = xrand.Norm(s.key3(uint64(rf), uint64(rs), tagViab)) < z
 	}
+	return viable
+}
 
-	groupKey := s.key(uint64(rf), uint64(rs))
+// shareDetMeta computes the trial-invariant decomposition of share-mode
+// sensing for one asserted set: det gets the bits the amplifiers resolve
+// deterministically to 1, meta the columns within the reliable sensing
+// margin (metastable, resolved per trial by metaOverlay). Everything here
+// — charge accumulation, coupling noise, thresholds — depends only on the
+// asserted rows' current contents and static draws.
+//
+// The kernel accumulates the per-column perturbation numerator and
+// denominator row by row from the packed planes (reading the hoisted
+// gamma/Frac tables instead of hashing), then resolves sense amplifiers
+// one 64-column word block at a time, packing result bits directly.
+func (s *Subarray) shareDetMeta(det, meta []uint64, rf int, asserted []int,
+	t timing.APATimings, opts APAOptions, groupKey uint64) {
+
+	params := s.mod.params
+	drive := params.DriveFactor(opts.Env)
+	rfWeight := params.RFWeight(t.Total()) * drive
+
+	num, den := s.numBuf, s.denBuf
+	// The denominator accumulation is data-independent — per column it is
+	// BitlineCapRatio plus the asserted rows' weights in row order — so a
+	// ring entry matching (rf, rows, weight bits) exactly holds the
+	// bit-identical result of the den side of the loop below, and the
+	// accumulation can skip it.
+	denHit := false
+	db, wbits := math.Float64bits(drive), math.Float64bits(rfWeight)
+	for i := range s.denCache {
+		e := &s.denCache[i]
+		if e.rf == rf && e.drive == db && e.rfW == wbits && intsEqual(e.rows, asserted) {
+			copy(den, e.den)
+			denHit = true
+			break
+		}
+	}
+	for c := 0; c < s.cols; c++ {
+		num[c] = 0
+		if !denHit {
+			den[c] = params.BitlineCapRatio
+		}
+	}
+	for _, r := range asserted {
+		w, slot := drive, 0
+		if r == rf {
+			w, slot = rfWeight, 1
+		}
+		// wcw[c] is the cached w·(1 + CellCapSigma·gamma[c]) — the
+		// identical multiply the inline expression did, shared across
+		// sets, trials and data patterns (see saTables.wcRow).
+		wcw := s.wcRow(r, w, slot)
+		val, frac := s.rowVal(r), s.rowFrac(r)
+		var fracTab []float64
+		if anyWord(frac) {
+			fracTab = s.fracRow(r)
+		}
+		for wi := 0; wi < s.words; wi++ {
+			vw, fw := val[wi], frac[wi]
+			base := wi * 64
+			nb := s.cols - base
+			if nb > 64 {
+				nb = 64
+			}
+			// Word-local subslices let the compiler elide the per-column
+			// bounds checks; the arithmetic is unchanged.
+			nm, dn, wcs := num[base:base+nb], den[base:base+nb], wcw[base:base+nb]
+			if fw == 0 {
+				// Fast path: no Frac cells in the word, so level is ±1 and
+				// the sign multiply collapses to a sign-bit flip — wc is
+				// positive, and IEEE multiplication by exact ±1.0 only
+				// toggles the sign bit, so this is bit-identical to the
+				// general path below.
+				if denHit {
+					for b := range nm {
+						sb := (vw>>uint(b)&1 ^ 1) << 63
+						nm[b] += math.Float64frombits(math.Float64bits(wcs[b]) | sb)
+					}
+					continue
+				}
+				for b := range nm {
+					wc := wcs[b]
+					sb := (vw>>uint(b)&1 ^ 1) << 63
+					nm[b] += math.Float64frombits(math.Float64bits(wc) | sb)
+					dn[b] += wc
+				}
+				continue
+			}
+			for b := range nm {
+				var level float64
+				switch {
+				case fw>>uint(b)&1 == 1:
+					level = params.FracSigma * fracTab[base+b]
+				case vw>>uint(b)&1 == 1:
+					level = 1
+				default:
+					level = -1
+				}
+				wc := wcs[b]
+				nm[b] += wc * level
+				if !denHit {
+					dn[b] += wc
+				}
+			}
+		}
+	}
+	if !denHit {
+		// Publish this set's denominators to the ring (round-robin evict).
+		if s.denCache == nil {
+			s.denCache = make([]denEntry, 0, denCacheCap)
+		}
+		e := denEntry{rf: rf, rows: append([]int(nil), asserted...),
+			drive: db, rfW: wbits, den: append([]float64(nil), den...)}
+		if len(s.denCache) < denCacheCap {
+			s.denCache = append(s.denCache, e)
+		} else {
+			s.denCache[s.denNext] = e
+			s.denNext = (s.denNext + 1) % denCacheCap
+		}
+	}
+	coup := s.couplingRow(groupKey)
+	theta := s.tab.theta
+	// VDD/2 and CouplingSigma·patternFactor are loop-invariant prefixes of
+	// left-associative products — hoisting them performs the identical
+	// float sequence.
+	half := params.VDD / 2
+	cs := params.CouplingSigma * opts.PatternCoupling
+	for wi := 0; wi < s.words; wi++ {
+		var dw, mw uint64
+		base := wi * 64
+		nb := s.cols - base
+		if nb > 64 {
+			nb = 64
+		}
+		nm, dn := num[base:base+nb], den[base:base+nb]
+		cp, th := coup[base:base+nb], theta[base:base+nb]
+		for b := range nm {
+			delta := 0.0
+			if dn[b] > 0 {
+				delta = half * nm[b] / dn[b]
+			}
+			v := delta + cs*cp[b]
+			switch {
+			case v > th[b]:
+				dw |= 1 << uint(b)
+			case v < -th[b]:
+				// resolves to 0
+			default:
+				// Below the reliable sensing margin: metastable per trial.
+				mw |= 1 << uint(b)
+			}
+		}
+		det[wi] = dw
+		meta[wi] = mw
+	}
+}
+
+// metaOverlay materializes one trial's sensing outcome from the det/meta
+// decomposition: deterministic bits pass through, metastable columns take
+// their per-trial coin from the cached coin plane — the identical draw
+// the per-bit hash made, assembled with word ops.
+func (s *Subarray) metaOverlay(out, det, meta []uint64, groupKey uint64, trial int) {
+	coin := s.tab.metaPlane(s, groupKey, trial, true)
+	for wi := range out {
+		out[wi] = det[wi] | meta[wi]&coin[wi]
+	}
+}
+
+// metaResolve fills one trial's sensing outcome of a non-viable group:
+// the amplifier race resolves arbitrarily, differently every trial (the
+// cached plane holds exactly the per-column draws of this trial).
+func (s *Subarray) metaResolve(out []uint64, groupKey uint64, trial int) {
+	copy(out, s.tab.metaPlane(s, groupKey, trial, false))
+}
+
+// applyShare performs charge-share (majority) resolution on every bitline
+// and writes the sensed value back into all asserted cells. It returns
+// whether the group was viable (see analog.Params.ViabilityZ); non-viable
+// groups resolve metastably, differently on every trial.
+func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, opts APAOptions) bool {
+	viable := s.shareViable(rf, rs, t, opts)
+	groupKey := s.key2(uint64(rf), uint64(rs))
 	out := s.rowBuf.Words()
 
 	if !viable {
-		// Metastable group: the amplifier race resolves arbitrarily,
-		// differently every trial.
-		for wi := range out {
-			var word uint64
-			base := wi * 64
-			nb := s.cols - base
-			if nb > 64 {
-				nb = 64
-			}
-			for b := 0; b < nb; b++ {
-				if xrand.Hash(groupKey, uint64(base+b), uint64(opts.Trial), tagMeta)&1 == 1 {
-					word |= 1 << uint(b)
-				}
-			}
-			out[wi] = word
-		}
+		s.metaResolve(out, groupKey, opts.Trial)
 	} else {
-		num, den := s.numBuf, s.denBuf
-		for c := 0; c < s.cols; c++ {
-			num[c] = 0
-			den[c] = params.BitlineCapRatio
-		}
-		for _, r := range asserted {
-			w := drive
-			if r == rf {
-				w = rfWeight
-			}
-			gamma := s.gammaRow(r)
-			val, frac := s.rowVal(r), s.rowFrac(r)
-			var fracTab []float64
-			if anyWord(frac) {
-				fracTab = s.fracRow(r)
-			}
-			for wi := 0; wi < s.words; wi++ {
-				vw, fw := val[wi], frac[wi]
-				base := wi * 64
-				nb := s.cols - base
-				if nb > 64 {
-					nb = 64
-				}
-				for b := 0; b < nb; b++ {
-					c := base + b
-					var level float64
-					switch {
-					case fw>>uint(b)&1 == 1:
-						level = params.FracSigma * fracTab[c]
-					case vw>>uint(b)&1 == 1:
-						level = 1
-					default:
-						level = -1
-					}
-					wc := w * (1 + params.CellCapSigma*gamma[c])
-					num[c] += wc * level
-					den[c] += wc
-				}
-			}
-		}
-		coup := s.couplingRow(groupKey)
-		for wi := 0; wi < s.words; wi++ {
-			var word uint64
-			base := wi * 64
-			nb := s.cols - base
-			if nb > 64 {
-				nb = 64
-			}
-			for b := 0; b < nb; b++ {
-				c := base + b
-				delta := 0.0
-				if den[c] > 0 {
-					delta = params.VDD / 2 * num[c] / den[c]
-				}
-				coupling := params.CouplingNoise(coup[c], opts.PatternCoupling)
-				theta := s.theta[c]
-				v := delta + coupling
-				switch {
-				case v > theta:
-					word |= 1 << uint(b)
-				case v < -theta:
-					// resolves to 0
-				case xrand.Hash(groupKey, uint64(c), uint64(opts.Trial), tagMeta, 1)&1 == 1:
-					// Below the reliable sensing margin: metastable per
-					// trial.
-					word |= 1 << uint(b)
-				}
-			}
-			out[wi] = word
-		}
+		det, meta := s.detBuf.Words(), s.metaBuf.Words()
+		s.shareDetMeta(det, meta, rf, asserted, t, opts, groupKey)
+		s.metaOverlay(out, det, meta, groupKey, opts.Trial)
 	}
 	for _, r := range asserted {
 		copy(s.rowVal(r), out)
@@ -666,7 +922,8 @@ func (s *Subarray) applyShare(rf, rs int, asserted []int, t timing.APATimings, o
 // WriteOpenRowsVec models the WR command of the §3.2 methodology: the
 // write drivers overdrive the bitlines, updating the cells of every row
 // still asserted from the preceding APA. Weak cells (static, rare) miss
-// the update. It returns an error if no rows are open.
+// the update — their masks come from the (row, open-row count) cache, so
+// the write is pure word ops. It returns an error if no rows are open.
 func (s *Subarray) WriteOpenRowsVec(v bitvec.Vec) error {
 	if len(s.asserted) == 0 {
 		return fmt.Errorf("dram: WR with no open rows (issue APA first)")
@@ -674,25 +931,9 @@ func (s *Subarray) WriteOpenRowsVec(v bitvec.Vec) error {
 	if v.Len() != s.cols {
 		return fmt.Errorf("dram: WR data has %d bits, want %d", v.Len(), s.cols)
 	}
-	pFail := s.mod.params.WriteFailProb(len(s.asserted))
 	data := v.Words()
-	fail := s.failBuf.Words()
 	for _, r := range s.asserted {
-		u := s.weakWRRow(r)
-		for wi := range fail {
-			var m uint64
-			base := wi * 64
-			nb := s.cols - base
-			if nb > 64 {
-				nb = 64
-			}
-			for b := 0; b < nb; b++ {
-				if u[base+b] < pFail {
-					m |= 1 << uint(b)
-				}
-			}
-			fail[wi] = m
-		}
+		fail := s.wrFailMask(r, len(s.asserted))
 		val, frac := s.rowVal(r), s.rowFrac(r)
 		for wi := range val {
 			val[wi] = data[wi]&^fail[wi] | val[wi]&fail[wi]

@@ -1,0 +1,32 @@
+package engine
+
+import "sync"
+
+// Pool is a typed free-list of reusable shard-scoped objects (scratch
+// arenas, decode buffers). Shard workers Get one object for the duration
+// of a shard and Put it back on completion, so steady-state sweeps
+// allocate only while the worker pool is ramping up.
+//
+// Pool is a thin typed wrapper over sync.Pool and inherits its semantics:
+// safe for concurrent use, and pooled objects may be dropped at any time,
+// so they must be recomputable. The New function must not return nil.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool producing fresh objects with newf.
+func NewPool[T any](newf func() T) *Pool[T] {
+	pl := &Pool[T]{}
+	pl.p.New = func() any { return newf() }
+	return pl
+}
+
+// Get takes an object from the pool, constructing one if none is free.
+func (pl *Pool[T]) Get() T {
+	return pl.p.Get().(T)
+}
+
+// Put returns an object to the pool. The caller must not use it again.
+func (pl *Pool[T]) Put(v T) {
+	pl.p.Put(v)
+}

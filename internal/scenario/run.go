@@ -81,9 +81,12 @@ type pointShard struct {
 // runShard characterizes one (point, module, bank, subarray) cell on a
 // private module instance: shards never share mutable subarray state, so
 // every cell of the matrix can execute concurrently. The subarray's
-// static tables derive deterministically from the spec seed, so a private
-// instance is bit-identical to a shared one — and, with Config.Pool set,
-// to a recycled warmpool instance (pools reset dynamic state on Put).
+// static tables derive deterministically from the spec seed and are
+// shared process-wide by simulation identity (dram's table registry), so
+// grid points over the same module reuse one derivation instead of
+// re-deriving per private instance — bit-identical either way, and, with
+// Config.Pool set, identical on a recycled warmpool instance too (pools
+// reset dynamic state on Put; scenario_test pins the derivation counts).
 func (cfg Config) runShard(sh pointShard, st *engine.Stats) ([]core.GroupOutcome, error) {
 	mod, release, err := dram.PoolModule(cfg.Pool, sh.spec, cfg.Params)
 	if err != nil {
@@ -161,7 +164,9 @@ func (cfg Config) samples(mod *dram.Module) []bender.SubarraySample {
 	if cfg.Banks <= 0 {
 		return all
 	}
-	filtered := all[:0]
+	// SampleSubarrays returns a shared read-only slice — filter into a
+	// fresh one.
+	filtered := make([]bender.SubarraySample, 0, len(all))
 	for _, s := range all {
 		if s.Bank < cfg.Banks {
 			filtered = append(filtered, s)

@@ -291,3 +291,26 @@ func TestShardKeySensitivity(t *testing.T) {
 func sampleAt(bank, subarray int) bender.SubarraySample {
 	return bender.SubarraySample{Bank: bank, Subarray: subarray}
 }
+
+// TestGridTableReuse pins the static-table sharing the grid relies on:
+// every (point, module, bank, subarray) shard builds a private module
+// instance, but instances with the same simulation identity share one
+// derived table set in dram's registry. A repeated scan — all-fresh
+// private instances — must therefore derive nothing new; before the
+// registry, every shard of every point re-derived its per-cell tables.
+func TestGridTableReuse(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Grid = smallGrid()
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	statics0, cells0 := dram.TableDerivations()
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	statics1, cells1 := dram.TableDerivations()
+	if statics1 != statics0 || cells1 != cells0 {
+		t.Fatalf("repeat scan re-derived static tables: sets %d→%d, cell rows %d→%d",
+			statics0, statics1, cells0, cells1)
+	}
+}

@@ -219,7 +219,7 @@ func TestEnvelopeJobEndToEnd(t *testing.T) {
 // heavyGridBody is a deliberately slow (~hundreds of ms) scenario grid,
 // long enough for the monitor to stream live progress and for
 // cancellation to land mid-run.
-const heavyGridBody = `{"kind":"scenario","scenario":{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":30}}`
+const heavyGridBody = `{"kind":"scenario","scenario":{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":600}}`
 
 // TestJobProgressStreaming attaches an SSE subscriber while a long grid
 // job is still executing and asserts the monitor streams monotonically
@@ -269,7 +269,12 @@ func TestJobProgressStreaming(t *testing.T) {
 // its execution context. /result reflects cancellation with 410.
 func TestJobCancellation(t *testing.T) {
 	_, ts := testServer(t, Config{JobWorkers: 1, JobPoll: time.Millisecond})
-	running := heavyGridBody
+	// The same grid under a distinct module seed: the process-wide
+	// registries (static tables, samplings, data fills, shard memo) are
+	// all keyed by module identity, so the fresh seed guarantees this job
+	// computes cold even after sibling tests ran the default-seed grid —
+	// the cancel must land mid-run, not on a cache replay.
+	running := `{"kind":"scenario","scenario":{"axes":"t2=1.5,2,2.5,3","cols":256,"groups":4,"banks":2,"trials":600,"seed":777}}`
 	queued := `{"kind":"sweep","sweep":{"figure":"3","trials":1,"groups":1,"banks":1,"cols":64}}`
 
 	code, stRun := submitJob(t, ts.URL, running)

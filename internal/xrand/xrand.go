@@ -23,15 +23,33 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// hashInit is the initial state of the Hash chain.
+const hashInit = 0x5851f42d4c957f2d
+
 // Hash combines any number of 64-bit coordinates into a single well-mixed
 // 64-bit value. Hash is deterministic and order-sensitive.
 func Hash(parts ...uint64) uint64 {
-	h := uint64(0x5851f42d4c957f2d)
+	h := uint64(hashInit)
 	for _, p := range parts {
 		h = mix64(h ^ p)
 	}
 	return mix64(h)
 }
+
+// Chain is the incremental form of Hash: mixing coordinates one at a time
+// without a parts slice. Begin().Mix(a).Mix(b).Sum() == Hash(a, b) for
+// every coordinate sequence, so hot paths can precompute the chain over a
+// fixed coordinate prefix and extend it per call with zero allocations.
+type Chain uint64
+
+// Begin returns the empty hash chain.
+func Begin() Chain { return Chain(hashInit) }
+
+// Mix folds one coordinate into the chain.
+func (c Chain) Mix(p uint64) Chain { return Chain(mix64(uint64(c) ^ p)) }
+
+// Sum finalizes the chain into the Hash value of the mixed coordinates.
+func (c Chain) Sum() uint64 { return mix64(uint64(c)) }
 
 // Float64 maps a hash value to the half-open interval [0, 1) with 53 bits
 // of precision.
@@ -48,7 +66,13 @@ func Uniform(parts ...uint64) float64 {
 // Norm returns a deterministic standard-normal variate for the given
 // coordinates, via the Box-Muller transform over two derived uniforms.
 func Norm(parts ...uint64) float64 {
-	h := Hash(parts...)
+	return NormOf(Hash(parts...))
+}
+
+// NormOf returns the standard-normal variate derived from an already
+// computed Hash value: NormOf(Hash(parts...)) == Norm(parts...). Chain
+// users call it to draw normals without materializing a parts slice.
+func NormOf(h uint64) float64 {
 	u1 := Float64(mix64(h ^ 0xa5a5a5a5a5a5a5a5))
 	u2 := Float64(mix64(h ^ 0x5a5a5a5a5a5a5a5a))
 	// Guard against log(0).

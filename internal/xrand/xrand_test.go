@@ -182,3 +182,28 @@ func TestSourceBoolBalanced(t *testing.T) {
 		t.Fatalf("Bool produced %d trues out of %d", trues, n)
 	}
 }
+
+// TestChainMatchesHash pins the Chain API to Hash exactly: the hot paths
+// precompute chains over fixed coordinate prefixes, so any divergence
+// would silently change every derived draw.
+func TestChainMatchesHash(t *testing.T) {
+	if got, want := Begin().Sum(), Hash(); got != want {
+		t.Fatalf("empty chain = %#x, want %#x", got, want)
+	}
+	err := quick.Check(func(parts []uint64) bool {
+		c := Begin()
+		for _, p := range parts {
+			c = c.Mix(p)
+		}
+		return c.Sum() == Hash(parts...)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A prefix chain extended per call equals the flat hash of the full
+	// coordinate list — the exact pattern dram.Subarray uses for its keys.
+	prefix := Begin().Mix(0xd5a).Mix(3).Mix(17)
+	if got, want := prefix.Mix(42).Mix(7).Sum(), Hash(0xd5a, 3, 17, 42, 7); got != want {
+		t.Fatalf("prefix chain = %#x, want %#x", got, want)
+	}
+}
