@@ -30,7 +30,7 @@ func main() {
 		cols    = flag.Int("cols", 0, "simulated columns per subarray (0 = default)")
 		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
 		sets    = flag.Int("sets", 200, "Monte-Carlo samples per Fig. 15 cell")
-		format  = flag.String("format", "text", "output format: text or csv")
+		format  = flag.String("format", "text", "output format: text, csv, or columnar")
 		workers = flag.Int("workers", 0, "parallel sweep shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
@@ -78,8 +78,8 @@ func run(w io.Writer, fig string, full bool, trials, groups, banks, cols int, se
 		cfg.Seed = seed
 	}
 	cfg.Engine = simra.EngineConfig{Workers: workers}
-	if format != "text" && format != "csv" {
-		return fmt.Errorf("unknown format %q; valid: text, csv", format)
+	if format != "text" && format != "csv" && format != "columnar" {
+		return fmt.Errorf("unknown format %q; valid: text, csv, columnar", format)
 	}
 
 	// The fleet is only instantiated when a figure actually simulates:
@@ -97,11 +97,15 @@ func run(w io.Writer, fig string, full bool, trials, groups, banks, cols int, se
 		runner = r
 		return runner, nil
 	}
-	render := func(t simra.ExperimentTable) string {
-		if format == "csv" {
-			return t.CSV()
+	render := func(t simra.ExperimentTable) (string, error) {
+		switch format {
+		case "csv":
+			return t.CSV(), nil
+		case "columnar":
+			return t.Columnar()
+		default:
+			return t.Render(), nil
 		}
-		return t.Render()
 	}
 
 	matched := false
@@ -114,13 +118,18 @@ func run(w io.Writer, fig string, full bool, trials, groups, banks, cols int, se
 		start := time.Now()
 		switch id {
 		case "table1":
-			out = render(simra.PopulationTable(cfg.Fleet))
+			var err error
+			if out, err = render(simra.PopulationTable(cfg.Fleet)); err != nil {
+				return err
+			}
 		case "14":
 			tab, err := simra.DecoderWalkthrough(simra.DecoderHynix512())
 			if err != nil {
 				return err
 			}
-			out = render(tab)
+			if out, err = render(tab); err != nil {
+				return err
+			}
 		default:
 			r, err := getRunner()
 			if err != nil {
@@ -130,7 +139,14 @@ func run(w io.Writer, fig string, full bool, trials, groups, banks, cols int, se
 				return err
 			}
 		}
-		if _, err := fmt.Fprintln(w, out); err != nil {
+		if format == "columnar" {
+			// The columnar stream is binary and self-delimiting: no
+			// trailing newline, so the bytes match the server's and the
+			// committed *.colenc.golden exactly.
+			if _, err := io.WriteString(w, out); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintln(w, out); err != nil {
 			return err
 		}
 		if needsSimulation(id) && format == "text" {

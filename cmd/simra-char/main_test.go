@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/charexp"
+	"repro/internal/colenc"
 	"repro/internal/goldenfile"
 )
 
@@ -61,4 +64,40 @@ func TestUnknownFigure(t *testing.T) {
 	if err := run(&bytes.Buffer{}, "3", false, 0, 0, 0, 0, 0, 200, "yaml", 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
+}
+
+// TestGoldenFigure3Columnar pins the CLI's columnar stream for the
+// Fig. 3 sweep: bit-identical across worker counts, byte-equal to the
+// committed golden, and decodable back to the csv golden's rows.
+func TestGoldenFigure3Columnar(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := run(&buf, "3", false, 0, 0, 0, 0, 0, 200, "columnar", workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	if out1 != render(8) {
+		t.Fatal("simra-char columnar stream differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "fig3.colenc.golden", out1)
+
+	tab, err := colenc.Decode([]byte(out1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := charexp.ColumnarStrings(tab).CSV() + "\n"; got != readGolden(t, "fig3.csv.golden") {
+		t.Fatal("decoded columnar rows drifted from the csv golden")
+	}
+}
+
+// readGolden loads one committed golden file.
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/colenc"
 	"repro/internal/goldenfile"
+	"repro/internal/scenario"
 )
 
 // envelopeOpts is the fixed CLI configuration behind the committed
@@ -67,6 +70,45 @@ func TestGridGoldenWorkerInvariant(t *testing.T) {
 		t.Fatal("simra-scan grid output differs between -workers=1 and -workers=8")
 	}
 	goldenfile.Check(t, "testdata", "grid.csv.golden", out1)
+}
+
+// TestGridColumnarGoldenWorkerInvariant pins the columnar stream for the
+// same grid scan the csv golden covers: bit-identical across worker
+// counts, byte-equal to the committed golden, and decodable back to the
+// exact csv-golden rows.
+func TestGridColumnarGoldenWorkerInvariant(t *testing.T) {
+	render := func(workers int) string {
+		o := envelopeOpts(workers)
+		o.envelope = ""
+		o.grid = "timing"
+		o.format = "columnar"
+		var buf bytes.Buffer
+		if _, err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	if out1 != render(8) {
+		t.Fatal("simra-scan columnar stream differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "grid.colenc.golden", out1)
+
+	tab, err := colenc.Decode([]byte(out1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := scenario.ColumnarStrings(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvGolden, err := os.ReadFile("testdata/grid.csv.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CSV() != string(csvGolden) {
+		t.Fatal("decoded columnar table drifted from the csv golden")
+	}
 }
 
 // TestFlagValidation exercises the flag surface end to end.

@@ -113,7 +113,14 @@ func main() {
 		"per-client rate-limit burst (0 = max(1, ceil(rate)))")
 	auditPath := flag.String("audit-log", "",
 		"append-only JSON audit log file (empty = disabled)")
+	dumpOpenAPI := flag.Bool("dump-openapi", false,
+		"print the API's OpenAPI document to stdout and exit")
 	flag.Parse()
+
+	if *dumpOpenAPI {
+		os.Stdout.Write(simra.OpenAPISpec())
+		return
+	}
 
 	cfg.Peers = splitPeers(*peers)
 	tokens, err := parseAuthTokens(*authTokens)

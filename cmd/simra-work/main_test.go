@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/colenc"
 	"repro/internal/goldenfile"
+	"repro/internal/workload"
 )
 
 // goldenOpts is the fixed CLI configuration behind the committed golden:
@@ -73,5 +77,44 @@ func TestWorkloadSelection(t *testing.T) {
 	opts.format = "json"
 	if err := run(&bytes.Buffer{}, opts); err == nil {
 		t.Fatal("unknown format must fail")
+	}
+}
+
+// TestGoldenColumnarWorkerInvariant pins the columnar stream for the
+// same fleet-wide run the text golden covers: bit-identical across
+// worker counts, byte-equal to the committed golden, and decodable back
+// to the exact text-golden table.
+func TestGoldenColumnarWorkerInvariant(t *testing.T) {
+	render := func(workers int) string {
+		opts := goldenOpts(workers)
+		opts.format = "columnar"
+		var buf bytes.Buffer
+		if err := run(&buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render(1)
+	if out1 != render(8) {
+		t.Fatal("simra-work columnar stream differs between -workers=1 and -workers=8")
+	}
+	goldenfile.Check(t, "testdata", "simra-work.colenc.golden", out1)
+
+	tab, err := colenc.Decode([]byte(out1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := workload.ColumnarStrings(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile("testdata/simra-work.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := rt.Render() + fmt.Sprintf("\n%s results (%s viable, %s bit-exact vs software reference)\n",
+		tab.MetaValue("results"), tab.MetaValue("viable"), tab.MetaValue("matched"))
+	if rebuilt != string(text) {
+		t.Fatal("decoded columnar table drifted from the text golden")
 	}
 }

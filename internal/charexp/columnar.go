@@ -1,0 +1,27 @@
+package charexp
+
+import "repro/internal/colenc"
+
+// Columnar encodes the table as a columnar stream. Sweep tables are
+// string-rendered rows, so the schema comes from colenc.FromStrings's
+// round-trip-safe inference; the id and title travel as stream metadata.
+// Decoding and re-rendering via colenc's Strings reproduces the CSV
+// cells byte for byte.
+func (t Table) Columnar() (string, error) {
+	tab := colenc.FromStrings(t.ID,
+		[][2]string{{"id", t.ID}, {"title", t.Title}}, t.Columns, t.Rows)
+	enc, err := colenc.Encode(tab, 0)
+	return string(enc), err
+}
+
+// ColumnarStrings is the reverse of Columnar's encoding: it rebuilds the
+// rendered table from a decoded columnar stream.
+func ColumnarStrings(t *colenc.Table) Table {
+	columns, rows := t.Strings()
+	return Table{
+		ID:      t.MetaValue("id"),
+		Title:   t.MetaValue("title"),
+		Columns: columns,
+		Rows:    rows,
+	}
+}

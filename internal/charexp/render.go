@@ -23,27 +23,31 @@ func FigureIDs() []string {
 // (internal/server), so a served sweep response is byte-identical to the
 // CLI's table output.
 func (r *Runner) RunFigure(id string, sets int, format string) (string, error) {
-	if format != "text" && format != "csv" {
-		return "", fmt.Errorf("charexp: unknown format %q; valid: text, csv", format)
+	if format != "text" && format != "csv" && format != "columnar" {
+		return "", fmt.Errorf("charexp: unknown format %q; valid: text, csv, columnar", format)
 	}
 	if sets <= 0 {
 		sets = 200
 	}
-	render := func(t Table) string {
-		if format == "csv" {
-			return t.CSV()
+	render := func(t Table) (string, error) {
+		switch format {
+		case "csv":
+			return t.CSV(), nil
+		case "columnar":
+			return t.Columnar()
+		default:
+			return t.Render(), nil
 		}
-		return t.Render()
 	}
 	switch id {
 	case "table1":
-		return render(TablePopulation(r.cfg.Fleet)), nil
+		return render(TablePopulation(r.cfg.Fleet))
 	case "13", "14":
 		tab, err := DecoderWalkthrough(decoder.Hynix512())
 		if err != nil {
 			return "", err
 		}
-		return render(tab), nil
+		return render(tab)
 	}
 	runners := map[string]func() (interface{ Table() Table }, error){
 		"3":       func() (interface{ Table() Table }, error) { return r.Figure3() },
@@ -71,5 +75,5 @@ func (r *Runner) RunFigure(id string, sets int, format string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("charexp: figure %s: %w", id, err)
 	}
-	return render(res.Table()), nil
+	return render(res.Table())
 }

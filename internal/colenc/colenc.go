@@ -1,0 +1,356 @@
+// Package colenc is the columnar bulk-result encoding of the serving
+// stack: a dependency-free, Arrow-style IPC format for the tabular
+// result families (scenario grid points, charexp sweep rows, workload
+// fleet reports). A stream carries a schema block, an optional metadata
+// block, and one or more record batches of per-column typed buffers —
+// int64, float64, string and bool — each with a validity bitmap packed
+// on internal/bitvec words. All framing integers are little-endian.
+//
+// The encoding is fully deterministic: row order is the producer's
+// deterministic merge order (the same order the text tables print), null
+// slots encode as the column's zero value, and chunking at a given batch
+// size is a pure function of the row count — so a columnar payload gets
+// a committed byte-level golden exactly like the text render paths
+// (DESIGN.md §14).
+//
+// Stream layout (version 1):
+//
+//	stream   := magic version schema meta batch* footer
+//	magic    := "SIMRACOL" (8 bytes)
+//	version  := u32 = 1
+//	schema   := u32 ncols { str name, u8 type, u8 nullable }*
+//	meta     := u32 npairs { str key, str value }*
+//	str      := u32 len, len bytes (UTF-8)
+//	batch    := u8 0x01, u32 nrows, column-data* (schema order)
+//	column-data := [bitmap]            validity; nullable columns only
+//	              int64:   nrows × i64
+//	              float64: nrows × u64 (IEEE-754 bits)
+//	              bool:    bitmap
+//	              string:  u32 nbytes, (nrows+1) × u32 offsets, nbytes bytes
+//	bitmap   := u32 nwords, nwords × u64 (bit i = row i, LSB first)
+//	footer   := u8 0x00, u64 total_rows, u32 batch_count
+package colenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// Magic opens every columnar stream; servers and clients sniff it to
+// tell a columnar payload from a rendered text one.
+const Magic = "SIMRACOL"
+
+// Version is the framing revision this package reads and writes.
+const Version = 1
+
+// DefaultBatchRows is the record-batch chunk size used when the caller
+// passes batchRows <= 0.
+const DefaultBatchRows = 1024
+
+// Type identifies a column's value encoding.
+type Type uint8
+
+const (
+	// TypeInt64 is a signed 64-bit integer column.
+	TypeInt64 Type = iota
+	// TypeFloat64 is an IEEE-754 double column.
+	TypeFloat64
+	// TypeString is a UTF-8 string column (offset + data buffers).
+	TypeString
+	// TypeBool is a bit-packed boolean column.
+	TypeBool
+)
+
+// String names the type for error messages and specs.
+func (t Type) String() string {
+	switch t {
+	case TypeInt64:
+		return "int64"
+	case TypeFloat64:
+		return "float64"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+	// Nullable columns carry a validity bitmap per batch; null rows
+	// encode as the zero value.
+	Nullable bool
+}
+
+// Column is one column's field descriptor plus its values. Exactly the
+// slice matching Field.Type is populated, with one element per row.
+type Column struct {
+	Field Field
+	// Int64s, Float64s, Strings and Bools hold the values for the
+	// corresponding Field.Type; the others stay nil.
+	Int64s   []int64
+	Float64s []float64
+	Strings  []string
+	Bools    []bool
+	// Valid marks non-null rows; nil means every row is valid. Only
+	// meaningful on nullable fields.
+	Valid []bool
+}
+
+// rows returns the column's row count.
+func (c *Column) rows() int {
+	switch c.Field.Type {
+	case TypeInt64:
+		return len(c.Int64s)
+	case TypeFloat64:
+		return len(c.Float64s)
+	case TypeString:
+		return len(c.Strings)
+	default:
+		return len(c.Bools)
+	}
+}
+
+// valid reports whether row i is non-null.
+func (c *Column) valid(i int) bool { return c.Valid == nil || c.Valid[i] }
+
+// Table is a decoded or to-be-encoded columnar result: a name, ordered
+// metadata pairs, and the columns. All columns must have equal row
+// counts.
+type Table struct {
+	Name string
+	Meta [][2]string
+	Cols []Column
+}
+
+// NumRows returns the table's row count.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].rows()
+}
+
+// MetaValue returns the first metadata value for key ("" when absent).
+func (t *Table) MetaValue(key string) string {
+	for _, kv := range t.Meta {
+		if kv[0] == key {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// Col returns the column named name, or nil.
+func (t *Table) Col(name string) *Column {
+	for i := range t.Cols {
+		if t.Cols[i].Field.Name == name {
+			return &t.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: equal row counts, populated
+// buffers matching the field types, and validity slices sized to the
+// rows.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for i := range t.Cols {
+		c := &t.Cols[i]
+		if c.Field.Type > TypeBool {
+			return fmt.Errorf("colenc: column %q: unknown type %d", c.Field.Name, c.Field.Type)
+		}
+		if got := c.rows(); got != n {
+			return fmt.Errorf("colenc: column %q has %d rows; want %d", c.Field.Name, got, n)
+		}
+		if c.Valid != nil && len(c.Valid) != n {
+			return fmt.Errorf("colenc: column %q validity has %d entries; want %d", c.Field.Name, len(c.Valid), n)
+		}
+		if c.Valid != nil && !c.Field.Nullable {
+			return fmt.Errorf("colenc: column %q carries nulls but is not nullable", c.Field.Name)
+		}
+	}
+	return nil
+}
+
+// Slice returns a shallow copy of rows [lo, hi).
+func (t *Table) Slice(lo, hi int) *Table {
+	out := &Table{Name: t.Name, Meta: t.Meta, Cols: make([]Column, len(t.Cols))}
+	for i := range t.Cols {
+		c := t.Cols[i]
+		s := Column{Field: c.Field}
+		switch c.Field.Type {
+		case TypeInt64:
+			s.Int64s = c.Int64s[lo:hi]
+		case TypeFloat64:
+			s.Float64s = c.Float64s[lo:hi]
+		case TypeString:
+			s.Strings = c.Strings[lo:hi]
+		default:
+			s.Bools = c.Bools[lo:hi]
+		}
+		if c.Valid != nil {
+			s.Valid = c.Valid[lo:hi]
+		}
+		out.Cols[i] = s
+	}
+	return out
+}
+
+// writer accumulates the little-endian stream.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// bitmap packs bits[lo:hi] as a length-prefixed word run, reusing the
+// bitvec packing (bit i of the run = bits[lo+i]). A nil bits slice
+// packs all-ones (every row valid / true).
+func (w *writer) bitmap(bits []bool, lo, hi int) {
+	n := hi - lo
+	v := bitvec.New(n)
+	if bits == nil {
+		v.Fill(true)
+	} else {
+		for i := 0; i < n; i++ {
+			if bits[lo+i] {
+				v.Set(i, true)
+			}
+		}
+	}
+	words := v.Words()
+	w.u32(uint32(len(words)))
+	for _, word := range words {
+		w.u64(word)
+	}
+}
+
+// Encode frames the table as one columnar stream, chunked into record
+// batches of batchRows rows (<= 0 selects DefaultBatchRows). Null slots
+// of nullable columns encode as the zero value, so equal logical tables
+// always produce identical bytes.
+func Encode(t *Table, batchRows int) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	w := &writer{b: make([]byte, 0, 256)}
+	w.b = append(w.b, Magic...)
+	w.u32(Version)
+	w.str(t.Name)
+	w.u32(uint32(len(t.Cols)))
+	for i := range t.Cols {
+		f := t.Cols[i].Field
+		w.str(f.Name)
+		w.u8(uint8(f.Type))
+		if f.Nullable {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(t.Meta)))
+	for _, kv := range t.Meta {
+		w.str(kv[0])
+		w.str(kv[1])
+	}
+
+	total := t.NumRows()
+	batches := 0
+	for lo := 0; lo < total || (total == 0 && batches == 0); lo += batchRows {
+		hi := lo + batchRows
+		if hi > total {
+			hi = total
+		}
+		w.u8(0x01)
+		w.u32(uint32(hi - lo))
+		for i := range t.Cols {
+			encodeColumn(w, &t.Cols[i], lo, hi)
+		}
+		batches++
+		if total == 0 {
+			break
+		}
+	}
+	w.u8(0x00)
+	w.u64(uint64(total))
+	w.u32(uint32(batches))
+	return w.b, nil
+}
+
+// encodeColumn writes one column's buffers for rows [lo, hi).
+func encodeColumn(w *writer, c *Column, lo, hi int) {
+	if c.Field.Nullable {
+		if c.Valid == nil {
+			w.bitmap(nil, lo, hi)
+		} else {
+			w.bitmap(c.Valid, lo, hi)
+		}
+	}
+	switch c.Field.Type {
+	case TypeInt64:
+		for i := lo; i < hi; i++ {
+			var v int64
+			if c.valid(i) {
+				v = c.Int64s[i]
+			}
+			w.u64(uint64(v))
+		}
+	case TypeFloat64:
+		for i := lo; i < hi; i++ {
+			var v float64
+			if c.valid(i) {
+				v = c.Float64s[i]
+			}
+			w.u64(math.Float64bits(v))
+		}
+	case TypeString:
+		nbytes := 0
+		for i := lo; i < hi; i++ {
+			if c.valid(i) {
+				nbytes += len(c.Strings[i])
+			}
+		}
+		w.u32(uint32(nbytes))
+		off := uint32(0)
+		w.u32(off)
+		for i := lo; i < hi; i++ {
+			if c.valid(i) {
+				off += uint32(len(c.Strings[i]))
+			}
+			w.u32(off)
+		}
+		for i := lo; i < hi; i++ {
+			if c.valid(i) {
+				w.b = append(w.b, c.Strings[i]...)
+			}
+		}
+	default: // TypeBool
+		if c.Valid == nil {
+			w.bitmap(c.Bools, lo, hi)
+			return
+		}
+		// Mask null slots to false so equal logical tables encode
+		// identically.
+		masked := make([]bool, hi-lo)
+		for i := lo; i < hi; i++ {
+			masked[i-lo] = c.Bools[i] && c.Valid[i]
+		}
+		w.bitmap(masked, 0, hi-lo)
+	}
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/charexp"
+	"repro/internal/colenc"
+	"repro/internal/core"
+)
+
+// Columnar metadata keys: the table identity plus the counts the text
+// footer prints, so a columnar payload carries everything the text
+// report does.
+const (
+	metaID     = "id"
+	metaTitle  = "title"
+	metaOp     = "op"
+	metaAxis   = "axis"
+	metaTarget = "target"
+)
+
+// axisColumn maps an envelope axis name onto its table column.
+var axisColumn = map[string]string{
+	"t1": "t1(ns)", "t2": "t2(ns)", "temp": "temp(C)", "vpp": "vpp(V)", "aging": "aging(y)",
+}
+
+// Columnar builds the typed columnar table for a scenario result: the
+// same rows, in the same deterministic merge order, as Table() — but
+// with raw values (success rates in [0, 1], unformatted axis floats)
+// instead of rendered cells. Nulls encode the text tables' sentinels:
+// the x column on non-MAJ ops ("-") and, in envelope mode, the bisected
+// axis column ("*").
+func (r *Result) Columnar() *colenc.Table {
+	tab := r.Table()
+	t := &colenc.Table{
+		Name: tab.ID,
+		Meta: [][2]string{{metaID, tab.ID}, {metaTitle, tab.Title}, {metaOp, r.Op.String()}},
+	}
+	if r.Axis != "" {
+		t.Meta = append(t.Meta,
+			[2]string{metaAxis, r.Axis},
+			[2]string{metaTarget, strconv.FormatFloat(r.Target, 'g', -1, 64)})
+		counts := map[string]int{}
+		for _, c := range r.Cells {
+			counts[c.Status]++
+		}
+		t.Meta = append(t.Meta,
+			[2]string{"cells", strconv.Itoa(len(r.Cells))},
+			[2]string{"min_viable", strconv.Itoa(counts[StatusMinViable])},
+			[2]string{"max_viable", strconv.Itoa(counts[StatusMaxViable])},
+			[2]string{"pass", strconv.Itoa(counts[StatusPass])},
+			[2]string{"fail", strconv.Itoa(counts[StatusFail])})
+	} else {
+		t.Meta = append(t.Meta,
+			[2]string{"points", strconv.Itoa(len(r.Points))},
+			[2]string{"applicable", strconv.Itoa(r.applicable)})
+	}
+
+	if r.Axis != "" {
+		module := str("module")
+		mfr := str("mfr")
+		cols := pointColumnsTyped(r.Op, r.Axis)
+		lo, hi := f64("lo"), f64("hi")
+		rateLo, rateHi := f64("rate@lo"), f64("rate@hi")
+		boundary := f64("boundary")
+		status := str("status")
+		for _, c := range r.Cells {
+			module.Strings = append(module.Strings, c.Module)
+			mfr.Strings = append(mfr.Strings, c.Mfr)
+			cols.push(r.Op, c.Base, r.Axis)
+			lo.Float64s = append(lo.Float64s, c.Lo)
+			hi.Float64s = append(hi.Float64s, c.Hi)
+			rateLo.Float64s = append(rateLo.Float64s, c.RateLo)
+			rateHi.Float64s = append(rateHi.Float64s, c.RateHi)
+			boundary.Float64s = append(boundary.Float64s, c.Boundary)
+			status.Strings = append(status.Strings, c.Status)
+		}
+		t.Cols = append([]colenc.Column{module, mfr}, cols.cols...)
+		t.Cols = append(t.Cols, lo, hi, rateLo, rateHi, boundary, status)
+		return t
+	}
+
+	cols := pointColumnsTyped(r.Op, "")
+	groups := i64("groups")
+	summary := []colenc.Column{
+		f64("mean"), f64("min"), f64("q1"),
+		f64("median"), f64("q3"), f64("max"),
+	}
+	for _, pr := range r.Points {
+		cols.push(r.Op, pr.Point, "")
+		groups.Int64s = append(groups.Int64s, int64(pr.Pooled.N))
+		for i, v := range []float64{pr.Pooled.Mean, pr.Pooled.Min, pr.Pooled.Q1,
+			pr.Pooled.Median, pr.Pooled.Q3, pr.Pooled.Max} {
+			summary[i].Float64s = append(summary[i].Float64s, v)
+		}
+	}
+	t.Cols = append(cols.cols, groups)
+	t.Cols = append(t.Cols, summary...)
+	return t
+}
+
+func i64(name string) colenc.Column {
+	return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeInt64}}
+}
+func f64(name string) colenc.Column {
+	return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeFloat64}}
+}
+func str(name string) colenc.Column {
+	return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeString}}
+}
+
+// pointCols accumulates the eight shared axis columns of a point row.
+type pointCols struct {
+	cols []colenc.Column // n, x, pattern, t1, t2, temp, vpp, aging
+	skip string
+}
+
+// pointColumnsTyped builds the typed axis columns matching pointColumns.
+// The x column is nullable unless the op is MAJ; the skipped (envelope)
+// axis column is nullable.
+func pointColumnsTyped(op core.OpKind, skip string) *pointCols {
+	p := &pointCols{skip: skip}
+	x := i64("x")
+	x.Field.Nullable = op != core.OpMAJ
+	p.cols = []colenc.Column{
+		i64("n"), x, str("pattern"),
+		f64("t1(ns)"), f64("t2(ns)"),
+		f64("temp(C)"), f64("vpp(V)"), f64("aging(y)"),
+	}
+	if col := axisColumn[skip]; col != "" {
+		for i := range p.cols {
+			if p.cols[i].Field.Name == col {
+				p.cols[i].Field.Nullable = true
+			}
+		}
+	}
+	return p
+}
+
+// push appends one point's axis cells.
+func (p *pointCols) push(op core.OpKind, pt Point, skip string) {
+	c := p.cols
+	c[0].Int64s = append(c[0].Int64s, int64(pt.N))
+	c[1].Int64s = append(c[1].Int64s, int64(pt.X))
+	if c[1].Field.Nullable {
+		c[1].Valid = append(c[1].Valid, op == core.OpMAJ)
+	}
+	c[2].Strings = append(c[2].Strings, pt.Pattern.String())
+	skipCol := axisColumn[skip]
+	for i, v := range []float64{pt.T1, pt.T2, pt.TempC, pt.VPP, pt.Aging} {
+		col := &c[3+i]
+		col.Float64s = append(col.Float64s, v)
+		if col.Field.Nullable {
+			col.Valid = append(col.Valid, col.Field.Name != skipCol)
+		}
+	}
+}
+
+// ColumnarStrings is the reverse formatter: it re-renders a scenario
+// columnar table into the exact charexp.Table the text/CSV paths print,
+// re-applying the report's format verbs (pct for rates, 'g' floats for
+// axes, "%.3f" for boundaries, "-"/"*" for the null sentinels). It is
+// the metamorphic bridge the invariance suite uses to assert
+// text-rows ≡ columnar-rows.
+func ColumnarStrings(t *colenc.Table) (charexp.Table, error) {
+	out := charexp.Table{
+		ID:      t.MetaValue(metaID),
+		Title:   t.MetaValue(metaTitle),
+		Columns: make([]string, len(t.Cols)),
+	}
+	axisCol := axisColumn[t.MetaValue(metaAxis)]
+	for i := range t.Cols {
+		out.Columns[i] = t.Cols[i].Field.Name
+	}
+	n := t.NumRows()
+	for ri := 0; ri < n; ri++ {
+		row := make([]string, len(t.Cols))
+		for ci := range t.Cols {
+			c := &t.Cols[ci]
+			cell, err := scenarioCell(c, ri, axisCol)
+			if err != nil {
+				return charexp.Table{}, err
+			}
+			row[ci] = cell
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// scenarioCell renders one cell with the scenario report's format verbs.
+func scenarioCell(c *colenc.Column, ri int, axisCol string) (string, error) {
+	name := c.Field.Name
+	if !c.Field.Nullable || len(c.Valid) == 0 || c.Valid[ri] {
+		switch name {
+		case "mean", "min", "q1", "median", "q3", "max", "rate@lo", "rate@hi":
+			if c.Field.Type != colenc.TypeFloat64 {
+				return "", fmt.Errorf("scenario: column %q: want float64, got %v", name, c.Field.Type)
+			}
+			return pct(c.Float64s[ri]), nil
+		case "boundary":
+			if c.Field.Type != colenc.TypeFloat64 {
+				return "", fmt.Errorf("scenario: column %q: want float64, got %v", name, c.Field.Type)
+			}
+			return fmt.Sprintf("%.3f", c.Float64s[ri]), nil
+		}
+		switch c.Field.Type {
+		case colenc.TypeFloat64:
+			return fnum(c.Float64s[ri]), nil
+		case colenc.TypeInt64:
+			return strconv.FormatInt(c.Int64s[ri], 10), nil
+		case colenc.TypeString:
+			return c.Strings[ri], nil
+		default:
+			return "", fmt.Errorf("scenario: column %q: unexpected type %v", name, c.Field.Type)
+		}
+	}
+	// Null sentinels: the bisected envelope axis prints "*"; everything
+	// else (the x column on non-MAJ ops) prints "-".
+	if name == axisCol {
+		return "*", nil
+	}
+	return colenc.NullCell, nil
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/colenc"
+)
+
+// runColumnar executes one small scenario config and returns both the
+// text-path table and the decoded columnar stream.
+func runColumnar(t *testing.T, envelope bool) (*Result, *colenc.Table, []byte) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Grid = smallGrid()
+	if envelope {
+		cfg.Grid = Grid{Temp: []float64{50}}
+		cfg.Envelope = &Envelope{Axis: "t2", Target: 0.9}
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, res, "columnar"); err != nil {
+		t.Fatal(err)
+	}
+	enc := []byte(b.String())
+	dec, err := colenc.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dec, enc
+}
+
+// TestColumnarMetamorphic pins the text-rows ≡ columnar-rows contract for
+// both scenario modes: decoding the columnar stream and re-applying the
+// report's format verbs must reproduce the exact charexp table the
+// text/CSV paths print.
+func TestColumnarMetamorphic(t *testing.T) {
+	for _, envelope := range []bool{false, true} {
+		res, dec, enc := runColumnar(t, envelope)
+		got, err := ColumnarStrings(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Table()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("envelope=%v: columnar rows diverged from text rows:\n got %+v\nwant %+v",
+				envelope, got, want)
+		}
+		// The stream is deterministic: re-encoding the same result gives
+		// the same bytes.
+		var b strings.Builder
+		if err := WriteReport(&b, res, "columnar"); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != string(enc) {
+			t.Fatalf("envelope=%v: columnar encoding is not deterministic", envelope)
+		}
+	}
+}
+
+// TestColumnarMeta pins the stream metadata: identity plus the counts the
+// text footer prints.
+func TestColumnarMeta(t *testing.T) {
+	res, dec, _ := runColumnar(t, false)
+	if dec.MetaValue("id") != "Scan" || dec.MetaValue("points") == "" ||
+		dec.MetaValue("applicable") == "" {
+		t.Fatalf("grid meta incomplete: %v", dec.Meta)
+	}
+	if dec.NumRows() != len(res.Points) {
+		t.Fatalf("got %d rows; want %d points", dec.NumRows(), len(res.Points))
+	}
+	// Raw rates live in [0, 1]; the text path formats them as percents.
+	mean := dec.Col("mean")
+	for i := 0; i < dec.NumRows(); i++ {
+		if v := mean.Float64s[i]; v < 0 || v > 1 {
+			t.Fatalf("row %d: mean %v outside [0, 1]; columnar must carry raw rates", i, v)
+		}
+	}
+	_, envDec, _ := runColumnar(t, true)
+	if envDec.MetaValue("id") != "Envelope" || envDec.MetaValue("axis") != "t2" ||
+		envDec.MetaValue("cells") == "" {
+		t.Fatalf("envelope meta incomplete: %v", envDec.Meta)
+	}
+	// The bisected axis column is all-null ("*" in text).
+	axis := envDec.Col("t2(ns)")
+	if axis == nil || !axis.Field.Nullable {
+		t.Fatal("bisected axis column must be nullable")
+	}
+	for i := 0; i < envDec.NumRows(); i++ {
+		if axis.Valid[i] {
+			t.Fatal("bisected axis column must be all-null")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/charexp"
+	"repro/internal/colenc"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/fleet"
@@ -342,6 +343,13 @@ func (r *Result) Table() charexp.Table {
 func WriteReport(w io.Writer, r *Result, format string) error {
 	table := r.Table()
 	switch format {
+	case "columnar":
+		enc, err := colenc.Encode(r.Columnar(), 0)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(enc)
+		return err
 	case "csv":
 		_, err := io.WriteString(w, table.CSV())
 		return err
@@ -363,6 +371,6 @@ func WriteReport(w io.Writer, r *Result, format string) error {
 			len(r.Points), r.applicable)
 		return err
 	default:
-		return fmt.Errorf("scenario: unknown format %q; valid: text, csv", format)
+		return fmt.Errorf("scenario: unknown format %q; valid: text, csv, columnar", format)
 	}
 }

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/charexp"
+	"repro/internal/colenc"
+	"repro/internal/core"
+	"repro/internal/invariance"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// decodedCSVPath POSTs the columnar route, decodes the stream and
+// re-renders it as csv — the metamorphic half of the text-rows ≡
+// columnar-rows equivalence: whatever bytes the csv route serves, the
+// columnar stream must decode back to them.
+func decodedCSVPath(route, body string, decode func(*colenc.Table) (string, error)) invariance.Path {
+	return invariance.Path{Name: "columnar-decoded", Run: func(t *testing.T, v invariance.Variant) string {
+		t.Helper()
+		_, url := jobPathServer(t, v)
+		code, resp := postJSON(t, url+route, body)
+		if code != http.StatusOK {
+			t.Fatalf("POST %s: %d %s", route, code, resp)
+		}
+		tab, err := colenc.Decode([]byte(resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := decode(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}}
+}
+
+// TestColumnarInvariance extends the metamorphic suite to the columnar
+// format: for every tabular family the direct package pipeline, the
+// blocking HTTP route and the async job tier emit one byte-identical
+// columnar stream under workers 1 and 8, with and without a shared
+// shard memo — and that stream decodes back to the exact rows the csv
+// route serves under the same variants.
+func TestColumnarInvariance(t *testing.T) {
+	t.Run("sweep", func(t *testing.T) {
+		req := SweepRequest{Figure: "3", Trials: 1, Groups: 1, Banks: 1, Columns: 64, Format: "columnar"}
+		q, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := invariance.Path{Name: "cli", Run: func(t *testing.T, v invariance.Variant) string {
+			t.Helper()
+			cfg := q.config()
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.ShardMemo = cache.NewTyped[[]core.GroupOutcome](v.Store, nil)
+			}
+			runner, err := charexp.NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer runner.Release()
+			out, err := runner.RunFigure(q.Figure, q.Sets, q.Format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}}
+		body := `{"figure":"3","trials":1,"groups":1,"banks":1,"cols":64,"format":"columnar"}`
+		invariance.CheckPaths(t, "sweep-columnar", true, []invariance.Path{
+			cli, blockingPath("/v1/sweep", body), jobPath(`{"kind":"sweep","sweep":` + body + `}`),
+		})
+
+		csvBody := strings.Replace(body, "columnar", "csv", 1)
+		invariance.CheckPaths(t, "sweep-metamorphic", true, []invariance.Path{
+			blockingPath("/v1/sweep", csvBody),
+			decodedCSVPath("/v1/sweep", body, func(tab *colenc.Table) (string, error) {
+				return charexp.ColumnarStrings(tab).CSV(), nil
+			}),
+		})
+	})
+
+	t.Run("workload", func(t *testing.T) {
+		req := WorkloadRequest{Modules: "representative", Columns: 64, MaxX: 3, Format: "columnar"}
+		q, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := invariance.Path{Name: "cli", Run: func(t *testing.T, v invariance.Variant) string {
+			t.Helper()
+			cfg, err := q.options().Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.Memo = cache.NewTyped[[]workload.Result](v.Store, nil)
+			}
+			results, err := workload.RunFleet(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			if err := workload.WriteReport(&b, results, q.Format); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}}
+		body := `{"modules":"representative","cols":64,"maxx":3,"format":"columnar"}`
+		invariance.CheckPaths(t, "workload-columnar", true, []invariance.Path{
+			cli, blockingPath("/v1/workload", body), jobPath(`{"kind":"workload","workload":` + body + `}`),
+		})
+
+		csvBody := strings.Replace(body, "columnar", "csv", 1)
+		invariance.CheckPaths(t, "workload-metamorphic", true, []invariance.Path{
+			blockingPath("/v1/workload", csvBody),
+			decodedCSVPath("/v1/workload", body, func(tab *colenc.Table) (string, error) {
+				rt, err := workload.ColumnarStrings(tab)
+				if err != nil {
+					return "", err
+				}
+				return rt.CSV(), nil
+			}),
+		})
+	})
+
+	t.Run("scenario", func(t *testing.T) {
+		req := ScenarioRequest{Axes: "t2=1.5,3", Columns: 64, Groups: 1, Banks: 1, Trials: 1, Format: "columnar"}
+		q, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := invariance.Path{Name: "cli", Run: func(t *testing.T, v invariance.Variant) string {
+			t.Helper()
+			cfg, err := q.options().Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.Memo = cache.NewTyped[[]core.GroupOutcome](v.Store, nil)
+			}
+			res, err := scenario.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			if err := scenario.WriteReport(&b, res, q.Format); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}}
+		body := `{"axes":"t2=1.5,3","cols":64,"groups":1,"banks":1,"trials":1,"format":"columnar"}`
+		invariance.CheckPaths(t, "scenario-columnar", true, []invariance.Path{
+			cli, blockingPath("/v1/scenario", body), jobPath(`{"kind":"scenario","scenario":` + body + `}`),
+		})
+
+		csvBody := strings.Replace(body, "columnar", "csv", 1)
+		invariance.CheckPaths(t, "scenario-metamorphic", true, []invariance.Path{
+			blockingPath("/v1/scenario", csvBody),
+			decodedCSVPath("/v1/scenario", body, func(tab *colenc.Table) (string, error) {
+				rt, err := scenario.ColumnarStrings(tab)
+				if err != nil {
+					return "", err
+				}
+				return rt.CSV(), nil
+			}),
+		})
+	})
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/charexp"
+	"repro/internal/colenc"
 	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/jobs"
@@ -335,8 +336,12 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJobResult is GET /v1/jobs/{id}/result: the raw rendered bytes,
 // byte-identical to the blocking route's ?raw=1 response for the same
-// request. A job still in flight is 202, a failed one 500, a canceled
-// one 410.
+// request. Columnar job results (the submitted request asked for
+// "format":"columnar") are served with the columnar media type and honor
+// the same ?batch / ?batch_rows continuation parameters as the blocking
+// routes; an explicit ?format= parameter must match the format the job
+// was submitted with (422 otherwise). A job still in flight is 202, a
+// failed one 500, a canceled one 410.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
@@ -347,6 +352,31 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case jobs.StateSucceeded:
 		out, _ := j.Output()
+		columnar := strings.HasPrefix(out, colenc.Magic)
+		if want := r.URL.Query().Get("format"); want != "" {
+			if !validFormat(want) {
+				writeError(w, r, fmt.Errorf("unknown format %q; valid: text, csv, columnar", want),
+					http.StatusUnprocessableEntity)
+				return
+			}
+			if (want == "columnar") != columnar {
+				got := "text or csv"
+				if columnar {
+					got = "columnar"
+				}
+				writeError(w, r, fmt.Errorf(
+					"job %s was submitted with a %s format; resubmit with \"format\":%q to get %s output",
+					st.ID, got, want, want), http.StatusUnprocessableEntity)
+				return
+			}
+		}
+		if columnar {
+			writeColumnar(w, r, out, map[string]string{
+				"X-Simra-Job":    st.ID,
+				"X-Simra-Cached": fmt.Sprint(st.Cached),
+			})
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Header().Set("X-Simra-Job", st.ID)
 		w.Header().Set("X-Simra-Cached", fmt.Sprint(st.Cached))

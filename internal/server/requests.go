@@ -33,8 +33,23 @@ type SweepRequest struct {
 	Seed    uint64 `json:"seed,omitempty"`
 	// Sets bounds the Fig. 15 Monte-Carlo sampling (0 = 200).
 	Sets int `json:"sets,omitempty"`
-	// Format is "text" (default) or "csv".
+	// Format is "text" (default), "csv" or "columnar".
 	Format string `json:"format,omitempty"`
+}
+
+// normalizeFormat defaults an empty render format to "text".
+func normalizeFormat(f string) string {
+	if f == "" {
+		return "text"
+	}
+	return f
+}
+
+// validFormat accepts the three render formats every tabular family
+// serves. The message convention "valid: text, csv, columnar" feeds the
+// 422 error envelope's valid_options list.
+func validFormat(f string) bool {
+	return f == "text" || f == "csv" || f == "columnar"
 }
 
 // normalize fills defaults and validates the request.
@@ -42,11 +57,8 @@ func (q SweepRequest) normalize() (SweepRequest, error) {
 	if q.Figure == "" {
 		q.Figure = "3"
 	}
-	if q.Format == "" {
-		q.Format = "text"
-	}
-	if q.Format != "text" && q.Format != "csv" {
-		return q, fmt.Errorf("unknown format %q; valid: text, csv", q.Format)
+	if q.Format = normalizeFormat(q.Format); !validFormat(q.Format) {
+		return q, fmt.Errorf("unknown format %q; valid: text, csv, columnar", q.Format)
 	}
 	known := q.Figure == "13" // alias of the Fig. 14 walkthrough
 	for _, id := range charexp.FigureIDs() {
@@ -103,7 +115,7 @@ func (q SweepRequest) config() charexp.Config {
 // address.
 func (q SweepRequest) key() cache.Key {
 	return cache.NewHasher().
-		Str("serve/sweep/v1").
+		Str(keyTag("sweep", q.Format)).
 		Str(q.Figure).Bool(q.Full).
 		Int(q.Trials).Int(q.Groups).Int(q.Banks).Int(q.Columns).
 		U64(q.Seed).Int(q.Sets).Str(q.Format).
@@ -121,7 +133,7 @@ type WorkloadRequest struct {
 	MaxX    int    `json:"maxx,omitempty"`
 	Columns int    `json:"cols,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
-	// Format is "text" (default) or "csv".
+	// Format is "text" (default), "csv" or "columnar".
 	Format string `json:"format,omitempty"`
 }
 
@@ -133,11 +145,8 @@ func (q WorkloadRequest) normalize() (WorkloadRequest, error) {
 	if q.Modules == "" {
 		q.Modules = "representative"
 	}
-	if q.Format == "" {
-		q.Format = "text"
-	}
-	if q.Format != "text" && q.Format != "csv" {
-		return q, fmt.Errorf("unknown format %q; valid: text, csv", q.Format)
+	if q.Format = normalizeFormat(q.Format); !validFormat(q.Format) {
+		return q, fmt.Errorf("unknown format %q; valid: text, csv, columnar", q.Format)
 	}
 	if _, err := q.options().Resolve(); err != nil {
 		return q, err
@@ -159,7 +168,7 @@ func (q WorkloadRequest) options() workload.Options {
 // key is the normalized request's content hash.
 func (q WorkloadRequest) key() cache.Key {
 	return cache.NewHasher().
-		Str("serve/workload/v1").
+		Str(keyTag("workload", q.Format)).
 		Str(q.Workloads).Str(q.Modules).
 		Int(q.MaxX).Int(q.Columns).U64(q.Seed).Str(q.Format).
 		Sum()
@@ -238,7 +247,7 @@ type ScenarioRequest struct {
 	Banks   int    `json:"banks,omitempty"`
 	Columns int    `json:"cols,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
-	// Format is "text" (default) or "csv".
+	// Format is "text" (default), "csv" or "columnar".
 	Format string `json:"format,omitempty"`
 }
 
@@ -253,11 +262,8 @@ func (q ScenarioRequest) normalize() (ScenarioRequest, error) {
 	if q.Modules == "" {
 		q.Modules = "representative"
 	}
-	if q.Format == "" {
-		q.Format = "text"
-	}
-	if q.Format != "text" && q.Format != "csv" {
-		return q, fmt.Errorf("unknown format %q; valid: text, csv", q.Format)
+	if q.Format = normalizeFormat(q.Format); !validFormat(q.Format) {
+		return q, fmt.Errorf("unknown format %q; valid: text, csv, columnar", q.Format)
 	}
 	if q.Envelope != "" && q.Target == 0 {
 		// Explicit default so {"envelope":"t2"} and
@@ -292,7 +298,7 @@ func (q ScenarioRequest) options() scenario.Options {
 // key is the normalized request's content hash.
 func (q ScenarioRequest) key() cache.Key {
 	return cache.NewHasher().
-		Str("serve/scenario/v1").
+		Str(keyTag("scenario", q.Format)).
 		Str(q.Op).Str(q.Grid).Str(q.Axes).
 		Str(q.Envelope).F64(q.Target).Str(q.Modules).
 		Int(q.X).Int(q.N).
@@ -308,6 +314,26 @@ type BatchItem struct {
 	Workload *WorkloadRequest `json:"workload,omitempty"`
 	TRNG     *TRNGRequest     `json:"trng,omitempty"`
 	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+}
+
+// format returns the item's requested render format, "" when the inner
+// request is absent or the kind has none.
+func (b BatchItem) format() string {
+	switch b.Kind {
+	case "sweep":
+		if b.Sweep != nil {
+			return b.Sweep.Format
+		}
+	case "workload":
+		if b.Workload != nil {
+			return b.Workload.Format
+		}
+	case "scenario":
+		if b.Scenario != nil {
+			return b.Scenario.Format
+		}
+	}
+	return ""
 }
 
 // BatchRequest submits several requests in one round trip. Items execute

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/colenc"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/engine"
@@ -479,9 +480,17 @@ func decodeJSON(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-// writeResponse renders one Response: the JSON envelope, or the raw
-// output bytes under ?raw=1.
+// writeResponse renders one Response: the columnar stream when the
+// output carries the colenc magic, the JSON envelope otherwise, or the
+// raw output bytes under ?raw=1.
 func writeResponse(w http.ResponseWriter, r *http.Request, resp Response) {
+	if strings.HasPrefix(resp.Output, colenc.Magic) {
+		writeColumnar(w, r, resp.Output, map[string]string{
+			"X-Simra-Key":    resp.Key,
+			"X-Simra-Cached": fmt.Sprint(resp.Cached),
+		})
+		return
+	}
 	if raw := r.URL.Query().Get("raw"); raw == "1" || raw == "true" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Header().Set("X-Simra-Key", resp.Key)
@@ -517,12 +526,19 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 // normalization (unknown figure/workload/op/axis names, out-of-range
 // values) is 422 with an error listing the valid options, and an
 // execution failure is 500.
-func endpoint[Q any](normalize func(Q) (Q, error), run func(context.Context, Q) (Response, error)) http.HandlerFunc {
+// The optional prep hooks run between decode and normalization — the
+// format-bearing families use one to default an empty format from the
+// Accept header (content negotiation never overrides an explicit body
+// format).
+func endpoint[Q any](normalize func(Q) (Q, error), run func(context.Context, Q) (Response, error), prep ...func(*http.Request, Q) Q) http.HandlerFunc {
 	return post(func(w http.ResponseWriter, r *http.Request) {
 		var q Q
 		if err := decodeJSON(r, &q); err != nil {
 			writeError(w, r, err, http.StatusBadRequest)
 			return
+		}
+		for _, p := range prep {
+			q = p(r, q)
 		}
 		q, err := normalize(q)
 		if err != nil {
@@ -541,42 +557,38 @@ func endpoint[Q any](normalize func(Q) (Q, error), run func(context.Context, Q) 
 // Handler returns the serving mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sweep", endpoint(SweepRequest.normalize, s.runSweep))
-	mux.HandleFunc("/v1/workload", endpoint(WorkloadRequest.normalize, s.runWorkload))
-	mux.HandleFunc("/v1/trng", endpoint(TRNGRequest.normalize, s.runTRNG))
-	mux.HandleFunc("/v1/scenario", endpoint(ScenarioRequest.normalize, s.runScenario))
-	mux.HandleFunc("/v1/batch", post(func(w http.ResponseWriter, r *http.Request) {
-		var batch BatchRequest
-		if err := decodeJSON(r, &batch); err != nil {
-			writeError(w, r, err, http.StatusBadRequest)
-			return
+	// Registration walks the same route table OpenAPI() documents — the
+	// served surface and the published spec cannot drift apart.
+	for _, rt := range s.routes() {
+		pattern := rt.Pattern
+		if pattern == "" {
+			// Bare path: the handler enforces the method itself, keeping
+			// the 405 error envelope instead of the mux's plain rejection.
+			pattern = rt.Path
 		}
-		s.counters["batch"].requests.Add(1)
-		out := BatchResponse{Responses: make([]Response, 0, len(batch.Requests))}
-		for _, item := range batch.Requests {
-			out.Responses = append(out.Responses, s.runBatchItem(r.Context(), item))
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out)
-	}))
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("POST "+cluster.ShardPath, s.handleInternalShard)
-	mux.HandleFunc("GET "+cluster.CachePathPrefix+"{key}", s.handleCacheGet)
-	mux.HandleFunc("PUT "+cluster.CachePathPrefix+"{key}", s.handleCachePut)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		s.writeMetrics(w)
-	})
+		mux.HandleFunc(pattern, rt.handler)
+	}
 	// The production middleware chain, outermost first: request-ID
 	// injection, audit logging, auth, rate limiting. Every route — blocking,
 	// batch, jobs, SSE, internal — passes through the whole chain.
 	return requestID(s.audit(s.auth(s.rateLimit(mux))))
+}
+
+// handleBatch is POST /v1/batch: each item runs through the same cache +
+// coalescing path as its dedicated endpoint, failures reported in-band.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if err := decodeJSON(r, &batch); err != nil {
+		writeError(w, r, err, http.StatusBadRequest)
+		return
+	}
+	s.counters["batch"].requests.Add(1)
+	out := BatchResponse{Responses: make([]Response, 0, len(batch.Requests))}
+	for _, item := range batch.Requests {
+		out.Responses = append(out.Responses, s.runBatchItem(r.Context(), item))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // runBatchItem routes one batch item; failures are reported in-band so
@@ -584,6 +596,13 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) runBatchItem(ctx context.Context, item BatchItem) Response {
 	fail := func(kind string, err error) Response {
 		return Response{Kind: kind, Error: err.Error()}
+	}
+	// The columnar encoding is binary and the batch envelope is JSON:
+	// riding a JSON string would mangle the bytes, so batch items refuse
+	// it in-band and point at the dedicated endpoints.
+	if f := item.format(); f == "columnar" {
+		return fail(item.Kind, fmt.Errorf(
+			"columnar format is not available on /v1/batch (binary output cannot ride the JSON envelope); use POST /v1/%s or a job; valid: text, csv", item.Kind))
 	}
 	switch item.Kind {
 	case "sweep":

@@ -432,7 +432,9 @@ func TestValidation(t *testing.T) {
 		{"/v1/batch", `{"requests":"nope"}`, http.StatusBadRequest, ""},
 		// Well-formed but invalid values: 422 listing valid options.
 		{"/v1/sweep", `{"figure":"99"}`, http.StatusUnprocessableEntity, "valid: table1"},
-		{"/v1/sweep", `{"figure":"3","format":"yaml"}`, http.StatusUnprocessableEntity, "valid: text, csv"},
+		{"/v1/sweep", `{"figure":"3","format":"yaml"}`, http.StatusUnprocessableEntity, "valid: text, csv, columnar"},
+		{"/v1/workload", `{"format":"parquet"}`, http.StatusUnprocessableEntity, "valid: text, csv, columnar"},
+		{"/v1/scenario", `{"format":"arrow"}`, http.StatusUnprocessableEntity, "valid: text, csv, columnar"},
 		{"/v1/workload", `{"modules":"martian"}`, http.StatusUnprocessableEntity, "valid: representative, full, samsung, all"},
 		{"/v1/workload", `{"workloads":"no-such-workload"}`, http.StatusUnprocessableEntity, "have bitmap-scan"},
 		{"/v1/trng", `{"rows":3}`, http.StatusUnprocessableEntity, "power of two"},

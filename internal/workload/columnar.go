@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/charexp"
+	"repro/internal/colenc"
+)
+
+// Columnar builds the typed columnar table for a fleet report: the same
+// rows, in the same fleet × workload merge order, as Report() — but with
+// raw values (success rate in [0, 1], time in µs, energy in µJ) instead
+// of rendered cells. Non-viable (guarded) rows carry nulls in every
+// numeric column and "guarded" in the match column, mirroring the text
+// report's "-" sentinels.
+func Columnar(results []Result) *colenc.Table {
+	tab := Report(results)
+	viable, matched := 0, 0
+	for _, r := range results {
+		if !r.Viable {
+			continue
+		}
+		viable++
+		if r.RefMatch() {
+			matched++
+		}
+	}
+	t := &colenc.Table{
+		Name: tab.ID,
+		Meta: [][2]string{
+			{"id", tab.ID}, {"title", tab.Title},
+			{"results", strconv.Itoa(len(results))},
+			{"viable", strconv.Itoa(viable)},
+			{"matched", strconv.Itoa(matched)},
+		},
+	}
+	mk := func(name string, typ colenc.Type, nullable bool) colenc.Column {
+		return colenc.Column{Field: colenc.Field{Name: name, Type: typ, Nullable: nullable}}
+	}
+	cols := []colenc.Column{
+		mk("workload", colenc.TypeString, false),
+		mk("module", colenc.TypeString, false),
+		mk("mfr", colenc.TypeString, false),
+		mk("die", colenc.TypeString, false),
+		mk("majx", colenc.TypeInt64, true),
+		mk("lanes", colenc.TypeInt64, true),
+		mk("elems", colenc.TypeInt64, true),
+		mk("success", colenc.TypeFloat64, true),
+		mk("match", colenc.TypeString, false),
+		mk("digest", colenc.TypeString, true),
+		mk("maj-ops", colenc.TypeInt64, true),
+		mk("copies", colenc.TypeInt64, true),
+		mk("time-us", colenc.TypeFloat64, true),
+		mk("energy-uj", colenc.TypeFloat64, true),
+		mk("tput-mbps", colenc.TypeFloat64, true),
+	}
+	for _, r := range results {
+		cols[0].Strings = append(cols[0].Strings, r.Workload)
+		cols[1].Strings = append(cols[1].Strings, r.Module)
+		cols[2].Strings = append(cols[2].Strings, r.Profile)
+		cols[3].Strings = append(cols[3].Strings, r.DieRev)
+		v := r.Viable
+		majOps := 0
+		for _, n := range r.Counts.MAJ {
+			majOps += n
+		}
+		match := "guarded"
+		if v {
+			match = "ok"
+			if !r.RefMatch() {
+				match = "DIVERGED"
+			}
+		}
+		cols[4].Int64s = append(cols[4].Int64s, int64(r.MaxX))
+		cols[5].Int64s = append(cols[5].Int64s, int64(r.Lanes))
+		cols[6].Int64s = append(cols[6].Int64s, int64(r.Elements))
+		cols[7].Float64s = append(cols[7].Float64s, r.SuccessRate())
+		cols[8].Strings = append(cols[8].Strings, match)
+		cols[9].Strings = append(cols[9].Strings, fmt.Sprintf("%016x", r.Digest))
+		cols[10].Int64s = append(cols[10].Int64s, int64(majOps))
+		cols[11].Int64s = append(cols[11].Int64s, int64(r.Counts.NOT+r.Counts.Stage))
+		cols[12].Float64s = append(cols[12].Float64s, r.TimeNS/1e3)
+		cols[13].Float64s = append(cols[13].Float64s, r.EnergyNJ/1e3)
+		cols[14].Float64s = append(cols[14].Float64s, r.ThroughputMbps)
+		for i := range cols {
+			if cols[i].Field.Nullable {
+				cols[i].Valid = append(cols[i].Valid, v)
+			}
+		}
+	}
+	t.Cols = cols
+	return t
+}
+
+// ColumnarStrings is the reverse formatter: it re-renders a workload
+// columnar table into the exact charexp.Table the text/CSV paths print,
+// re-applying the report's format verbs ("%.2f%%" success, "%.2f" µs,
+// "%.3f" µJ, "%.2f" Mbps, "-" null sentinels). It is the metamorphic
+// bridge the invariance suite uses to assert text-rows ≡ columnar-rows.
+func ColumnarStrings(t *colenc.Table) (charexp.Table, error) {
+	out := charexp.Table{
+		ID:      t.MetaValue("id"),
+		Title:   t.MetaValue("title"),
+		Columns: make([]string, len(t.Cols)),
+	}
+	for i := range t.Cols {
+		out.Columns[i] = t.Cols[i].Field.Name
+	}
+	n := t.NumRows()
+	for ri := 0; ri < n; ri++ {
+		row := make([]string, len(t.Cols))
+		for ci := range t.Cols {
+			c := &t.Cols[ci]
+			if c.Field.Nullable && len(c.Valid) > ri && !c.Valid[ri] {
+				row[ci] = colenc.NullCell
+				continue
+			}
+			switch c.Field.Name {
+			case "success":
+				row[ci] = fmt.Sprintf("%.2f%%", c.Float64s[ri]*100)
+			case "time-us", "tput-mbps":
+				row[ci] = fmt.Sprintf("%.2f", c.Float64s[ri])
+			case "energy-uj":
+				row[ci] = fmt.Sprintf("%.3f", c.Float64s[ri])
+			default:
+				switch c.Field.Type {
+				case colenc.TypeInt64:
+					row[ci] = strconv.FormatInt(c.Int64s[ri], 10)
+				case colenc.TypeString:
+					row[ci] = c.Strings[ri]
+				default:
+					return charexp.Table{}, fmt.Errorf(
+						"workload: column %q: unexpected type %v", c.Field.Name, c.Field.Type)
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

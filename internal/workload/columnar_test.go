@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/colenc"
+)
+
+// TestColumnarMetamorphic pins the text-rows ≡ columnar-rows contract for
+// fleet reports: decoding the columnar stream and re-applying the
+// report's format verbs must reproduce the exact charexp table the
+// text/CSV paths print — including the guarded rows' "-" sentinels.
+func TestColumnarMetamorphic(t *testing.T) {
+	results, err := RunFleet(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, results, "columnar"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := colenc.Decode([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ColumnarStrings(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Report(results)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("columnar rows diverged from text rows:\n got %+v\nwant %+v", got, want)
+	}
+	// Meta carries the identity and the text footer's counts.
+	if dec.MetaValue("id") != "workloads" || dec.MetaValue("results") == "" ||
+		dec.MetaValue("viable") == "" || dec.MetaValue("matched") == "" {
+		t.Fatalf("meta incomplete: %v", dec.Meta)
+	}
+	// Digests stay zero-padded strings — integer inference would corrupt
+	// them.
+	dg := dec.Col("digest")
+	if dg == nil || dg.Field.Type != colenc.TypeString {
+		t.Fatal("digest column must be a string column")
+	}
+	// Guarded (non-viable) rows are null across the numeric columns.
+	for i, r := range results {
+		if r.Viable {
+			continue
+		}
+		if dec.Col("majx").Valid[i] || dec.Col("success").Valid[i] {
+			t.Fatalf("row %d: guarded result must be null in numeric columns", i)
+		}
+	}
+}

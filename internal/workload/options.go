@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/colenc"
 	"repro/internal/fleet"
 )
 
@@ -81,6 +82,13 @@ func (o Options) Resolve() (FleetConfig, error) {
 func WriteReport(w io.Writer, results []Result, format string) error {
 	table := Report(results)
 	switch format {
+	case "columnar":
+		enc, err := colenc.Encode(Columnar(results), 0)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(enc)
+		return err
 	case "csv":
 		_, err := io.WriteString(w, table.CSV())
 		return err
@@ -102,6 +110,6 @@ func WriteReport(w io.Writer, results []Result, format string) error {
 			len(results), viable, matched)
 		return err
 	default:
-		return fmt.Errorf("workload: unknown format %q; valid: text, csv", format)
+		return fmt.Errorf("workload: unknown format %q; valid: text, csv, columnar", format)
 	}
 }

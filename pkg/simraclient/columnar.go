@@ -1,0 +1,44 @@
+package simraclient
+
+import (
+	"repro/internal/colenc"
+)
+
+// ColumnarContentType is the media type of columnar bulk-result payloads.
+// Request it with Format: "columnar" on a request struct, or by sending
+// it in an Accept header.
+const ColumnarContentType = "application/vnd.simra.columnar"
+
+// The columnar decode surface re-exports the colenc encoding (DESIGN.md
+// §14) so SDK consumers get typed column access without importing the
+// internal package.
+type (
+	// Table is a decoded columnar result: schema, metadata and typed
+	// column buffers. Col(name) is the typed accessor; Strings() renders
+	// formatted rows; NumRows/MetaValue expose shape and metadata.
+	Table = colenc.Table
+	// Column is one typed column: Int64s, Float64s, Strings or Bools per
+	// Field.Type, with Valid marking non-null slots on nullable columns.
+	Column = colenc.Column
+	// Field describes one column: name, type and nullability.
+	Field = colenc.Field
+	// ColumnType enumerates the wire types (int64, float64, string, bool).
+	ColumnType = colenc.Type
+)
+
+// NullCell is the string rendering of a null slot.
+const NullCell = colenc.NullCell
+
+// DecodeColumnar decodes one columnar stream (e.g. a Result.Columnar
+// payload or a saved *.colenc.golden file) into a Table.
+func DecodeColumnar(data []byte) (*Table, error) { return colenc.Decode(data) }
+
+// Rows iterates a decoded table's rows as formatted string cells — the
+// same cell strings the text/csv renderings print — calling fn for each
+// row index with its cells. It is a convenience over Table.Strings().
+func Rows(t *Table, fn func(i int, cells []string)) {
+	_, rows := t.Strings()
+	for i, cells := range rows {
+		fn(i, cells)
+	}
+}

@@ -1,0 +1,62 @@
+package simraclient
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/colenc"
+)
+
+// FuzzColumnarDecode hammers the SDK's columnar decode surface with
+// arbitrary bytes: it must never panic, and any stream it accepts must
+// behave like a table — consistent row counts across the typed and
+// string views, and a non-nil column for every schema field.
+func FuzzColumnarDecode(f *testing.F) {
+	valid, err := colenc.Encode(&colenc.Table{
+		Name: "seed",
+		Meta: [][2]string{{"id", "seed"}},
+		Cols: []colenc.Column{
+			{Field: colenc.Field{Name: "n", Type: colenc.TypeInt64}, Int64s: []int64{1, 2, 3}},
+			{Field: colenc.Field{Name: "rate", Type: colenc.TypeFloat64, Nullable: true},
+				Float64s: []float64{0.5, 0, 1}, Valid: []bool{true, false, true}},
+			{Field: colenc.Field{Name: "mod", Type: colenc.TypeString}, Strings: []string{"a", "b", "c"}},
+		},
+	}, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(colenc.Magic))
+	f.Add([]byte{})
+	f.Add([]byte("not a columnar stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := DecodeColumnar(data)
+		if err != nil {
+			return
+		}
+		rows := tab.NumRows()
+		cols, strRows := tab.Strings()
+		if len(strRows) != rows {
+			t.Fatalf("Strings() returned %d rows; NumRows says %d", len(strRows), rows)
+		}
+		if len(cols) != len(tab.Cols) {
+			t.Fatalf("Strings() returned %d columns; schema has %d", len(cols), len(tab.Cols))
+		}
+		for _, name := range cols {
+			if tab.Col(name) == nil && name != "" {
+				t.Fatalf("schema column %q not reachable via Col", name)
+			}
+		}
+		visited := 0
+		Rows(tab, func(i int, cells []string) {
+			if !reflect.DeepEqual(cells, strRows[i]) {
+				t.Fatalf("Rows(%d) disagrees with Strings()", i)
+			}
+			visited++
+		})
+		if visited != rows {
+			t.Fatalf("Rows visited %d of %d rows", visited, rows)
+		}
+	})
+}

@@ -67,6 +67,16 @@ func NewMemCacheBackend() CacheBackend { return cache.NewMemBackend() }
 // HTTP server.
 func NewServer(cfg ServeConfig) *ServeServer { return server.New(cfg) }
 
+// OpenAPISpec returns the serving API's machine-readable description —
+// byte-identical to simra-serve -dump-openapi, GET /v1/openapi.json and
+// the committed docs/openapi.json (CI's spec-sync job enforces the
+// latter).
+func OpenAPISpec() []byte {
+	s := server.New(server.Config{})
+	defer s.Close()
+	return s.OpenAPI()
+}
+
 // Serve runs a serving instance on cfg.Addr until ctx is cancelled, then
 // shuts down gracefully. ready, if non-nil, receives the bound address
 // once listening.
