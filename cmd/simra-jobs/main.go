@@ -167,7 +167,7 @@ func printStatus(stdout io.Writer, st jobs.Status, quiet bool) {
 func cmdSubmit(c *client, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "", "request family: sweep, workload, trng or scenario")
+	kind := fs.String("kind", "", "request family: sweep, workload, trng, scenario or campaign")
 	params := fs.String("params", "{}", "request parameters as JSON (the blocking route's body)")
 	webhookURL := fs.String("webhook-url", "", "completion webhook URL (optional)")
 	webhookSecret := fs.String("webhook-secret", "", "HMAC-SHA256 webhook signing secret (optional)")

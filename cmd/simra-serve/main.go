@@ -95,6 +95,8 @@ func main() {
 		"how long a finished job stays queryable (0 = 15m)")
 	flag.IntVar(&cfg.MaxSSE, "sse-max", 0,
 		"max concurrent job event-stream subscribers (0 = 32)")
+	flag.IntVar(&cfg.MaxSSEPerClient, "sse-per-client", 0,
+		"max concurrent job event-stream subscribers per client (0 = 8)")
 	flag.IntVar(&cfg.WarmpoolPerKey, "warmpool", 0,
 		"idle warm module instances kept per module identity (0 = 4)")
 	flag.IntVar(&cfg.Groups, "groups", 0,

@@ -102,6 +102,7 @@ func (p Params) LatchThreshold(norm float64, nRows int, e Env) float64 {
 	mean += p.LatchTempCoeff * (e.TempC - 50)
 	mean += p.LatchVPPCoeff * (p.VPPNominal - e.VPP)
 	mean += p.AgingLatchPerYear * e.Aging
+	mean += p.DisturbLatchPerUnit * e.Disturb
 	return mean + p.LatchSettleSigma*norm
 }
 
@@ -184,6 +185,7 @@ func (p Params) CopyFailProb(value bool, onesFrac float64, nAct int, e Env, t1, 
 	if t1 < tRAS {
 		f += p.CopyShortRestorePenalty
 	}
+	f += p.RetentionCopyPerUnit * e.Retention
 	if f > 1 {
 		f = 1
 	}

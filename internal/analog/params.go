@@ -74,6 +74,31 @@ type Params struct {
 	// year of aging: aged peripheral circuitry settles slower, moving the
 	// §4 timing cliffs toward larger t2.
 	AgingLatchPerYear float64
+	// DisturbDrivePerUnit is the relative charge-transfer weakening per
+	// unit of disturbance-interaction stress (Env.Disturb): aggressor
+	// activity on neighbouring rows partially discharges the accessed
+	// cells before the share, reducing their effective drive. Disturb = 0
+	// — a quiet array, the paper's tested condition — leaves the drive
+	// strength exactly unchanged.
+	DisturbDrivePerUnit float64
+	// DisturbLatchPerUnit shifts the predecoder-latch settle mean (ns)
+	// per unit of disturbance stress: aggressor traffic loads the shared
+	// wordline drivers during the settling race.
+	DisturbLatchPerUnit float64
+	// DisturbCouplingPerUnit amplifies the static bitline-to-bitline
+	// coupling noise per unit of disturbance stress (aggressor bitlines
+	// swing during the victim's sensing window).
+	DisturbCouplingPerUnit float64
+	// RetentionLevelPerUnit is the relative stored-level decay per unit
+	// of retention stress (Env.Retention, in multiples of the nominal
+	// refresh interval beyond spec): leaky cells drift toward VDD/2,
+	// shrinking the charge-share perturbation they contribute.
+	// Retention = 0 — in-spec refresh — leaves levels exactly unchanged.
+	RetentionLevelPerUnit float64
+	// RetentionCopyPerUnit is the additional per-cell copy-mode failure
+	// probability per unit of retention stress (destination cells that
+	// decayed below the restore margin miss the driven copy).
+	RetentionCopyPerUnit float64
 	// RFShareRate is the extra charge-transfer weight the first-activated
 	// row gains per nanosecond it is connected before the second ACT.
 	RFShareRate float64
@@ -198,6 +223,12 @@ func DefaultParams() Params {
 		AgingLatchPerYear: 0.015,
 		RFShareRate:       0.02,
 
+		DisturbDrivePerUnit:    0.006,
+		DisturbLatchPerUnit:    0.012,
+		DisturbCouplingPerUnit: 0.05,
+		RetentionLevelPerUnit:  0.010,
+		RetentionCopyPerUnit:   2e-4,
+
 		LatchSettleMean:      0.80,
 		LatchSettleSigma:     0.42,
 		LatchLoadPerLog2N:    0.10,
@@ -273,6 +304,20 @@ type Env struct {
 	// weaken charge transfer (AgingDrivePerYear) and slow the predecoder
 	// latches (AgingLatchPerYear).
 	Aging float64
+	// Disturb is the disturbance-interaction stress level (unitless):
+	// sustained aggressor activity on rows adjacent to the operands.
+	// 0 models the paper's quiet-array methodology and is exactly
+	// neutral; positive values weaken charge transfer
+	// (DisturbDrivePerUnit), slow the predecoder latches
+	// (DisturbLatchPerUnit) and amplify bitline coupling noise
+	// (DisturbCouplingPerUnit).
+	Disturb float64
+	// Retention is the retention stress in multiples of the nominal
+	// refresh interval elapsed beyond spec. 0 models in-spec refresh and
+	// is exactly neutral; positive values decay stored levels toward
+	// VDD/2 (RetentionLevelPerUnit) and add copy-restore failures
+	// (RetentionCopyPerUnit).
+	Retention float64
 }
 
 // NominalEnv returns the default operating point of the study: 50 °C and
@@ -292,6 +337,12 @@ func (e Env) Validate() error {
 	if e.Aging < 0 || e.Aging > 50 {
 		return fmt.Errorf("analog: aging %.1f years outside supported range [0, 50]", e.Aging)
 	}
+	if e.Disturb < 0 || e.Disturb > 100 {
+		return fmt.Errorf("analog: disturb %.1f outside supported range [0, 100]", e.Disturb)
+	}
+	if e.Retention < 0 || e.Retention > 100 {
+		return fmt.Errorf("analog: retention %.1f outside supported range [0, 100]", e.Retention)
+	}
 	return nil
 }
 
@@ -306,5 +357,29 @@ func (p Params) DriveFactor(e Env) float64 {
 	if aging < 0 {
 		aging = 0
 	}
-	return temp * vpp * aging
+	disturb := 1 - p.DisturbDrivePerUnit*e.Disturb
+	if disturb < 0 {
+		disturb = 0
+	}
+	// disturb is exactly 1.0 at Disturb = 0, so the product is
+	// bit-identical to the pre-disturb model there (IEEE ×1.0 identity).
+	return temp * vpp * aging * disturb
+}
+
+// RetentionLevelFactor returns the multiplicative stored-level decay under
+// the environment's retention stress: exactly 1 at Retention = 0 (the
+// share kernel's fast path relies on that to stay bit-identical).
+func (p Params) RetentionLevelFactor(e Env) float64 {
+	f := 1 - p.RetentionLevelPerUnit*e.Retention
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// CouplingDisturbFactor returns the multiplicative coupling-noise
+// amplification under the environment's disturbance stress: exactly 1 at
+// Disturb = 0.
+func (p Params) CouplingDisturbFactor(e Env) float64 {
+	return 1 + p.DisturbCouplingPerUnit*e.Disturb
 }

@@ -18,6 +18,7 @@
 package bitserial
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/analog"
@@ -27,16 +28,24 @@ import (
 	"repro/internal/timing"
 )
 
+// ErrNoReliableGroup reports that no candidate activation group kept
+// enough reliable columns at the computer's operating point. At stressed
+// environments this is a legitimate physical outcome (the mitigation
+// co-simulation maps it to a zero success rate), so callers can
+// discriminate it from programming errors with errors.Is.
+var ErrNoReliableGroup = errors.New("bitserial: no reliable compute group found")
+
 // Computer executes majority-based bit-serial computation on one subarray.
 // Register rows move through the machine as packed bit vectors: gates,
 // copies and the construction-time reliability probe all run 64 SIMD
 // lanes per word.
 type Computer struct {
-	sa    *dram.Subarray
-	mod   *dram.Module
-	env   analog.Env
-	group bender.Group // the many-row activation group used for MAJ ops
-	maxX  int          // widest usable majority operation
+	sa      *dram.Subarray
+	mod     *dram.Module
+	env     analog.Env
+	timings timing.APATimings // APA timings every MAJ executes with
+	group   bender.Group      // the many-row activation group used for MAJ ops
+	maxX    int               // widest usable majority operation
 
 	reliable bitvec.Vec // per-column mask probed at construction
 	regs     map[int]bool
@@ -81,6 +90,19 @@ func (o *OpCounts) add(x int) {
 // up constant rows. maxX bounds the majority width used (the module's
 // profile may bound it further).
 func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, error) {
+	return NewComputerAt(mod, sa, maxX, analog.NominalEnv(), timing.BestMAJ())
+}
+
+// NewComputerAt is NewComputer under explicit operating conditions: every
+// majority operation — including the construction-time reliability probe —
+// executes with the given environment and APA timings. The scenario
+// mitigation axis uses this to co-simulate redundancy schemes across the
+// operating envelope; NewComputer is the nominal-point special case.
+func NewComputerAt(mod *dram.Module, sa *dram.Subarray, maxX int,
+	env analog.Env, at timing.APATimings) (*Computer, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
 	if maxX < 3 || maxX%2 == 0 {
 		return nil, fmt.Errorf("bitserial: maxX %d must be odd and >= 3", maxX)
 	}
@@ -96,13 +118,14 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 		return nil, err
 	}
 	c := &Computer{
-		sa:     sa,
-		mod:    mod,
-		env:    analog.NominalEnv(),
-		maxX:   maxX,
-		regs:   make(map[int]bool),
-		rowBuf: bitvec.New(sa.Cols()),
-		outBuf: bitvec.New(sa.Cols()),
+		sa:      sa,
+		mod:     mod,
+		env:     env,
+		timings: at,
+		maxX:    maxX,
+		regs:    make(map[int]bool),
+		rowBuf:  bitvec.New(sa.Cols()),
+		outBuf:  bitvec.New(sa.Cols()),
 	}
 	// Probe every candidate group at every width and pick the one
 	// supporting the widest majority with the most reliable columns — the
@@ -127,8 +150,7 @@ func NewComputer(mod *dram.Module, sa *dram.Subarray, maxX int) (*Computer, erro
 		}
 	}
 	if bestWidth == 0 {
-		return nil, fmt.Errorf("bitserial: no reliable compute group found (best %d/%d columns)",
-			bestCount, sa.Cols())
+		return nil, fmt.Errorf("%w (best %d/%d columns)", ErrNoReliableGroup, bestCount, sa.Cols())
 	}
 	c.maxX = bestWidth
 
@@ -268,6 +290,13 @@ func (c *Computer) Reliable() int { return c.reliable.PopCount() }
 // ReliableMask returns a copy of the per-column reliability mask.
 func (c *Computer) ReliableMask() []bool { return c.reliable.Bools() }
 
+// ReliableVec returns a packed copy of the per-column reliability mask.
+func (c *Computer) ReliableVec() bitvec.Vec {
+	out := bitvec.New(c.reliable.Len())
+	out.Or(out, c.reliable)
+	return out
+}
+
 // Counts returns the operation tallies so far.
 func (c *Computer) Counts() OpCounts {
 	out := c.counts
@@ -399,7 +428,7 @@ func (c *Computer) execMAJWeakened(operands []bitvec.Vec, weakenRow int) (bitvec
 	}
 	c.trial++
 	res, err := c.sa.APA(c.group.RF, c.group.RS, dram.APAOptions{
-		Timings: timing.BestMAJ(),
+		Timings: c.timings,
 		Env:     c.env,
 		Trial:   c.trial,
 		// Compute data is arbitrary: assume full coupling like the random

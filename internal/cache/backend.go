@@ -18,6 +18,16 @@ type Backend interface {
 	Put(k Key, v []byte)
 }
 
+// ErrorCounter is optionally implemented by backends that can tell a
+// real miss from a degraded one (transport failure, bad status). Tiered
+// surfaces the count as Stats.RemoteErrors so operators can distinguish
+// a cold remote tier from a broken one.
+type ErrorCounter interface {
+	// Errors returns how many remote operations failed and silently
+	// degraded to misses or dropped writes.
+	Errors() int64
+}
+
 // MemBackend is an in-memory Backend: the fake remote tier used by tests
 // and by a node hosting the fleet's shared tier in-process. The zero
 // value is not usable; create with NewMemBackend.
@@ -138,5 +148,8 @@ func (t *Tiered) Stats() Stats {
 	s := t.local.Stats()
 	s.RemoteHits = t.remoteHits.Load()
 	s.RemoteMisses = t.remoteMisses.Load()
+	if ec, ok := t.remote.(ErrorCounter); ok {
+		s.RemoteErrors = ec.Errors()
+	}
 	return s
 }

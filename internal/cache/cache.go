@@ -20,8 +20,11 @@ type Stats struct {
 	// Evictions counts entries dropped to respect the byte budget.
 	Evictions int64
 	// RemoteHits and RemoteMisses count remote-tier lookups by a Tiered
-	// store (always zero on a plain Cache).
-	RemoteHits, RemoteMisses int64
+	// store (always zero on a plain Cache). RemoteErrors counts remote
+	// operations that failed and degraded to misses or dropped writes —
+	// reported by backends implementing ErrorCounter, so a down cache
+	// host is visible instead of masquerading as a cold cache.
+	RemoteHits, RemoteMisses, RemoteErrors int64
 	// Entries and Bytes describe the current contents; Capacity is the
 	// configured byte budget (0 = unbounded).
 	Entries  int

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/charexp"
+	"repro/internal/colenc"
+)
+
+// Columnar builds the typed columnar table for a campaign result: the
+// same ranked rows, in the same order, as Table() — but with raw values
+// (unrounded throughput, power and score) instead of rendered cells.
+// Group columns carry the mix counts under the group labels; the meta
+// block carries the search's shape, so a columnar payload is as
+// self-describing as the text report.
+func (r *Result) Columnar() *colenc.Table {
+	tab := r.Table()
+	t := &colenc.Table{
+		Name: tab.ID,
+		Meta: [][2]string{
+			{"id", tab.ID}, {"title", tab.Title},
+			{"workload", r.Workload},
+			{"fleet_size", strconv.Itoa(r.FleetSize)},
+			{"total", strconv.Itoa(r.Total)},
+			{"shown", strconv.Itoa(len(r.Candidates))},
+		},
+	}
+	i64 := func(name string) colenc.Column {
+		return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeInt64}}
+	}
+	f64 := func(name string) colenc.Column {
+		return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeFloat64}}
+	}
+	cols := []colenc.Column{i64("rank")}
+	for _, g := range r.Groups {
+		cols = append(cols, i64(g.Label))
+	}
+	cols = append(cols, i64("modules"), i64("viable"),
+		f64("tput-mbps"), f64("power-w"), f64("score"))
+	for _, c := range r.Candidates {
+		cols[0].Int64s = append(cols[0].Int64s, int64(c.Rank))
+		for gi, n := range c.Counts {
+			cols[1+gi].Int64s = append(cols[1+gi].Int64s, int64(n))
+		}
+		base := 1 + len(r.Groups)
+		cols[base].Int64s = append(cols[base].Int64s, int64(len(c.Modules)))
+		cols[base+1].Int64s = append(cols[base+1].Int64s, int64(c.Viable))
+		cols[base+2].Float64s = append(cols[base+2].Float64s, c.ThroughputMbps)
+		cols[base+3].Float64s = append(cols[base+3].Float64s, c.PowerW)
+		cols[base+4].Float64s = append(cols[base+4].Float64s, c.Score)
+	}
+	t.Cols = cols
+	return t
+}
+
+// ColumnarStrings is the reverse formatter: it re-renders a campaign
+// columnar table into the exact charexp.Table the text/CSV paths print,
+// re-applying the report's format verbs ("%.2f" throughput and score,
+// "%.4f" power). It is the metamorphic bridge the invariance suite uses
+// to assert text-rows ≡ columnar-rows.
+func ColumnarStrings(t *colenc.Table) (charexp.Table, error) {
+	out := charexp.Table{
+		ID:      t.MetaValue("id"),
+		Title:   t.MetaValue("title"),
+		Columns: make([]string, len(t.Cols)),
+	}
+	for i := range t.Cols {
+		out.Columns[i] = t.Cols[i].Field.Name
+	}
+	n := t.NumRows()
+	for ri := 0; ri < n; ri++ {
+		row := make([]string, len(t.Cols))
+		for ci := range t.Cols {
+			c := &t.Cols[ci]
+			switch c.Field.Type {
+			case colenc.TypeInt64:
+				row[ci] = strconv.FormatInt(c.Int64s[ri], 10)
+			case colenc.TypeFloat64:
+				verb := "%.2f"
+				if c.Field.Name == "power-w" {
+					verb = "%.4f"
+				}
+				row[ci] = fmt.Sprintf(verb, c.Float64s[ri])
+			default:
+				return charexp.Table{}, fmt.Errorf(
+					"campaign: column %q: unexpected type %v", c.Field.Name, c.Field.Type)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/charexp"
+	"repro/internal/colenc"
+	"repro/internal/workload"
+)
+
+// Options mirrors the cmd/simra-campaign CLI surface and the serving
+// layer's campaign-request parameters. Resolving options to a Config here
+// — rather than in each front end — is what makes a served campaign
+// response byte-identical to the CLI's output for the same parameters.
+type Options struct {
+	// Workload is the target workload's name (default "bitmap-scan").
+	Workload string
+	// FleetSize is the number of modules per candidate mix (0 =
+	// DefaultFleetSize; at most MaxFleetSize).
+	FleetSize int
+	// Top bounds the ranked candidates in the report (0 = DefaultTop).
+	Top int
+	// Workers bounds the engine parallelism (0 = GOMAXPROCS). It never
+	// affects result bytes.
+	Workers int
+	// MaxX caps the majority width (0 = default).
+	MaxX int
+	// Columns is the simulated subarray slice width (0 = 512).
+	Columns int
+	// Seed overrides the experiment seed (0 = default).
+	Seed uint64
+}
+
+// workloadList renders the registered workload names for error messages
+// (the "; valid: ..." convention the 422 envelope parses).
+func workloadList() string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name())
+	}
+	return strings.Join(names, ", ")
+}
+
+// fleetSizeList renders the accepted fleet sizes for error messages.
+func fleetSizeList() string {
+	var sizes []string
+	for n := 1; n <= MaxFleetSize; n++ {
+		sizes = append(sizes, strconv.Itoa(n))
+	}
+	return strings.Join(sizes, ", ")
+}
+
+// Resolve validates the options and builds the campaign configuration.
+func (o Options) Resolve() (Config, error) {
+	cfg := Config{
+		FleetSize: o.FleetSize,
+		Top:       o.Top,
+		MaxX:      o.MaxX,
+		Columns:   o.Columns,
+		Seed:      o.Seed,
+	}
+	name := o.Workload
+	if name == "" {
+		name = "bitmap-scan"
+	}
+	w, err := workload.Get(name)
+	if err != nil {
+		return Config{}, fmt.Errorf("campaign: unknown workload %q; valid: %s", name, workloadList())
+	}
+	cfg.Workload = w
+	if o.FleetSize < 0 || o.FleetSize > MaxFleetSize {
+		return Config{}, fmt.Errorf("campaign: fleet size %d out of range; valid: %s",
+			o.FleetSize, fleetSizeList())
+	}
+	if o.Top < 0 {
+		return Config{}, fmt.Errorf("campaign: top %d must be >= 0", o.Top)
+	}
+	cfg.Engine.Workers = o.Workers
+	return cfg, nil
+}
+
+// Table renders the campaign result as a charexp-style table: one row per
+// ranked candidate, one column per die group carrying the mix's count.
+// Every cell is deterministic; the golden tests pin the rendering byte
+// for byte.
+func (r *Result) Table() charexp.Table {
+	t := charexp.Table{
+		ID: "campaign",
+		Title: fmt.Sprintf("fleet-design campaign: reliable throughput per watt (workload %s, fleet size %d)",
+			r.Workload, r.FleetSize),
+	}
+	t.Columns = []string{"rank"}
+	for _, g := range r.Groups {
+		t.Columns = append(t.Columns, g.Label)
+	}
+	t.Columns = append(t.Columns, "modules", "viable", "tput-mbps", "power-w", "score")
+	for _, c := range r.Candidates {
+		row := []string{strconv.Itoa(c.Rank)}
+		for _, n := range c.Counts {
+			row = append(row, strconv.Itoa(n))
+		}
+		row = append(row,
+			strconv.Itoa(len(c.Modules)),
+			strconv.Itoa(c.Viable),
+			fmt.Sprintf("%.2f", c.ThroughputMbps),
+			fmt.Sprintf("%.4f", c.PowerW),
+			fmt.Sprintf("%.2f", c.Score),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// WriteReport renders a campaign result to w in the given format ("text",
+// "csv" or "columnar"), plus — text only — the search summary line. This
+// is the byte-exact output contract of cmd/simra-campaign and the serving
+// layer's campaign responses.
+func WriteReport(w io.Writer, r *Result, format string) error {
+	switch format {
+	case "columnar":
+		enc, err := colenc.Encode(r.Columnar(), 0)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(enc)
+		return err
+	case "csv":
+		_, err := io.WriteString(w, r.Table().CSV())
+		return err
+	case "text":
+		if _, err := io.WriteString(w, r.Table().Render()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "\ntop %d of %d candidate mixes (workload %s, fleet size %d over %d module groups)\n",
+			len(r.Candidates), r.Total, r.Workload, r.FleetSize, len(r.Groups))
+		return err
+	default:
+		return fmt.Errorf("campaign: unknown format %q; valid: text, csv, columnar", format)
+	}
+}

@@ -36,6 +36,7 @@ type sweepShard struct {
 func (r *Runner) shardKey(spec dram.Spec, sc core.SweepConfig, env analog.Env, s bender.SubarraySample) cache.Key {
 	return spec.HashModule(cache.NewHasher().Str("charexp/sweep-shard/v1"), r.cfg.Params).
 		F64(env.TempC).F64(env.VPP).F64(env.Aging).
+		F64(env.Disturb).F64(env.Retention).
 		Int(int(sc.Op)).Int(sc.X).Int(sc.N).
 		F64(sc.Timings.T1).F64(sc.Timings.T2).Int(int(sc.Pattern)).
 		Int(sc.SubarraysPerBank).Int(sc.GroupsPerSubarray).Int(sc.Banks).

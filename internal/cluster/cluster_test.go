@@ -428,6 +428,59 @@ func TestPeerHTTP(t *testing.T) {
 	}
 }
 
+// TestRemoteCacheErrorDiscrimination pins the degraded-but-not-silent
+// contract: a 404 from the cache host is a true miss (no error), while
+// transport failures and unexpected statuses degrade to misses but
+// increment the error counter and fire the OnError hook.
+func TestRemoteCacheErrorDiscrimination(t *testing.T) {
+	mux := http.NewServeMux()
+	status := http.StatusNotFound
+	mux.HandleFunc(cluster.CachePathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rc := cluster.NewRemoteCache(ts.URL, "")
+	var hooked []string
+	rc.OnError = func(op string, err error) {
+		hooked = append(hooked, op+": "+err.Error())
+	}
+
+	// 404 is a miss, not an error.
+	if _, ok := rc.Get(testKey(7)); ok {
+		t.Fatal("Get hit on a 404 backend")
+	}
+	if rc.Errors() != 0 || len(hooked) != 0 {
+		t.Fatalf("404 miss counted as error: %d (%v)", rc.Errors(), hooked)
+	}
+
+	// A 500 is a degraded miss: counted and hooked.
+	status = http.StatusInternalServerError
+	if _, ok := rc.Get(testKey(7)); ok {
+		t.Fatal("Get hit on a 500 backend")
+	}
+	if rc.Errors() != 1 || len(hooked) != 1 || !strings.Contains(hooked[0], "get:") {
+		t.Fatalf("500 not surfaced: errors=%d hooked=%v", rc.Errors(), hooked)
+	}
+
+	// A rejected Put is a dropped write: counted and hooked.
+	rc.Put(testKey(7), []byte("payload"))
+	if rc.Errors() != 2 || len(hooked) != 2 || !strings.Contains(hooked[1], "put:") {
+		t.Fatalf("rejected Put not surfaced: errors=%d hooked=%v", rc.Errors(), hooked)
+	}
+
+	// A dead host degrades every operation, each counted.
+	dead := cluster.NewRemoteCache("http://127.0.0.1:1", "")
+	if _, ok := dead.Get(testKey(7)); ok {
+		t.Fatal("Get hit on a dead host")
+	}
+	dead.Put(testKey(7), []byte("payload"))
+	if dead.Errors() != 2 {
+		t.Fatalf("dead host errors = %d, want 2", dead.Errors())
+	}
+}
+
 // parseHexKey decodes a hex cache key (test helper).
 func parseHexKey(t *testing.T, s string) cache.Key {
 	t.Helper()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -97,13 +98,21 @@ func (p *Peer) Health(ctx context.Context) error {
 
 // RemoteCache is a cache.Backend over HTTP: the client side of a node
 // hosting the fleet's shared tier. Per the Backend contract it is
-// best-effort — any transport or status failure degrades to a miss (Get)
-// or a dropped write (Put), never an error, so a down cache host costs
-// recomputation, not availability.
+// best-effort — a failure degrades to a miss (Get) or a dropped write
+// (Put), never an error, so a down cache host costs recomputation, not
+// availability. But degradation is not silence: only a 404 is a true
+// miss; transport errors, unexpected statuses and truncated bodies
+// increment the error counter (surfaced as
+// simra_cache_remote_errors_total) and fire OnError, so operators see a
+// down or misconfigured cache host instead of a quietly cold fleet.
 type RemoteCache struct {
 	base   string
 	token  string
 	client *http.Client
+	errors atomic.Int64
+	// OnError, when non-nil, observes every degraded-to-miss failure (op
+	// is "get" or "put"). Set it before the first use; it must not block.
+	OnError func(op string, err error)
 }
 
 // NewRemoteCache builds a shared-tier client for the host at base. token
@@ -127,39 +136,67 @@ func (r *RemoteCache) request(method string, k cache.Key, body io.Reader) (*http
 	return req, nil
 }
 
-// Get implements cache.Backend.
+// fail records one degraded remote operation: counted, reported to the
+// hook, and turned into a miss/dropped write by the caller.
+func (r *RemoteCache) fail(op string, err error) {
+	r.errors.Add(1)
+	if r.OnError != nil {
+		r.OnError(op, err)
+	}
+}
+
+// Errors implements cache.ErrorCounter: how many remote operations
+// failed and silently degraded to misses or dropped writes.
+func (r *RemoteCache) Errors() int64 { return r.errors.Load() }
+
+// Get implements cache.Backend. A 404 from the cache host is a true
+// miss; every other failure counts as a remote error before degrading.
 func (r *RemoteCache) Get(k cache.Key) ([]byte, bool) {
 	req, err := r.request(http.MethodGet, k, nil)
 	if err != nil {
+		r.fail("get", err)
 		return nil, false
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
+		r.fail("get", err)
 		return nil, false
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
+		r.fail("get", fmt.Errorf("cluster: cache host %s: %s", r.base, resp.Status))
 		return nil, false
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
+		r.fail("get", fmt.Errorf("cluster: cache host %s: %w", r.base, err))
 		return nil, false
 	}
 	return data, true
 }
 
-// Put implements cache.Backend.
+// Put implements cache.Backend. Failed writes are dropped per the
+// Backend contract, but counted as remote errors first.
 func (r *RemoteCache) Put(k cache.Key, v []byte) {
 	req, err := r.request(http.MethodPut, k, bytes.NewReader(v))
 	if err != nil {
+		r.fail("put", err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := r.client.Do(req)
 	if err != nil {
+		r.fail("put", err)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		r.fail("put", fmt.Errorf("cluster: cache host %s: %s", r.base, resp.Status))
+	}
 }

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bender"
+	"repro/internal/bitserial"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/tmr"
+	"repro/internal/xrand"
+)
+
+// Mitigation co-simulation (§8.1 case studies folded into the sweep
+// machinery): instead of characterizing the bare operation, the shard
+// measures whether a redundancy scheme recovers a payload at the cell's
+// operating point. Both schemes execute their redundant computation
+// *through* in-DRAM majority operations at the point's environment and
+// timings — a harsher envelope degrades the mitigation itself, which is
+// exactly the margin question the scenario subsystem answers.
+//
+//   - "tmr": the payload is replicated into MitLevel copy registers,
+//     ⌊(MitLevel−1)/2⌋ copies take injected faults, and a single
+//     MAJ(MitLevel) vote recovers the payload (the paper's in-DRAM
+//     modular-redundancy case study).
+//   - "ecc": MitLevel data registers share one parity row computed with
+//     in-DRAM XOR; one corrupted register per trial is reconstructed from
+//     the parity and the surviving lanes (redundancy overhead 1/MitLevel
+//     versus TMR's (MitLevel−1)/MitLevel).
+//
+// The success metric matches §3.1: the fraction of usable SIMD lanes whose
+// recovered value is correct in every trial.
+
+// mitFaultDivisor sets the injected-fault density: cols/mitFaultDivisor
+// flipped bits per corrupted register.
+const mitFaultDivisor = 16
+
+// mitigationSeed derives the payload/fault seed of one mitigation shard,
+// disjoint from the group-data tag space by the trailing constant.
+func (t *Tester) mitigationSeed(sa *dram.Subarray) uint64 {
+	return xrand.Hash(t.seed, uint64(sa.Bank()), uint64(sa.Index()), 0x317a)
+}
+
+// mitigationInfeasible is the outcome of a subarray where the redundancy
+// scheme cannot run at all at this operating point (no reliable compute
+// group, or the required vote width is unavailable): every lane fails,
+// and the group is marked non-viable.
+func mitigationInfeasible(sa *dram.Subarray, s bender.SubarraySample) []GroupOutcome {
+	return []GroupOutcome{{
+		Sample: s,
+		Result: SuccessResult{Cells: sa.Cols(), Stable: 0, Viable: false},
+	}}
+}
+
+// mitigationSubarray runs the configured redundancy co-simulation on one
+// sampled subarray, producing one GroupOutcome (the computer's compute
+// group plays the role of the sweep's row groups).
+func (t *Tester) mitigationSubarray(cfg SweepConfig, s bender.SubarraySample,
+	sa *dram.Subarray) ([]GroupOutcome, error) {
+
+	maxX := 3
+	if cfg.Mitigation == "tmr" {
+		maxX = cfg.MitLevel
+	}
+	c, err := bitserial.NewComputerAt(t.mod, sa, maxX, t.env, cfg.Timings)
+	if err != nil {
+		if errors.Is(err, bitserial.ErrNoReliableGroup) {
+			return mitigationInfeasible(sa, s), nil
+		}
+		return nil, err
+	}
+	switch cfg.Mitigation {
+	case "tmr":
+		return t.mitigationTMR(cfg, s, sa, c)
+	case "ecc":
+		return t.mitigationECC(cfg, s, sa, c)
+	default:
+		return nil, fmt.Errorf("core: unknown mitigation %q", cfg.Mitigation)
+	}
+}
+
+// mitFaults returns the injected-fault count per corrupted register.
+func mitFaults(cols int) int {
+	if f := cols / mitFaultDivisor; f > 0 {
+		return f
+	}
+	return 1
+}
+
+// mitOutcome folds a per-lane failure vector into the shard's outcome,
+// restricted to the lanes the computer's reliability probe admitted.
+func mitOutcome(c *bitserial.Computer, s bender.SubarraySample, failed bitvec.Vec) []GroupOutcome {
+	reliable := c.ReliableVec()
+	masked := bitvec.New(failed.Len())
+	masked.And(failed, reliable)
+	cells := reliable.PopCount()
+	return []GroupOutcome{{
+		Sample: s,
+		Group:  c.Group(),
+		Result: SuccessResult{Cells: cells, Stable: cells - masked.PopCount(), Viable: true},
+	}}
+}
+
+// mitigationTMR votes MitLevel payload copies — ⌊(MitLevel−1)/2⌋ of them
+// fault-injected — through a single in-DRAM MAJ at the cell's operating
+// point, trials times.
+func (t *Tester) mitigationTMR(cfg SweepConfig, s bender.SubarraySample,
+	sa *dram.Subarray, c *bitserial.Computer) ([]GroupOutcome, error) {
+
+	v, err := tmr.NewVoter(c, cfg.MitLevel)
+	if err != nil {
+		// The probe degraded the usable width below the requested vote:
+		// the mitigation is infeasible at this point, not a caller error.
+		return mitigationInfeasible(sa, s), nil
+	}
+	cols := c.Cols()
+	copies, err := v.Protect(make([]bool, cols))
+	if err != nil {
+		return nil, err
+	}
+	dst, err := c.AllocReg()
+	if err != nil {
+		return nil, err
+	}
+	seed := t.mitigationSeed(sa)
+	failed := bitvec.New(cols)
+	diff := bitvec.New(cols)
+	for trial := 0; trial < t.trials; trial++ {
+		payload := dram.PatternRandom.FillRowVec(xrand.Hash(seed, uint64(trial)), 0, cols)
+		for _, reg := range copies {
+			if err := c.WriteRowVecDirect(reg, payload); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := v.InjectFaults(copies, v.Correctable(), mitFaults(cols),
+			xrand.Hash(seed, uint64(trial), 0x7f1)); err != nil {
+			return nil, err
+		}
+		if err := v.Vote(dst, copies); err != nil {
+			return nil, err
+		}
+		got, err := c.ReadRowVecDirect(dst)
+		if err != nil {
+			return nil, err
+		}
+		diff.Xor(got, payload)
+		failed.Or(failed, diff)
+	}
+	return mitOutcome(c, s, failed), nil
+}
+
+// mitigationECC protects MitLevel data registers with one in-DRAM parity
+// row and reconstructs a corrupted register per trial from the parity and
+// the surviving lanes. Both the parity computation and the reconstruction
+// run as stressed in-DRAM XOR chains, so deeper levels trade lower
+// redundancy overhead for more exposure to the operating point.
+func (t *Tester) mitigationECC(cfg SweepConfig, s bender.SubarraySample,
+	sa *dram.Subarray, c *bitserial.Computer) ([]GroupOutcome, error) {
+
+	lanes := cfg.MitLevel
+	cols := c.Cols()
+	data := make([]int, lanes)
+	var err error
+	for i := range data {
+		if data[i], err = c.AllocReg(); err != nil {
+			return nil, err
+		}
+	}
+	parity, err := c.AllocReg()
+	if err != nil {
+		return nil, err
+	}
+	recon, err := c.AllocReg()
+	if err != nil {
+		return nil, err
+	}
+	seed := t.mitigationSeed(sa)
+	failed := bitvec.New(cols)
+	diff := bitvec.New(cols)
+	payloads := make([]bitvec.Vec, lanes)
+	for trial := 0; trial < t.trials; trial++ {
+		for i := range data {
+			payloads[i] = dram.PatternRandom.FillRowVec(
+				xrand.Hash(seed, uint64(trial), uint64(i)), 0, cols)
+			if err := c.WriteRowVecDirect(data[i], payloads[i]); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.XOR(parity, data[0], data[1]); err != nil {
+			return nil, err
+		}
+		for i := 2; i < lanes; i++ {
+			if err := c.XOR(parity, parity, data[i]); err != nil {
+				return nil, err
+			}
+		}
+		victim := trial % lanes
+		row, err := c.ReadRowDirect(data[victim])
+		if err != nil {
+			return nil, err
+		}
+		positions := xrand.NewSource(xrand.Hash(seed, uint64(trial), 0x7f2),
+			uint64(victim), 0x7a1).Sample(cols, mitFaults(cols))
+		for _, p := range positions {
+			row[p] = !row[p]
+		}
+		if err := c.WriteRowDirect(data[victim], row); err != nil {
+			return nil, err
+		}
+		first := true
+		for i := 0; i < lanes; i++ {
+			if i == victim {
+				continue
+			}
+			if first {
+				err = c.XOR(recon, parity, data[i])
+				first = false
+			} else {
+				err = c.XOR(recon, recon, data[i])
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		got, err := c.ReadRowVecDirect(recon)
+		if err != nil {
+			return nil, err
+		}
+		diff.Xor(got, payloads[victim])
+		failed.Or(failed, diff)
+	}
+	return mitOutcome(c, s, failed), nil
+}

@@ -49,6 +49,17 @@ type SweepConfig struct {
 	// Banks limits how many banks are sampled (0 = all). Experiments use a
 	// subset by default to bound runtime; the sampling is deterministic.
 	Banks int
+	// Mitigation selects a redundancy co-simulation in place of the bare
+	// operation ("" = none, the pre-mitigation behaviour): "tmr" votes
+	// MitLevel replicated copies through an in-DRAM MAJ at the cell's
+	// environment and timings; "ecc" reconstructs a corrupted lane
+	// register from MitLevel data registers plus an in-DRAM parity row.
+	// The zero value leaves every existing sweep bit-identical.
+	Mitigation string
+	// MitLevel is the redundancy degree: the vote width for "tmr" (odd,
+	// ≥ 3) or the number of data registers sharing one parity row for
+	// "ecc" (≥ 2).
+	MitLevel int
 }
 
 // withDefaults fills unset sampling bounds.
@@ -112,6 +123,19 @@ func (c SweepConfig) validate() error {
 	}
 	if c.N < 2 {
 		return fmt.Errorf("core: sweep needs N >= 2, got %d", c.N)
+	}
+	switch c.Mitigation {
+	case "":
+	case "tmr":
+		if c.MitLevel < 3 || c.MitLevel%2 == 0 {
+			return fmt.Errorf("core: tmr vote width %d must be odd and >= 3", c.MitLevel)
+		}
+	case "ecc":
+		if c.MitLevel < 2 {
+			return fmt.Errorf("core: ecc data lanes %d must be >= 2", c.MitLevel)
+		}
+	default:
+		return fmt.Errorf("core: unknown mitigation %q", c.Mitigation)
 	}
 	return nil
 }
@@ -197,6 +221,9 @@ func (t *Tester) sweepSubarray(cfg SweepConfig, s bender.SubarraySample) ([]Grou
 	sa, err := t.subarray(s)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Mitigation != "" {
+		return t.mitigationSubarray(cfg, s, sa)
 	}
 	groups, err := t.sampleGroups(sa, cfg.N, cfg.GroupsPerSubarray)
 	if err != nil {

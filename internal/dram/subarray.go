@@ -741,6 +741,14 @@ func (s *Subarray) shareDetMeta(det, meta []uint64, rf int, asserted []int,
 	params := s.mod.params
 	drive := params.DriveFactor(opts.Env)
 	rfWeight := params.RFWeight(t.Total()) * drive
+	// Retention stress decays stored levels toward VDD/2. The factor is
+	// exactly 1 at Retention = 0, which keeps the solid-level fast path
+	// below eligible and the kernel bit-identical to the pre-retention
+	// model there.
+	ret := 1.0
+	if opts.Env.Retention != 0 {
+		ret = params.RetentionLevelFactor(opts.Env)
+	}
 
 	num, den := s.numBuf, s.denBuf
 	// The denominator accumulation is data-independent — per column it is
@@ -788,7 +796,7 @@ func (s *Subarray) shareDetMeta(det, meta []uint64, rf int, asserted []int,
 			// Word-local subslices let the compiler elide the per-column
 			// bounds checks; the arithmetic is unchanged.
 			nm, dn, wcs := num[base:base+nb], den[base:base+nb], wcw[base:base+nb]
-			if fw == 0 {
+			if fw == 0 && ret == 1 {
 				// Fast path: no Frac cells in the word, so level is ±1 and
 				// the sign multiply collapses to a sign-bit flip — wc is
 				// positive, and IEEE multiplication by exact ±1.0 only
@@ -820,7 +828,7 @@ func (s *Subarray) shareDetMeta(det, meta []uint64, rf int, asserted []int,
 					level = -1
 				}
 				wc := wcs[b]
-				nm[b] += wc * level
+				nm[b] += wc * level * ret
 				if !denHit {
 					dn[b] += wc
 				}
@@ -848,6 +856,12 @@ func (s *Subarray) shareDetMeta(det, meta []uint64, rf int, asserted []int,
 	// float sequence.
 	half := params.VDD / 2
 	cs := params.CouplingSigma * opts.PatternCoupling
+	if opts.Env.Disturb != 0 {
+		// Aggressor bitlines swing during the victim's sensing window,
+		// amplifying the static coupling offsets. Gated so the quiet-array
+		// zero point performs the identical float sequence.
+		cs *= params.CouplingDisturbFactor(opts.Env)
+	}
 	for wi := 0; wi < s.words; wi++ {
 		var dw, mw uint64
 		base := wi * 64

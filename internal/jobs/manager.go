@@ -44,6 +44,10 @@ type Config struct {
 	// MaxSSE caps concurrent event-stream subscribers across all jobs
 	// (default 32); beyond it the events route sheds with Retry-After.
 	MaxSSE int
+	// MaxSSEPerClient caps concurrent event-stream subscribers per client
+	// identity (default 8), so one client cannot exhaust the global pool
+	// and 503 every other tenant.
+	MaxSSEPerClient int
 	// Webhook configures completion callbacks (zero value: 3 attempts,
 	// 250ms initial backoff, 10s request timeout).
 	Webhook WebhookConfig
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSSE <= 0 {
 		c.MaxSSE = 32
+	}
+	if c.MaxSSEPerClient <= 0 {
+		c.MaxSSEPerClient = 8
 	}
 	c.Webhook = c.Webhook.withDefaults()
 	return c
@@ -96,8 +103,10 @@ type Metrics struct {
 	Canceled  int64 // jobs that reached canceled
 	CacheHits int64 // submissions completed instantly from the result cache
 
-	SSEConnections int64 // live event-stream subscribers
-	SSERejected    int64 // subscribers shed at the connection cap
+	SSEConnections    int64 // live event-stream subscribers
+	SSERejected       int64 // subscribers shed at either connection cap (client + global)
+	SSERejectedClient int64 // subscribers shed at their per-client cap
+	SSERejectedGlobal int64 // subscribers shed at the global ceiling
 
 	WebhookDeliveries int64 // callbacks acknowledged 2xx
 	WebhookRetries    int64 // delivery attempts after the first
@@ -125,12 +134,16 @@ type Manager struct {
 	whCancel context.CancelFunc
 
 	counters struct {
-		submitted, deduped          int64
-		completed, failed, canceled int64
-		cacheHits                   int64
-		queued, running             int64
-		sseConnections, sseRejected int64
+		submitted, deduped                   int64
+		completed, failed, canceled          int64
+		cacheHits                            int64
+		queued, running                      int64
+		sseConnections                       int64
+		sseRejectedClient, sseRejectedGlobal int64
 	}
+	// sseByClient tracks live event-stream subscribers per client
+	// identity (the per-client connection cap's state).
+	sseByClient map[string]int
 }
 
 // NewManager starts the executor pool and GC loop.
@@ -139,14 +152,15 @@ func NewManager(cfg Config) *Manager {
 	base, cancel := context.WithCancel(context.Background())
 	whCtx, whCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:      cfg,
-		webhook:  newWebhookSender(cfg.Webhook),
-		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
-		base:     base,
-		cancel:   cancel,
-		whCtx:    whCtx,
-		whCancel: whCancel,
+		cfg:         cfg,
+		webhook:     newWebhookSender(cfg.Webhook),
+		jobs:        make(map[string]*Job),
+		sseByClient: make(map[string]int),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		base:        base,
+		cancel:      cancel,
+		whCtx:       whCtx,
+		whCancel:    whCancel,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -306,24 +320,35 @@ func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
 	}
 }
 
-// AcquireSSE reserves an event-stream slot; release returns it. ok=false
-// means the cap is reached (the caller sheds with Retry-After).
-func (m *Manager) AcquireSSE() (release func(), ok bool) {
+// AcquireSSE reserves an event-stream slot for the given client identity;
+// release returns it. ok=false means a connection cap is reached (the
+// caller sheds with Retry-After): reason is "client" when the client sits
+// at its per-client cap — the global pool may still have room for other
+// tenants — and "global" when the whole pool is exhausted.
+func (m *Manager) AcquireSSE(client string) (release func(), reason string, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sseByClient[client] >= m.cfg.MaxSSEPerClient {
+		m.counters.sseRejectedClient++
+		return nil, "client", false
+	}
 	if m.counters.sseConnections >= int64(m.cfg.MaxSSE) {
-		m.counters.sseRejected++
-		return nil, false
+		m.counters.sseRejectedGlobal++
+		return nil, "global", false
 	}
 	m.counters.sseConnections++
+	m.sseByClient[client]++
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			m.mu.Lock()
 			m.counters.sseConnections--
+			if m.sseByClient[client]--; m.sseByClient[client] <= 0 {
+				delete(m.sseByClient, client)
+			}
 			m.mu.Unlock()
 		})
-	}, true
+	}, "", true
 }
 
 // Metrics snapshots the manager's counters.
@@ -342,7 +367,9 @@ func (m *Manager) Metrics() Metrics {
 		Canceled:          c.canceled,
 		CacheHits:         c.cacheHits,
 		SSEConnections:    c.sseConnections,
-		SSERejected:       c.sseRejected,
+		SSERejected:       c.sseRejectedClient + c.sseRejectedGlobal,
+		SSERejectedClient: c.sseRejectedClient,
+		SSERejectedGlobal: c.sseRejectedGlobal,
 		WebhookDeliveries: wd,
 		WebhookRetries:    wr,
 		WebhookFailures:   wf,

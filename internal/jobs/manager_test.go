@@ -407,19 +407,19 @@ func TestSweepExpired(t *testing.T) {
 
 func TestAcquireSSECap(t *testing.T) {
 	m := testManager(t, Config{MaxSSE: 2})
-	rel1, ok := m.AcquireSSE()
+	rel1, _, ok := m.AcquireSSE("a")
 	if !ok {
 		t.Fatal("first acquire refused")
 	}
-	rel2, ok := m.AcquireSSE()
+	rel2, _, ok := m.AcquireSSE("b")
 	if !ok {
 		t.Fatal("second acquire refused")
 	}
-	if _, ok := m.AcquireSSE(); ok {
-		t.Fatal("third acquire should shed")
+	if _, reason, ok := m.AcquireSSE("c"); ok || reason != "global" {
+		t.Fatalf("third acquire: ok=%v reason=%q, want global shed", ok, reason)
 	}
 	met := m.Metrics()
-	if met.SSEConnections != 2 || met.SSERejected != 1 {
+	if met.SSEConnections != 2 || met.SSERejected != 1 || met.SSERejectedGlobal != 1 {
 		t.Fatalf("metrics %+v", met)
 	}
 	rel1()
@@ -427,10 +427,43 @@ func TestAcquireSSECap(t *testing.T) {
 	if m.Metrics().SSEConnections != 1 {
 		t.Fatalf("connections %d after release", m.Metrics().SSEConnections)
 	}
-	if _, ok := m.AcquireSSE(); !ok {
+	if _, _, ok := m.AcquireSSE("a"); !ok {
 		t.Fatal("slot not reusable after release")
 	}
 	rel2()
+}
+
+// TestAcquireSSEPerClientCap asserts the fairness fix: a client at its
+// per-client cap sheds with reason "client" while a second client still
+// gets a slot from the global pool.
+func TestAcquireSSEPerClientCap(t *testing.T) {
+	m := testManager(t, Config{MaxSSE: 8, MaxSSEPerClient: 2})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, _, ok := m.AcquireSSE("greedy")
+		if !ok {
+			t.Fatalf("acquire %d for greedy refused", i)
+		}
+		releases = append(releases, rel)
+	}
+	if _, reason, ok := m.AcquireSSE("greedy"); ok || reason != "client" {
+		t.Fatalf("over-cap acquire: ok=%v reason=%q, want client shed", ok, reason)
+	}
+	rel, _, ok := m.AcquireSSE("other")
+	if !ok {
+		t.Fatal("second client shed although the global pool has room")
+	}
+	met := m.Metrics()
+	if met.SSERejectedClient != 1 || met.SSERejectedGlobal != 0 || met.SSEConnections != 3 {
+		t.Fatalf("metrics %+v", met)
+	}
+	// Releasing one greedy stream frees that client's slot.
+	releases[0]()
+	if _, _, ok := m.AcquireSSE("greedy"); !ok {
+		t.Fatal("per-client slot not reusable after release")
+	}
+	rel()
+	releases[1]()
 }
 
 func TestJobsListsNewestFirst(t *testing.T) {

@@ -23,6 +23,7 @@ const (
 // axisColumn maps an envelope axis name onto its table column.
 var axisColumn = map[string]string{
 	"t1": "t1(ns)", "t2": "t2(ns)", "temp": "temp(C)", "vpp": "vpp(V)", "aging": "aging(y)",
+	"disturb": "disturb", "retention": "retention",
 }
 
 // Columnar builds the typed columnar table for a scenario result: the
@@ -57,10 +58,11 @@ func (r *Result) Columnar() *colenc.Table {
 			[2]string{"applicable", strconv.Itoa(r.applicable)})
 	}
 
+	ex := r.extras()
 	if r.Axis != "" {
 		module := str("module")
 		mfr := str("mfr")
-		cols := pointColumnsTyped(r.Op, r.Axis)
+		cols := pointColumnsTyped(r.Op, r.Axis, ex)
 		lo, hi := f64("lo"), f64("hi")
 		rateLo, rateHi := f64("rate@lo"), f64("rate@hi")
 		boundary := f64("boundary")
@@ -81,7 +83,7 @@ func (r *Result) Columnar() *colenc.Table {
 		return t
 	}
 
-	cols := pointColumnsTyped(r.Op, "")
+	cols := pointColumnsTyped(r.Op, "", ex)
 	groups := i64("groups")
 	summary := []colenc.Column{
 		f64("mean"), f64("min"), f64("q1"),
@@ -110,23 +112,34 @@ func str(name string) colenc.Column {
 	return colenc.Column{Field: colenc.Field{Name: name, Type: colenc.TypeString}}
 }
 
-// pointCols accumulates the eight shared axis columns of a point row.
+// pointCols accumulates the shared axis columns of a point row: the eight
+// fixed ones plus any gated extras (disturb, retention, mitigation).
 type pointCols struct {
-	cols []colenc.Column // n, x, pattern, t1, t2, temp, vpp, aging
+	cols []colenc.Column // n, x, pattern, t1, t2, temp, vpp, aging, extras...
 	skip string
+	ex   axisExtras
 }
 
-// pointColumnsTyped builds the typed axis columns matching pointColumns.
-// The x column is nullable unless the op is MAJ; the skipped (envelope)
-// axis column is nullable.
-func pointColumnsTyped(op core.OpKind, skip string) *pointCols {
-	p := &pointCols{skip: skip}
+// pointColumnsTyped builds the typed axis columns matching the text
+// table's headers. The x column is nullable unless the op is MAJ; the
+// skipped (envelope) axis column is nullable.
+func pointColumnsTyped(op core.OpKind, skip string, ex axisExtras) *pointCols {
+	p := &pointCols{skip: skip, ex: ex}
 	x := i64("x")
 	x.Field.Nullable = op != core.OpMAJ
 	p.cols = []colenc.Column{
 		i64("n"), x, str("pattern"),
 		f64("t1(ns)"), f64("t2(ns)"),
 		f64("temp(C)"), f64("vpp(V)"), f64("aging(y)"),
+	}
+	if ex.disturb {
+		p.cols = append(p.cols, f64("disturb"))
+	}
+	if ex.retention {
+		p.cols = append(p.cols, f64("retention"))
+	}
+	if ex.mit {
+		p.cols = append(p.cols, str("mitigation"))
 	}
 	if col := axisColumn[skip]; col != "" {
 		for i := range p.cols {
@@ -148,12 +161,23 @@ func (p *pointCols) push(op core.OpKind, pt Point, skip string) {
 	}
 	c[2].Strings = append(c[2].Strings, pt.Pattern.String())
 	skipCol := axisColumn[skip]
-	for i, v := range []float64{pt.T1, pt.T2, pt.TempC, pt.VPP, pt.Aging} {
+	vals := []float64{pt.T1, pt.T2, pt.TempC, pt.VPP, pt.Aging}
+	if p.ex.disturb {
+		vals = append(vals, pt.Disturb)
+	}
+	if p.ex.retention {
+		vals = append(vals, pt.Retention)
+	}
+	for i, v := range vals {
 		col := &c[3+i]
 		col.Float64s = append(col.Float64s, v)
 		if col.Field.Nullable {
 			col.Valid = append(col.Valid, col.Field.Name != skipCol)
 		}
+	}
+	if p.ex.mit {
+		mc := &c[len(c)-1]
+		mc.Strings = append(mc.Strings, pt.Mit.String())
 	}
 }
 

@@ -72,6 +72,10 @@ func (cfg Config) runEnvelope(ctx context.Context, mods []*dram.Module) (*Result
 		grid.VPP = nil
 	case "aging":
 		grid.Aging = nil
+	case "disturb":
+		grid.Disturb = nil
+	case "retention":
+		grid.Retention = nil
 	}
 	base := grid.withDefaults(cfg.Op).points(cfg.Op)
 	probes := make([]Point, 0, 2*len(base))

@@ -64,6 +64,37 @@ func TestInvariances(t *testing.T) {
 			Subsettable:            true,
 		},
 		{
+			Name: "scenario/mitigation-grid",
+			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
+				t.Helper()
+				cfg := invariantConfig(v)
+				cfg.Grid = Grid{
+					T2:          []float64{1.5, 3.0},
+					Mitigations: []Mitigation{{}, {Kind: "tmr", Level: 3}, {Kind: "ecc", Level: 2}},
+				}
+				res, err := Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var b strings.Builder
+				if err := WriteReport(&b, res, "text"); err != nil {
+					t.Fatal(err)
+				}
+				units := make(map[string]string)
+				for _, pr := range res.Points {
+					for _, m := range pr.Modules {
+						units[invariance.UnitKey(m.Module, invariance.Sprint(pr.Point))] =
+							invariance.Sprint(m)
+					}
+				}
+				return b.String(), units
+			},
+			Cacheable:              true,
+			Permutable:             true,
+			PermutationKeepsOutput: true,
+			Subsettable:            true,
+		},
+		{
 			Name: "scenario/envelope",
 			Run: func(t *testing.T, v invariance.Variant) (string, map[string]string) {
 				t.Helper()

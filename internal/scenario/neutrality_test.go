@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// renderText runs cfg and returns the text report (neutrality-test
+// helper).
+func renderText(t *testing.T, cfg Config) (*Result, string) {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, res, "text"); err != nil {
+		t.Fatal(err)
+	}
+	return res, b.String()
+}
+
+// TestZeroPointNeutrality pins the contract that lets this PR's new axes
+// land without touching a single pre-existing golden: sweeping disturb,
+// retention or mitigation explicitly at the zero point must be
+// byte-identical to not mentioning the axis at all. Every result the
+// repo pinned before these axes existed enumerates the same points,
+// hashes to the same shard keys and renders the same bytes.
+func TestZeroPointNeutrality(t *testing.T) {
+	base := smallConfig()
+	base.Grid = smallGrid()
+	resBase, textBase := renderText(t, base)
+
+	explicit := smallConfig()
+	explicit.Grid = smallGrid()
+	explicit.Grid.Disturb = []float64{0}
+	explicit.Grid.Retention = []float64{0}
+	explicit.Grid.Mitigations = []Mitigation{{}}
+	resExplicit, textExplicit := renderText(t, explicit)
+
+	if textExplicit != textBase {
+		t.Fatalf("explicit zero axes changed the report:\n--- default\n%s\n--- explicit\n%s",
+			textBase, textExplicit)
+	}
+	if !reflect.DeepEqual(resExplicit.Points, resBase.Points) {
+		t.Fatal("explicit zero axes changed the point results")
+	}
+
+	// Shard keys must collapse too — an explicit zero that re-keyed the
+	// shards would silently cold-start every fleet cache on upgrade.
+	pBase := base.Grid.withDefaults(base.Op).points(base.Op)
+	pExplicit := explicit.Grid.withDefaults(explicit.Op).points(explicit.Op)
+	if !reflect.DeepEqual(pExplicit, pBase) {
+		t.Fatal("explicit zero axes changed the enumerated point sequence")
+	}
+}
+
+// TestMitigationNoneIsBareOperation: inside a mixed mitigation sweep the
+// "none" rows must be identical — point results and all — to a sweep
+// that never heard of mitigations. The redundancy co-simulation is a
+// strict overlay: selecting it for some points cannot perturb the bare
+// characterization sitting next to it in the same grid.
+func TestMitigationNoneIsBareOperation(t *testing.T) {
+	bare := smallConfig()
+	bare.Grid = Grid{T2: []float64{1.5, 3.0}}
+	resBare, _ := renderText(t, bare)
+
+	mixed := smallConfig()
+	mixed.Grid = Grid{
+		T2:          []float64{1.5, 3.0},
+		Mitigations: []Mitigation{{}, {Kind: "tmr", Level: 3}, {Kind: "ecc", Level: 2}},
+	}
+	resMixed, _ := renderText(t, mixed)
+
+	var nonePoints []PointResult
+	for _, pr := range resMixed.Points {
+		if pr.Point.Mit == (Mitigation{}) {
+			nonePoints = append(nonePoints, pr)
+		}
+	}
+	if len(nonePoints) != len(resBare.Points) {
+		t.Fatalf("mixed sweep has %d none-mitigation points; bare sweep has %d",
+			len(nonePoints), len(resBare.Points))
+	}
+	if !reflect.DeepEqual(nonePoints, resBare.Points) {
+		t.Fatal("none-mitigation rows diverged from the bare sweep")
+	}
+
+	// The mitigated points must actually differ from the bare rows —
+	// otherwise the co-simulation silently fell through to the bare path
+	// and this whole test proves nothing.
+	distinct := false
+	for _, pr := range resMixed.Points {
+		if pr.Point.Mit == (Mitigation{}) {
+			continue
+		}
+		for _, bp := range resBare.Points {
+			if bp.Point.T2 == pr.Point.T2 && bp.Pooled != pr.Pooled {
+				distinct = true
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("every mitigated point matched its bare row exactly; co-simulation inert?")
+	}
+}

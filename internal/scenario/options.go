@@ -23,14 +23,16 @@ type Options struct {
 	// Op is the operation family: "activation" (default), "maj" or "copy".
 	Op string
 	// Grid names a preset axis matrix: "nominal", "timing" (default),
-	// "thermal", "voltage", "pattern", "aging" or "full".
+	// "thermal", "voltage", "pattern", "aging", "mitigation" or "full".
 	Grid string
 	// Axes overrides preset axes: a ';'-separated list of
-	// "axis=v1,v2,..." entries, e.g. "t2=1.5,3;temp=50,90;pattern=random,all0".
-	// Valid axes: t1, t2, temp, vpp, aging, n, x, pattern.
+	// "axis=v1,v2,..." entries, e.g. "t2=1.5,3;temp=50,90;pattern=random,all0"
+	// or "mitigation=none,tmr:3,ecc:2". Valid axes: t1, t2, temp, vpp,
+	// aging, disturb, retention, n, x, pattern, mitigation.
 	Axes string
 	// Envelope switches to adaptive envelope search on the named axis
-	// ("t1", "t2", "temp", "vpp" or "aging"; "" = grid scan).
+	// ("t1", "t2", "temp", "vpp", "aging", "disturb" or "retention";
+	// "" = grid scan).
 	Envelope string
 	// Target is the envelope success threshold in (0, 1] (0 = 0.9).
 	Target float64
@@ -76,7 +78,7 @@ func patternNames() string {
 
 // GridNames lists the preset grid names in canonical order.
 func GridNames() []string {
-	return []string{"nominal", "timing", "thermal", "voltage", "pattern", "aging", "full"}
+	return []string{"nominal", "timing", "thermal", "voltage", "pattern", "aging", "mitigation", "full"}
 }
 
 // presetGrid resolves a named axis matrix.
@@ -94,6 +96,13 @@ func presetGrid(name string) (Grid, error) {
 		return Grid{Patterns: dram.MAJPatterns}, nil
 	case "aging":
 		return Grid{Aging: []float64{0, 2, 4, 8, 16}}, nil
+	case "mitigation":
+		// Redundancy sweep across a timing cliff: bare operation vs TMR
+		// voting vs parity reconstruction at a tight and a relaxed t2.
+		return Grid{
+			T2:          []float64{1.5, 3.0},
+			Mitigations: []Mitigation{{}, {Kind: "tmr", Level: 3}, {Kind: "ecc", Level: 2}},
+		}, nil
 	case "full":
 		return Grid{
 			T1:   timing.SweepT1SiMRA,
@@ -154,6 +163,10 @@ func applyAxes(g Grid, spec string) (Grid, error) {
 			g.VPP, err = floats()
 		case "aging":
 			g.Aging, err = floats()
+		case "disturb":
+			g.Disturb, err = floats()
+		case "retention":
+			g.Retention, err = floats()
 		case "n":
 			g.Rows, err = ints()
 		case "x":
@@ -171,8 +184,17 @@ func applyAxes(g Grid, spec string) (Grid, error) {
 				}
 				g.Patterns = append(g.Patterns, p)
 			}
+		case "mitigation":
+			g.Mitigations = nil
+			for _, s := range parts {
+				m, err := ParseMitigation(s)
+				if err != nil {
+					return g, err
+				}
+				g.Mitigations = append(g.Mitigations, m)
+			}
 		default:
-			return g, fmt.Errorf("scenario: unknown axis %q; valid: t1, t2, temp, vpp, aging, n, x, pattern", axis)
+			return g, fmt.Errorf("scenario: unknown axis %q; valid: t1, t2, temp, vpp, aging, disturb, retention, n, x, pattern, mitigation", axis)
 		}
 		if err != nil {
 			return g, err
@@ -276,9 +298,61 @@ func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // pct formats a rate as a percentage.
 func pct(rate float64) string { return fmt.Sprintf("%.2f%%", rate*100) }
 
+// axisExtras reports which optional axis columns (disturb, retention,
+// mitigation) a result renders: only axes swept away from their neutral
+// defaults appear, so pre-mitigation reports keep their exact column set
+// and bytes.
+type axisExtras struct{ disturb, retention, mit bool }
+
+// extras scans the result for non-neutral optional axes. In envelope mode
+// the bisected axis always renders (its "*" sentinel needs a column) even
+// though the stored base points keep the neutral value.
+func (r *Result) extras() axisExtras {
+	var ex axisExtras
+	mark := func(p Point) {
+		if p.Disturb != 0 {
+			ex.disturb = true
+		}
+		if p.Retention != 0 {
+			ex.retention = true
+		}
+		if p.Mit.Kind != "" {
+			ex.mit = true
+		}
+	}
+	for _, pr := range r.Points {
+		mark(pr.Point)
+	}
+	for _, c := range r.Cells {
+		mark(c.Base)
+	}
+	switch r.Axis {
+	case "disturb":
+		ex.disturb = true
+	case "retention":
+		ex.retention = true
+	}
+	return ex
+}
+
+// columns returns the point column headers including the gated extras.
+func (ex axisExtras) columns() []string {
+	cols := append([]string{}, pointColumns...)
+	if ex.disturb {
+		cols = append(cols, "disturb")
+	}
+	if ex.retention {
+		cols = append(cols, "retention")
+	}
+	if ex.mit {
+		cols = append(cols, "mitigation")
+	}
+	return cols
+}
+
 // pointCells renders a point's axis columns; the skipped axis (envelope
 // mode's bisected one) prints "*".
-func pointCells(op core.OpKind, p Point, skip string) []string {
+func pointCells(op core.OpKind, p Point, skip string, ex axisExtras) []string {
 	cell := func(axis string, v string) string {
 		if axis == skip {
 			return "*"
@@ -289,11 +363,21 @@ func pointCells(op core.OpKind, p Point, skip string) []string {
 	if op == core.OpMAJ {
 		x = fmt.Sprint(p.X)
 	}
-	return []string{
+	out := []string{
 		fmt.Sprint(p.N), x, p.Pattern.String(),
 		cell("t1", fnum(p.T1)), cell("t2", fnum(p.T2)),
 		cell("temp", fnum(p.TempC)), cell("vpp", fnum(p.VPP)), cell("aging", fnum(p.Aging)),
 	}
+	if ex.disturb {
+		out = append(out, cell("disturb", fnum(p.Disturb)))
+	}
+	if ex.retention {
+		out = append(out, cell("retention", fnum(p.Retention)))
+	}
+	if ex.mit {
+		out = append(out, p.Mit.String())
+	}
+	return out
 }
 
 var pointColumns = []string{"n", "x", "pattern", "t1(ns)", "t2(ns)", "temp(C)", "vpp(V)", "aging(y)"}
@@ -302,16 +386,17 @@ var pointColumns = []string{"n", "x", "pattern", "t1(ns)", "t2(ns)", "temp(C)", 
 // source of truth behind cmd/simra-scan and the serving layer's
 // /v1/scenario responses.
 func (r *Result) Table() charexp.Table {
+	ex := r.extras()
 	if r.Axis != "" {
 		t := charexp.Table{
 			ID: "Envelope",
 			Title: fmt.Sprintf("%v adaptive envelope: %s boundary at target %s",
 				r.Op, r.Axis, pct(r.Target)),
-			Columns: append(append([]string{"module", "mfr"}, pointColumns...),
+			Columns: append(append([]string{"module", "mfr"}, ex.columns()...),
 				"lo", "hi", "rate@lo", "rate@hi", "boundary", "status"),
 		}
 		for _, c := range r.Cells {
-			row := append([]string{c.Module, c.Mfr}, pointCells(r.Op, c.Base, r.Axis)...)
+			row := append([]string{c.Module, c.Mfr}, pointCells(r.Op, c.Base, r.Axis, ex)...)
 			row = append(row,
 				fnum(c.Lo), fnum(c.Hi), pct(c.RateLo), pct(c.RateHi),
 				fmt.Sprintf("%.3f", c.Boundary), c.Status)
@@ -322,11 +407,11 @@ func (r *Result) Table() charexp.Table {
 	t := charexp.Table{
 		ID:    "Scan",
 		Title: fmt.Sprintf("%v operating-envelope scan", r.Op),
-		Columns: append(append([]string{}, pointColumns...),
+		Columns: append(ex.columns(),
 			"groups", "mean", "min", "q1", "median", "q3", "max"),
 	}
 	for _, pr := range r.Points {
-		row := pointCells(r.Op, pr.Point, "")
+		row := pointCells(r.Op, pr.Point, "", ex)
 		row = append(row, fmt.Sprint(pr.Pooled.N),
 			pct(pr.Pooled.Mean), pct(pr.Pooled.Min), pct(pr.Pooled.Q1),
 			pct(pr.Pooled.Median), pct(pr.Pooled.Q3), pct(pr.Pooled.Max))

@@ -63,6 +63,8 @@ func shardKey(spec dram.Spec, params analog.Params, op core.OpKind, p Point,
 		Int(int(op)).Int(p.X).Int(p.N).
 		F64(p.T1).F64(p.T2).Int(int(p.Pattern)).
 		F64(p.TempC).F64(p.VPP).F64(p.Aging).
+		F64(p.Disturb).F64(p.Retention).
+		Str(p.Mit.Kind).Int(p.Mit.Level).
 		Int(subarrays).Int(groups).Int(banks).
 		Int(trials).U64(seed).
 		Int(s.Bank).Int(s.Subarray).

@@ -16,6 +16,7 @@ package scenario
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/analog"
@@ -25,6 +26,91 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/timing"
 )
+
+// Mitigation selects the redundancy co-simulation layered on a scenario
+// point (see internal/core's mitigation kernel): the zero value is
+// "none" — the bare operation, exactly the pre-mitigation behaviour.
+type Mitigation struct {
+	// Kind is "" (none), "tmr" (in-DRAM majority voting over replicated
+	// copies, internal/tmr) or "ecc" (parity-based reconstruction over
+	// bit-serial lanes, internal/bitserial).
+	Kind string
+	// Level is the redundancy degree: the vote width for tmr (odd, 3–9)
+	// or the data registers per parity row for ecc (2–4).
+	Level int
+}
+
+// String renders the canonical mitigation token ("none", "tmr:3", "ecc:2").
+func (m Mitigation) String() string {
+	if m.Kind == "" {
+		return "none"
+	}
+	return fmt.Sprintf("%s:%d", m.Kind, m.Level)
+}
+
+// MitigationNames lists the accepted mitigation tokens in canonical order
+// (the valid-options list of the serving layer's 422 envelope).
+func MitigationNames() []string {
+	return []string{"none", "tmr:3", "tmr:5", "tmr:7", "tmr:9", "ecc:2", "ecc:3", "ecc:4"}
+}
+
+func mitigationErr(tok string) error {
+	return fmt.Errorf("scenario: unknown mitigation %q; valid: %s",
+		tok, strings.Join(MitigationNames(), ", "))
+}
+
+// ParseMitigation parses a mitigation token: "none", "tmr"/"tmr:X" (odd
+// vote width 3–9, default 3) or "ecc"/"ecc:L" (data lanes 2–4, default 2).
+// Unknown names and out-of-range redundancy levels report the canonical
+// valid-options list.
+func ParseMitigation(s string) (Mitigation, error) {
+	tok := strings.ToLower(strings.TrimSpace(s))
+	kind, lvl, hasLvl := strings.Cut(tok, ":")
+	level := 0
+	if hasLvl {
+		v, err := strconv.Atoi(strings.TrimSpace(lvl))
+		if err != nil {
+			return Mitigation{}, mitigationErr(s)
+		}
+		level = v
+	}
+	switch kind {
+	case "none":
+		if hasLvl {
+			return Mitigation{}, mitigationErr(s)
+		}
+		return Mitigation{}, nil
+	case "tmr":
+		if !hasLvl {
+			level = 3
+		}
+		if level < 3 || level > 9 || level%2 == 0 {
+			return Mitigation{}, mitigationErr(s)
+		}
+		return Mitigation{Kind: "tmr", Level: level}, nil
+	case "ecc":
+		if !hasLvl {
+			level = 2
+		}
+		if level < 2 || level > 4 {
+			return Mitigation{}, mitigationErr(s)
+		}
+		return Mitigation{Kind: "ecc", Level: level}, nil
+	}
+	return Mitigation{}, mitigationErr(s)
+}
+
+// requiredMAJ returns the majority width the mitigation's in-DRAM
+// computation needs (0 = no mitigation).
+func (m Mitigation) requiredMAJ() int {
+	switch m.Kind {
+	case "tmr":
+		return m.Level
+	case "ecc":
+		return 3 // XOR chains are built from MAJ3
+	}
+	return 0
+}
 
 // Grid declares the swept axes of a scenario matrix. A nil axis collapses
 // to the operation's nominal value, so the zero Grid is the single
@@ -40,6 +126,12 @@ type Grid struct {
 	T2 []float64
 	// Aging lists operational-aging offsets (years; default {0}).
 	Aging []float64
+	// Disturb lists disturbance-interaction stress levels (unitless;
+	// default {0}, the quiet-array zero point).
+	Disturb []float64
+	// Retention lists retention stress levels (refresh-interval
+	// multiples beyond spec; default {0}, in-spec refresh).
+	Retention []float64
 	// Rows lists simultaneously-activated-row counts (powers of two;
 	// default {32}).
 	Rows []int
@@ -48,6 +140,9 @@ type Grid struct {
 	MAJX []int
 	// Patterns lists data patterns (default {PatternRandom}).
 	Patterns []dram.Pattern
+	// Mitigations lists redundancy mitigations co-simulated at every
+	// point (default {none}).
+	Mitigations []Mitigation
 }
 
 // withDefaults collapses unset axes to the operation's nominal point.
@@ -74,6 +169,15 @@ func (g Grid) withDefaults(op core.OpKind) Grid {
 	if len(g.Aging) == 0 {
 		g.Aging = []float64{0}
 	}
+	if len(g.Disturb) == 0 {
+		g.Disturb = []float64{0}
+	}
+	if len(g.Retention) == 0 {
+		g.Retention = []float64{0}
+	}
+	if len(g.Mitigations) == 0 {
+		g.Mitigations = []Mitigation{{}}
+	}
 	if len(g.Rows) == 0 {
 		g.Rows = []int{32}
 	}
@@ -89,18 +193,24 @@ func (g Grid) withDefaults(op core.OpKind) Grid {
 // Point is one fully resolved scenario point: an operating condition the
 // fleet is characterized under.
 type Point struct {
-	N       int // simultaneously activated rows
-	X       int // majority width (MAJ operations only)
-	Pattern dram.Pattern
-	T1, T2  float64 // APA timings, ns
-	TempC   float64 // °C
-	VPP     float64 // V
-	Aging   float64 // years
+	N         int // simultaneously activated rows
+	X         int // majority width (MAJ operations only)
+	Pattern   dram.Pattern
+	T1, T2    float64 // APA timings, ns
+	TempC     float64 // °C
+	VPP       float64 // V
+	Aging     float64 // years
+	Disturb   float64 // disturbance-interaction stress
+	Retention float64 // retention stress, refresh-interval multiples
+	// Mit is the redundancy mitigation co-simulated at the point (zero =
+	// none: the bare operation).
+	Mit Mitigation
 }
 
 // Env returns the point's operating environment.
 func (p Point) Env() analog.Env {
-	return analog.Env{TempC: p.TempC, VPP: p.VPP, Aging: p.Aging}
+	return analog.Env{TempC: p.TempC, VPP: p.VPP, Aging: p.Aging,
+		Disturb: p.Disturb, Retention: p.Retention}
 }
 
 // Timings returns the point's APA timing pair.
@@ -110,7 +220,9 @@ func (p Point) Timings() timing.APATimings {
 
 // points enumerates the grid's cross product in canonical nested order
 // (rows → majority width → pattern → t1 → t2 → temperature → VPP →
-// aging): the deterministic scan and table order.
+// aging → disturb → retention → mitigation): the deterministic scan and
+// table order. The three trailing axes default to single neutral values,
+// so pre-mitigation grids enumerate the identical point sequence.
 func (g Grid) points(op core.OpKind) []Point {
 	var out []Point
 	for _, n := range g.Rows {
@@ -121,11 +233,18 @@ func (g Grid) points(op core.OpKind) []Point {
 						for _, temp := range g.Temp {
 							for _, vpp := range g.VPP {
 								for _, aging := range g.Aging {
-									out = append(out, Point{
-										N: n, X: x, Pattern: pat,
-										T1: t1, T2: t2,
-										TempC: temp, VPP: vpp, Aging: aging,
-									})
+									for _, dist := range g.Disturb {
+										for _, ret := range g.Retention {
+											for _, mit := range g.Mitigations {
+												out = append(out, Point{
+													N: n, X: x, Pattern: pat,
+													T1: t1, T2: t2,
+													TempC: temp, VPP: vpp, Aging: aging,
+													Disturb: dist, Retention: ret, Mit: mit,
+												})
+											}
+										}
+									}
 								}
 							}
 						}
@@ -142,7 +261,8 @@ func (g Grid) points(op core.OpKind) []Point {
 // it per (module, base point) to locate the boundary where the module's
 // mean all-trials success crosses Target.
 type Envelope struct {
-	// Axis is the bisected axis: "t1", "t2", "temp", "vpp" or "aging".
+	// Axis is the bisected axis: "t1", "t2", "temp", "vpp", "aging",
+	// "disturb" or "retention".
 	Axis string
 	// Lo and Hi bound the search (0/0 = the axis default, see AxisBounds).
 	Lo, Hi float64
@@ -154,7 +274,9 @@ type Envelope struct {
 }
 
 // EnvelopeAxes lists the bisectable axes in canonical order.
-func EnvelopeAxes() []string { return []string{"t1", "t2", "temp", "vpp", "aging"} }
+func EnvelopeAxes() []string {
+	return []string{"t1", "t2", "temp", "vpp", "aging", "disturb", "retention"}
+}
 
 // AxisBounds returns the default search range of a bisectable axis,
 // spanning the envelope the simulated tester supports.
@@ -173,6 +295,10 @@ func AxisBounds(axis string) (lo, hi float64, err error) {
 		return 2.1, 2.5, nil
 	case "aging":
 		return 0, 20, nil
+	case "disturb":
+		return 0, 32, nil
+	case "retention":
+		return 0, 32, nil
 	default:
 		return 0, 0, fmt.Errorf("scenario: unknown envelope axis %q; valid: %s",
 			axis, strings.Join(EnvelopeAxes(), ", "))
@@ -219,6 +345,10 @@ func (p Point) withAxis(axis string, v float64) Point {
 		p.VPP = v
 	case "aging":
 		p.Aging = v
+	case "disturb":
+		p.Disturb = v
+	case "retention":
+		p.Retention = v
 	}
 	return p
 }
@@ -342,6 +472,11 @@ func (cfg Config) validate(points []Point) error {
 		if err := p.Env().Validate(); err != nil {
 			return err
 		}
+		// Round-trip through the parser: one source of truth for kind and
+		// redundancy-level bounds.
+		if _, err := ParseMitigation(p.Mit.String()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -358,6 +493,9 @@ func applies(profile dram.Profile, op core.OpKind, p Point) bool {
 	if len(profile.Decoder.FieldBits) > 0 && p.N > 1<<len(profile.Decoder.FieldBits) {
 		return false
 	}
+	if w := p.Mit.requiredMAJ(); w > 0 && w > profile.MaxMAJ {
+		return false
+	}
 	return true
 }
 
@@ -372,5 +510,7 @@ func (cfg Config) sweepConfig(p Point) core.SweepConfig {
 		SubarraysPerBank:  cfg.SubarraysPerBank,
 		GroupsPerSubarray: cfg.GroupsPerSubarray,
 		Banks:             cfg.Banks,
+		Mitigation:        p.Mit.Kind,
+		MitLevel:          p.Mit.Level,
 	}
 }

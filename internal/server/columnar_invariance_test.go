@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/charexp"
 	"repro/internal/colenc"
 	"repro/internal/core"
@@ -120,6 +121,96 @@ func TestColumnarInvariance(t *testing.T) {
 			blockingPath("/v1/workload", csvBody),
 			decodedCSVPath("/v1/workload", body, func(tab *colenc.Table) (string, error) {
 				rt, err := workload.ColumnarStrings(tab)
+				if err != nil {
+					return "", err
+				}
+				return rt.CSV(), nil
+			}),
+		})
+	})
+
+	t.Run("mitigation-grid", func(t *testing.T) {
+		req := ScenarioRequest{Axes: "t2=1.5,3;mitigation=none,tmr:3,ecc:2",
+			Columns: 64, Groups: 1, Banks: 1, Trials: 1, Format: "columnar"}
+		q, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := invariance.Path{Name: "cli", Run: func(t *testing.T, v invariance.Variant) string {
+			t.Helper()
+			cfg, err := q.options().Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.Memo = cache.NewTyped[[]core.GroupOutcome](v.Store, nil)
+			}
+			res, err := scenario.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			if err := scenario.WriteReport(&b, res, q.Format); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}}
+		body := `{"axes":"t2=1.5,3;mitigation=none,tmr:3,ecc:2","cols":64,"groups":1,"banks":1,"trials":1,"format":"columnar"}`
+		invariance.CheckPaths(t, "mitigation-columnar", true, []invariance.Path{
+			cli, blockingPath("/v1/scenario", body), jobPath(`{"kind":"scenario","scenario":` + body + `}`),
+		})
+
+		csvBody := strings.Replace(body, "columnar", "csv", 1)
+		invariance.CheckPaths(t, "mitigation-metamorphic", true, []invariance.Path{
+			blockingPath("/v1/scenario", csvBody),
+			decodedCSVPath("/v1/scenario", body, func(tab *colenc.Table) (string, error) {
+				rt, err := scenario.ColumnarStrings(tab)
+				if err != nil {
+					return "", err
+				}
+				return rt.CSV(), nil
+			}),
+		})
+	})
+
+	t.Run("campaign", func(t *testing.T) {
+		req := CampaignRequest{Workload: "bitmap-scan", Top: 5, Columns: 64, Format: "columnar"}
+		q, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := invariance.Path{Name: "cli", Run: func(t *testing.T, v invariance.Variant) string {
+			t.Helper()
+			cfg, err := q.options().Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Engine.Workers = v.Workers
+			if v.Store != nil {
+				cfg.ModMemo = cache.NewTyped[[]workload.Result](v.Store, nil)
+				cfg.Memo = cache.NewTyped[campaign.Eval](v.Store, nil)
+			}
+			res, err := campaign.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			if err := campaign.WriteReport(&b, res, q.Format); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}}
+		body := `{"workload":"bitmap-scan","top":5,"cols":64,"format":"columnar"}`
+		invariance.CheckPaths(t, "campaign-columnar", true, []invariance.Path{
+			cli, blockingPath("/v1/campaign", body), jobPath(`{"kind":"campaign","campaign":` + body + `}`),
+		})
+
+		csvBody := strings.Replace(body, "columnar", "csv", 1)
+		invariance.CheckPaths(t, "campaign-metamorphic", true, []invariance.Path{
+			blockingPath("/v1/campaign", csvBody),
+			decodedCSVPath("/v1/campaign", body, func(tab *colenc.Table) (string, error) {
+				rt, err := campaign.ColumnarStrings(tab)
 				if err != nil {
 					return "", err
 				}

@@ -235,7 +235,7 @@ func TestColumnarPaging(t *testing.T) {
 func TestColumnarValidOptionsContract(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	want := []string{"text", "csv", "columnar"}
-	for _, path := range []string{"/v1/sweep", "/v1/workload", "/v1/scenario"} {
+	for _, path := range []string{"/v1/sweep", "/v1/workload", "/v1/scenario", "/v1/campaign"} {
 		code, body := postJSON(t, ts.URL+path, `{"format":"parquet"}`)
 		if code != http.StatusUnprocessableEntity {
 			t.Fatalf("%s: status %d, want 422", path, code)
@@ -249,6 +249,72 @@ func TestColumnarValidOptionsContract(t *testing.T) {
 		}
 		if !reflect.DeepEqual(e.Error.ValidOptions, want) {
 			t.Fatalf("%s: valid_options %v; want %v", path, e.Error.ValidOptions, want)
+		}
+	}
+}
+
+// TestAxisValidOptionsContract extends the 422 contract to the PR's new
+// knobs: mitigation tokens on the scenario envelope and the campaign's
+// workload/fleet-size parameters all answer invalid input with the full
+// enumerated valid_options list, exactly like the older families.
+func TestAxisValidOptionsContract(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+		exact            []string // full expected list (nil = check contains instead)
+		contains         string
+	}{
+		{
+			name: "scenario unknown mitigation", path: "/v1/scenario",
+			body:  `{"axes":"mitigation=frob"}`,
+			exact: scenario.MitigationNames(),
+		},
+		{
+			name: "scenario even TMR width", path: "/v1/scenario",
+			body:  `{"axes":"mitigation=tmr:4"}`,
+			exact: scenario.MitigationNames(),
+		},
+		{
+			name: "scenario unknown grid", path: "/v1/scenario",
+			body:  `{"grid":"martian"}`,
+			exact: scenario.GridNames(),
+		},
+		{
+			name: "campaign unknown workload", path: "/v1/campaign",
+			body:     `{"workload":"quantum-sort"}`,
+			contains: "bitmap-scan",
+		},
+		{
+			name: "campaign fleet size out of range", path: "/v1/campaign",
+			body:  `{"size":9}`,
+			exact: []string{"1", "2", "3", "4", "5", "6"},
+		},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d (%s); want 422", tc.name, code, body)
+		}
+		var e ErrorEnvelope
+		if err := json.Unmarshal([]byte(body), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Error.Code != "invalid_argument" || e.Error.RequestID == "" {
+			t.Fatalf("%s: envelope %+v; want invalid_argument with request id", tc.name, e.Error)
+		}
+		if tc.exact != nil && !reflect.DeepEqual(e.Error.ValidOptions, tc.exact) {
+			t.Fatalf("%s: valid_options %v; want %v", tc.name, e.Error.ValidOptions, tc.exact)
+		}
+		if tc.contains != "" {
+			found := false
+			for _, v := range e.Error.ValidOptions {
+				if v == tc.contains {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: valid_options %v; want list containing %q", tc.name, e.Error.ValidOptions, tc.contains)
+			}
 		}
 	}
 }

@@ -3,6 +3,9 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -139,28 +142,40 @@ func TestHealthRoles(t *testing.T) {
 }
 
 // TestGroupsByteIdentity: a multi-group coordinator must answer public
-// requests byte-identically to a plain single node.
+// requests byte-identically to a plain single node, at every fleet width
+// the deployment docs mention (1, 2 and 4 groups).
 func TestGroupsByteIdentity(t *testing.T) {
 	_, tsPlain := testServer(t, Config{})
-	_, tsFleet := testServer(t, Config{Groups: 3})
+	var fleets []*httptest.Server
+	for _, groups := range []int{2, 4} {
+		_, ts := testServer(t, Config{Groups: groups})
+		fleets = append(fleets, ts)
+	}
 	for _, tc := range []struct{ path, body string }{
 		{"/v1/sweep", smallSweep()},
 		{"/v1/workload", `{"workloads":"bitmap-scan","modules":"representative","cols":64,"maxx":3,"format":"csv"}`},
+		{"/v1/campaign", `{"workload":"bitmap-scan","top":5,"cols":64,"format":"csv"}`},
 	} {
 		stP, bodyP := postJSON(t, tsPlain.URL+tc.path, tc.body)
-		stF, bodyF := postJSON(t, tsFleet.URL+tc.path, tc.body)
-		if stP != http.StatusOK || stF != http.StatusOK {
-			t.Fatalf("%s: plain %d fleet %d (%s)", tc.path, stP, stF, bodyF)
+		if stP != http.StatusOK {
+			t.Fatalf("%s: plain node status %d (%s)", tc.path, stP, bodyP)
 		}
-		var rp, rf Response
+		var rp Response
 		if err := json.Unmarshal([]byte(bodyP), &rp); err != nil {
 			t.Fatal(err)
 		}
-		if err := json.Unmarshal([]byte(bodyF), &rf); err != nil {
-			t.Fatal(err)
-		}
-		if rp.Output != rf.Output || rp.Key != rf.Key {
-			t.Fatalf("%s: multi-group output diverged from single-node", tc.path)
+		for i, tsFleet := range fleets {
+			stF, bodyF := postJSON(t, tsFleet.URL+tc.path, tc.body)
+			if stF != http.StatusOK {
+				t.Fatalf("%s: fleet %d status %d (%s)", tc.path, i, stF, bodyF)
+			}
+			var rf Response
+			if err := json.Unmarshal([]byte(bodyF), &rf); err != nil {
+				t.Fatal(err)
+			}
+			if rp.Output != rf.Output || rp.Key != rf.Key {
+				t.Fatalf("%s: multi-group output diverged from single-node", tc.path)
+			}
 		}
 	}
 }
@@ -224,6 +239,40 @@ func TestPeerTopology(t *testing.T) {
 	}
 	if rw.Output != rp.Output {
 		t.Fatal("worker's tier-served output diverged")
+	}
+}
+
+// TestRemoteCacheErrorSurfacing: a worker whose shared tier points at a
+// dead cache host must still serve requests (degraded to local compute),
+// but the failure has to be visible — a warn line on the audit log and a
+// nonzero simra_cache_remote_errors_total in /metrics — instead of
+// masquerading as an endless cold cache.
+func TestRemoteCacheErrorSurfacing(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{CachePeer: "http://127.0.0.1:1", AuditLog: log})
+
+	status, body := postJSON(t, ts.URL+"/v1/trng", `{"bytes":16,"seed":7}`)
+	if status != http.StatusOK {
+		t.Fatalf("trng through dead cache host: status %d (%s); want 200 (degraded, not broken)", status, body)
+	}
+
+	_, metrics := doReq(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	line := ""
+	for _, l := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(l, "simra_cache_remote_errors_total ") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("/metrics has no simra_cache_remote_errors_total line:\n%s", metrics)
+	}
+	if n, err := strconv.Atoi(strings.TrimPrefix(line, "simra_cache_remote_errors_total ")); err != nil || n < 1 {
+		t.Fatalf("remote errors metric %q; want >= 1 after a dead-host request", line)
+	}
+
+	audit := log.String()
+	if !strings.Contains(audit, `"level":"warn"`) || !strings.Contains(audit, `"event":"cache_remote_error"`) {
+		t.Fatalf("audit log carries no cache_remote_error warn line:\n%s", audit)
 	}
 }
 

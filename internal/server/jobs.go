@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/charexp"
 	"repro/internal/colenc"
 	"repro/internal/dram"
@@ -26,11 +28,12 @@ import (
 // so a job and the corresponding blocking POST address the same cache
 // entry and produce byte-identical output.
 type JobRequest struct {
-	Kind     string           `json:"kind"` // "sweep", "workload", "trng" or "scenario"
+	Kind     string           `json:"kind"` // "sweep", "workload", "trng", "scenario" or "campaign"
 	Sweep    *SweepRequest    `json:"sweep,omitempty"`
 	Workload *WorkloadRequest `json:"workload,omitempty"`
 	TRNG     *TRNGRequest     `json:"trng,omitempty"`
 	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+	Campaign *CampaignRequest `json:"campaign,omitempty"`
 	// Webhook, when set, receives the signed terminal job status (see
 	// DESIGN.md §11 for the signature scheme).
 	Webhook *jobs.WebhookSpec `json:"webhook,omitempty"`
@@ -80,8 +83,18 @@ func (q JobRequest) normalize() (JobRequest, error) {
 			return q, err
 		}
 		q.Scenario = &n
+	case "campaign":
+		inner := CampaignRequest{}
+		if q.Campaign != nil {
+			inner = *q.Campaign
+		}
+		n, err := inner.normalize()
+		if err != nil {
+			return q, err
+		}
+		q.Campaign = &n
 	default:
-		return q, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario", q.Kind)
+		return q, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario, campaign", q.Kind)
 	}
 	if q.Webhook != nil && q.Webhook.URL == "" {
 		return q, fmt.Errorf("webhook needs a url")
@@ -99,6 +112,8 @@ func (q JobRequest) key() cache.Key {
 		return q.Workload.key()
 	case "trng":
 		return q.TRNG.key()
+	case "campaign":
+		return q.Campaign.key()
 	default:
 		return q.Scenario.key()
 	}
@@ -181,6 +196,33 @@ func (s *Server) scenarioExec(q ScenarioRequest) kindExec {
 	}
 }
 
+// campaignExec builds the campaign pipeline for one normalized request.
+// Phase-1 module shards share workloadMemo with the workload family;
+// phase-2 candidate evaluations memoize under campaignMemo.
+func (s *Server) campaignExec(q CampaignRequest) kindExec {
+	return func(ctx context.Context, st *engine.Stats, pool dram.ModulePool) (string, error) {
+		cfg, err := q.options().Resolve()
+		if err != nil {
+			return "", err
+		}
+		cfg.Engine.Workers = s.cfg.Workers
+		cfg.ModMemo = s.workloadMemo
+		cfg.Memo = s.campaignMemo
+		cfg.Dispatch = s.dispatch(ctx)
+		cfg.Stats = st
+		cfg.Pool = pool
+		res, err := campaign.Run(ctx, cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := campaign.WriteReport(&b, res, q.Format); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+}
+
 // trngExec builds the TRNG pipeline for one normalized request. The
 // generator runs on a private throwaway module, so the warmpool and
 // progress hooks don't apply.
@@ -203,6 +245,8 @@ func (q JobRequest) exec(s *Server) kindExec {
 		return s.workloadExec(*q.Workload)
 	case "trng":
 		return s.trngExec(*q.TRNG)
+	case "campaign":
+		return s.campaignExec(*q.Campaign)
 	default:
 		return s.scenarioExec(*q.Scenario)
 	}
@@ -405,20 +449,34 @@ func lastEventID(r *http.Request) int64 {
 	return id
 }
 
+// sseClient resolves the identity the per-client SSE cap keys on: the
+// authenticated bearer client when auth is on, the remote address host
+// otherwise (with auth off every request is "anonymous", which would
+// collapse the per-client cap back into a global one).
+func (s *Server) sseClient(r *http.Request) string {
+	if client := ClientFrom(r.Context()); len(s.cfg.AuthTokens) > 0 && client != "" {
+		return client
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 // handleJobEvents is GET /v1/jobs/{id}/events: the job's progress stream
 // as Server-Sent Events. Reconnects resume from Last-Event-ID; beyond
-// the connection cap the request sheds with 503 + Retry-After; the
-// stream ends after the "done" event.
+// the per-client cap or the global ceiling the request sheds with 503 +
+// Retry-After; the stream ends after the "done" event.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err, http.StatusNotFound)
 		return
 	}
-	release, ok := s.jobs.AcquireSSE()
+	release, reason, ok := s.jobs.AcquireSSE(s.sseClient(r))
 	if !ok {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, r, fmt.Errorf("event stream connection cap reached"), http.StatusServiceUnavailable)
+		writeError(w, r, fmt.Errorf("event stream connection cap reached (%s)", reason), http.StatusServiceUnavailable)
 		return
 	}
 	defer release()

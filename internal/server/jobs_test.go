@@ -385,7 +385,7 @@ func TestJobSSECapAndReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	release, ok := s.jobs.AcquireSSE()
+	release, _, ok := s.jobs.AcquireSSE("test-probe")
 	if !ok {
 		t.Fatal("test could not claim the only SSE slot")
 	}
@@ -438,6 +438,91 @@ func TestJobSSECapAndReplay(t *testing.T) {
 	}
 	if s.JobMetrics().SSERejected == 0 {
 		t.Fatal("sse_rejected counter never moved")
+	}
+}
+
+// TestJobSSEPerClientCap is the fairness acceptance test: with client
+// auth on, one tenant sitting at its per-client SSE cap sheds with 503 +
+// Retry-After (reason "client") while a second authenticated client
+// still opens its stream from the global pool, and the rejection metric
+// splits by reason.
+func TestJobSSEPerClientCap(t *testing.T) {
+	s, ts := testServer(t, Config{
+		MaxSSE:          4,
+		MaxSSEPerClient: 1,
+		AuthTokens:      map[string]string{"alice-token": "alice", "bob-token": "bob"},
+	})
+	get := func(token, path string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"kind":"trng","trng":{"bytes":16}}`))
+	req.Header.Set("Authorization", "Bearer alice-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := s.WaitJob(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice holds her only per-client slot.
+	release, _, ok := s.jobs.AcquireSSE("alice")
+	if !ok {
+		t.Fatal("test could not claim alice's SSE slot")
+	}
+	defer release()
+
+	resp = get("alice-token", "/v1/jobs/"+st.ID+"/events")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("alice over her cap got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("per-client rejection missing Retry-After")
+	}
+	if !strings.Contains(string(body), "client") {
+		t.Fatalf("rejection envelope does not name the client cap: %s", body)
+	}
+
+	// Bob — a different authenticated client — still streams.
+	resp = get("bob-token", "/v1/jobs/"+st.ID+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob got %d although the global pool has room", resp.StatusCode)
+	}
+	evs := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(evs) == 0 || evs[len(evs)-1].Type != "done" {
+		t.Fatalf("bob's stream malformed: %+v", evs)
+	}
+
+	jm := s.JobMetrics()
+	if jm.SSERejectedClient != 1 || jm.SSERejectedGlobal != 0 {
+		t.Fatalf("rejection split client=%d global=%d, want 1/0", jm.SSERejectedClient, jm.SSERejectedGlobal)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), `simra_jobs_sse_rejected_total{reason="client"} 1`) ||
+		!strings.Contains(string(metrics), `simra_jobs_sse_rejected_total{reason="global"} 0`) {
+		t.Fatalf("metrics page missing the split rejection counters:\n%s", metrics)
 	}
 }
 

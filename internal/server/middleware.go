@@ -136,6 +136,28 @@ func (s *Server) audit(next http.Handler) http.Handler {
 	})
 }
 
+// auditWarn emits one out-of-band operational warning line on the audit
+// log (a no-op when audit logging is off). Warnings share the request
+// log's append-only stream and serialization, so e.g. remote cache-tier
+// failures appear interleaved with the requests they degraded.
+func (s *Server) auditWarn(event, detail string) {
+	if s.cfg.AuditLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]string{
+		"time":   time.Now().UTC().Format(time.RFC3339Nano),
+		"level":  "warn",
+		"event":  event,
+		"detail": detail,
+	})
+	if err != nil {
+		return
+	}
+	s.auditMu.Lock()
+	fmt.Fprintf(s.cfg.AuditLog, "%s\n", line)
+	s.auditMu.Unlock()
+}
+
 // auditClient records the authenticated client on the in-flight audit
 // entry (a no-op without audit logging).
 func auditClient(ctx context.Context, client string) {

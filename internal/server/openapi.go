@@ -89,6 +89,17 @@ func (s *Server) routes() []apiRoute {
 				}),
 		},
 		{
+			Method: "post", Path: "/v1/campaign",
+			Summary: "Run a fleet-design campaign: rank Table-2 module mixes by reliable throughput per watt",
+			Request: reflect.TypeOf(CampaignRequest{}), Response: reflect.TypeOf(Response{}),
+			Columnar: true,
+			handler: endpoint(CampaignRequest.normalize, s.runCampaign,
+				func(r *http.Request, q CampaignRequest) CampaignRequest {
+					q.Format = acceptFormat(r, q.Format)
+					return q
+				}),
+		},
+		{
 			Method: "post", Path: "/v1/batch",
 			Summary: "Run several requests in one round trip, each through the cache + coalescing path",
 			Request: reflect.TypeOf(BatchRequest{}), Response: reflect.TypeOf(BatchResponse{}),

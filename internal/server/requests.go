@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/charexp"
 	"repro/internal/fleet"
 	"repro/internal/scenario"
@@ -307,13 +308,69 @@ func (q ScenarioRequest) key() cache.Key {
 		Sum()
 }
 
+// CampaignRequest asks for a fleet-design campaign — the ranked search
+// over Table-2 module mixes for the best reliable throughput per watt on
+// a target workload — with the same parameter surface as
+// cmd/simra-campaign (minus -workers; see SweepRequest). The response is
+// byte-identical to the CLI's stdout for the same parameters.
+type CampaignRequest struct {
+	// Workload is the target workload's name (default "bitmap-scan").
+	Workload string `json:"workload,omitempty"`
+	// FleetSize is the number of modules per candidate mix (0 = 3, max 6).
+	FleetSize int `json:"size,omitempty"`
+	// Top bounds the ranked candidates in the report (0 = 10).
+	Top int `json:"top,omitempty"`
+	// MaxX, Columns and Seed override the defaults (0 = default).
+	MaxX    int    `json:"maxx,omitempty"`
+	Columns int    `json:"cols,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Format is "text" (default), "csv" or "columnar".
+	Format string `json:"format,omitempty"`
+}
+
+// normalize fills defaults and validates the request by resolving it.
+func (q CampaignRequest) normalize() (CampaignRequest, error) {
+	if q.Workload == "" {
+		q.Workload = "bitmap-scan"
+	}
+	if q.Format = normalizeFormat(q.Format); !validFormat(q.Format) {
+		return q, fmt.Errorf("unknown format %q; valid: text, csv, columnar", q.Format)
+	}
+	if _, err := q.options().Resolve(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// options maps the request onto the shared CLI resolution.
+func (q CampaignRequest) options() campaign.Options {
+	return campaign.Options{
+		Workload:  q.Workload,
+		FleetSize: q.FleetSize,
+		Top:       q.Top,
+		MaxX:      q.MaxX,
+		Columns:   q.Columns,
+		Seed:      q.Seed,
+	}
+}
+
+// key is the normalized request's content hash.
+func (q CampaignRequest) key() cache.Key {
+	return cache.NewHasher().
+		Str(keyTag("campaign", q.Format)).
+		Str(q.Workload).Int(q.FleetSize).Int(q.Top).
+		Int(q.MaxX).Int(q.Columns).U64(q.Seed).Str(q.Format).
+		Sum()
+}
+
 // BatchItem is one request of a batch, discriminated by Kind.
 type BatchItem struct {
-	Kind     string           `json:"kind"` // "sweep", "workload", "trng" or "scenario"
+	Kind     string           `json:"kind"` // "sweep", "workload", "trng", "scenario" or "campaign"
 	Sweep    *SweepRequest    `json:"sweep,omitempty"`
 	Workload *WorkloadRequest `json:"workload,omitempty"`
 	TRNG     *TRNGRequest     `json:"trng,omitempty"`
 	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+	Campaign *CampaignRequest `json:"campaign,omitempty"`
 }
 
 // format returns the item's requested render format, "" when the inner
@@ -331,6 +388,10 @@ func (b BatchItem) format() string {
 	case "scenario":
 		if b.Scenario != nil {
 			return b.Scenario.Format
+		}
+	case "campaign":
+		if b.Campaign != nil {
+			return b.Campaign.Format
 		}
 	}
 	return ""

@@ -10,6 +10,7 @@
 //	POST /v1/workload  a fleet-wide workload run (cmd/simra-work's surface)
 //	POST /v1/trng      health-screened random bytes (cmd/simra-trng's surface)
 //	POST /v1/scenario  an operating-envelope scan or envelope search (cmd/simra-scan's surface)
+//	POST /v1/campaign  a fleet-design campaign over Table-2 module mixes (cmd/simra-campaign's surface)
 //	POST /v1/batch     several of the above in one round trip
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus-style counters
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/colenc"
 	"repro/internal/core"
@@ -87,6 +89,11 @@ type Config struct {
 	JobPoll time.Duration
 	// MaxSSE caps concurrent job event-stream subscribers (0 = 32).
 	MaxSSE int
+	// MaxSSEPerClient caps concurrent job event-stream subscribers per
+	// client identity (0 = 8) — the authenticated bearer client, or the
+	// remote address when client auth is off — so one client cannot
+	// exhaust the global subscriber pool.
+	MaxSSEPerClient int
 	// WarmpoolPerKey caps idle warm module instances kept per module
 	// identity for job executions (0 = 4).
 	WarmpoolPerKey int
@@ -155,7 +162,7 @@ func (c Config) withDefaults() Config {
 var errBusy = errors.New("server: execution queue full")
 
 // kinds are the request families the counters track.
-var kinds = []string{"sweep", "workload", "trng", "scenario", "batch"}
+var kinds = []string{"sweep", "workload", "trng", "scenario", "campaign", "batch"}
 
 // kindCounters tracks one request family.
 type kindCounters struct {
@@ -178,11 +185,13 @@ type Server struct {
 	// Config.Backend, a RemoteCache client, or hosted).
 	hosted  *cache.MemBackend
 	backend cache.Backend
-	// sweepMemo and workloadMemo are typed views of store used as engine
-	// shard memos, so shard results are shared across requests that only
-	// partially overlap (e.g. two figures sweeping the same cell).
+	// sweepMemo, workloadMemo and campaignMemo are typed views of store
+	// used as engine shard memos, so shard results are shared across
+	// requests that only partially overlap (e.g. two figures sweeping the
+	// same cell, or a campaign warming later workload requests).
 	sweepMemo    engine.Memo[[]core.GroupOutcome]
 	workloadMemo engine.Memo[[]workload.Result]
+	campaignMemo engine.Memo[campaign.Eval]
 
 	slots    chan struct{}
 	queued   atomic.Int64
@@ -232,6 +241,9 @@ func New(cfg Config) *Server {
 		workloadMemo: cache.NewTyped[[]workload.Result](store, func(rs []workload.Result) int64 {
 			return 64 + int64(len(rs))*360
 		}),
+		campaignMemo: cache.NewTyped[campaign.Eval](store, func(campaign.Eval) int64 {
+			return 96
+		}),
 		slots:    make(chan struct{}, cfg.MaxInflight),
 		counters: make(map[string]*kindCounters, len(kinds)),
 		start:    time.Now(),
@@ -241,11 +253,12 @@ func New(cfg Config) *Server {
 	}
 	s.pool = jobs.NewWarmpool(cfg.WarmpoolPerKey)
 	s.jobs = jobs.NewManager(jobs.Config{
-		Workers:    cfg.JobWorkers,
-		QueueDepth: cfg.JobQueue,
-		TTL:        cfg.JobTTL,
-		Poll:       cfg.JobPoll,
-		MaxSSE:     cfg.MaxSSE,
+		Workers:         cfg.JobWorkers,
+		QueueDepth:      cfg.JobQueue,
+		TTL:             cfg.JobTTL,
+		Poll:            cfg.JobPoll,
+		MaxSSE:          cfg.MaxSSE,
+		MaxSSEPerClient: cfg.MaxSSEPerClient,
 	})
 
 	// Cluster wiring. The shared backend resolves by priority: an injected
@@ -258,7 +271,16 @@ func New(cfg Config) *Server {
 	case cfg.Backend != nil:
 		s.backend = cfg.Backend
 	case cfg.CachePeer != "":
-		s.backend = cluster.NewRemoteCache(cfg.CachePeer, cfg.ClusterToken)
+		rc := cluster.NewRemoteCache(cfg.CachePeer, cfg.ClusterToken)
+		// Remote-tier failures degrade to misses by contract, but not
+		// silently: each one lands in the audit log (and the error counter
+		// feeds simra_cache_remote_errors_total), so a down or
+		// misconfigured cache host is visible instead of looking like a
+		// cold cache.
+		rc.OnError = func(op string, err error) {
+			s.auditWarn("cache_remote_error", fmt.Sprintf("%s %s: %v", op, cfg.CachePeer, err))
+		}
+		s.backend = rc
 	case fleetNode:
 		s.backend = s.hosted
 	}
@@ -463,6 +485,14 @@ func (s *Server) runTRNG(ctx context.Context, q TRNGRequest) (Response, error) {
 	return s.respond(ctx, "trng", q.key(), blocking(s.trngExec(q)))
 }
 
+// runCampaign executes one normalized campaign request. Phase-1 module
+// shards share the workload memo (a campaign warms workload requests and
+// vice versa); phase-2 candidate evaluations memoize under their own
+// campaign/candidate keys.
+func (s *Server) runCampaign(ctx context.Context, q CampaignRequest) (Response, error) {
+	return s.respond(ctx, "campaign", q.key(), blocking(s.campaignExec(q)))
+}
+
 // blocking adapts a family pipeline to the blocking routes: no progress
 // accumulator, no warmpool — neither affects result bytes, so the
 // blocking response, the job-tier result and the CLI stdout stay
@@ -661,8 +691,22 @@ func (s *Server) runBatchItem(ctx context.Context, item BatchItem) Response {
 			return fail("scenario", err)
 		}
 		return resp
+	case "campaign":
+		q := CampaignRequest{}
+		if item.Campaign != nil {
+			q = *item.Campaign
+		}
+		q, err := q.normalize()
+		if err != nil {
+			return fail("campaign", err)
+		}
+		resp, err := s.runCampaign(ctx, q)
+		if err != nil {
+			return fail("campaign", err)
+		}
+		return resp
 	default:
-		return fail(item.Kind, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario", item.Kind))
+		return fail(item.Kind, fmt.Errorf("unknown kind %q; valid: sweep, workload, trng, scenario, campaign", item.Kind))
 	}
 }
 
@@ -692,7 +736,8 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "simra_jobs_failed_total %d\n", jm.Failed)
 	fmt.Fprintf(&b, "simra_jobs_canceled_total %d\n", jm.Canceled)
 	fmt.Fprintf(&b, "simra_jobs_sse_connections %d\n", jm.SSEConnections)
-	fmt.Fprintf(&b, "simra_jobs_sse_rejected_total %d\n", jm.SSERejected)
+	fmt.Fprintf(&b, "simra_jobs_sse_rejected_total{reason=\"client\"} %d\n", jm.SSERejectedClient)
+	fmt.Fprintf(&b, "simra_jobs_sse_rejected_total{reason=\"global\"} %d\n", jm.SSERejectedGlobal)
 	fmt.Fprintf(&b, "simra_jobs_webhook_deliveries_total %d\n", jm.WebhookDeliveries)
 	fmt.Fprintf(&b, "simra_jobs_webhook_retries_total %d\n", jm.WebhookRetries)
 	fmt.Fprintf(&b, "simra_jobs_webhook_failures_total %d\n", jm.WebhookFailures)
@@ -713,6 +758,7 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "simra_cache_capacity_bytes %d\n", cs.Capacity)
 	fmt.Fprintf(&b, "simra_cache_remote_hits_total %d\n", cs.RemoteHits)
 	fmt.Fprintf(&b, "simra_cache_remote_misses_total %d\n", cs.RemoteMisses)
+	fmt.Fprintf(&b, "simra_cache_remote_errors_total %d\n", cs.RemoteErrors)
 	fmt.Fprintf(&b, "simra_serve_rate_limited_total %d\n", s.rateLimited.Load())
 	for _, g := range s.groups {
 		gs := g.Stats()

@@ -60,7 +60,7 @@ func TestScenarioFacade(t *testing.T) {
 // TestScenarioEnvelopeAxes pins the advertised axis list.
 func TestScenarioEnvelopeAxes(t *testing.T) {
 	axes := simra.ScenarioEnvelopeAxes()
-	want := []string{"t1", "t2", "temp", "vpp", "aging"}
+	want := []string{"t1", "t2", "temp", "vpp", "aging", "disturb", "retention"}
 	if len(axes) != len(want) {
 		t.Fatalf("axes %v, want %v", axes, want)
 	}
